@@ -1,0 +1,115 @@
+// avfreport turns campaign results into the paper's tables and figures:
+// Table I/III (setup), Figures 1-6 (per-component class breakdowns),
+// Tables IV/V (vulnerability increases and weighted AVFs), Tables VI-VIII
+// (technology inputs), Figure 7 (per-node aggregate AVF) and Figure 8
+// (whole-CPU FIT with the multi-bit share).
+//
+//	gefin -all -samples 100 -out results.json
+//	avfreport -in results.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mbusim/internal/avf"
+	"mbusim/internal/core"
+	"mbusim/internal/fit"
+	"mbusim/internal/report"
+	"mbusim/internal/workloads"
+)
+
+func main() {
+	var (
+		inPath = flag.String("in", "", "campaign results JSON from gefin -all")
+		only   = flag.String("only", "", "print one section: table1,table3,table4,table5,table6,table7,table8,fig1..fig6,fig7,fig8")
+	)
+	flag.Parse()
+
+	sectionWanted := func(name string) bool { return *only == "" || *only == name }
+	printSection := func(title, body string) {
+		fmt.Printf("=== %s ===\n%s\n", title, body)
+	}
+
+	if sectionWanted("table1") {
+		printSection("Table I: setup (paper values; caches modeled at scaled geometry)", report.Table1())
+	}
+	if sectionWanted("table3") {
+		t3, err := report.Table3()
+		fatalIf(err)
+		printSection("Table III: benchmark execution time", t3)
+	}
+	if sectionWanted("table6") {
+		printSection("Table VI: multi-bit rates per node", report.Table6())
+	}
+	if sectionWanted("table7") {
+		printSection("Table VII: raw FIT per bit", report.Table7())
+	}
+	if sectionWanted("table8") {
+		printSection("Table VIII: component sizes", report.Table8())
+	}
+
+	if *inPath == "" {
+		if *only == "" {
+			fmt.Fprintln(os.Stderr, "note: no -in results file; campaign-derived sections skipped")
+		}
+		return
+	}
+	data, err := os.ReadFile(*inPath)
+	fatalIf(err)
+	rs := core.NewResultSet()
+	fatalIf(json.Unmarshal(data, rs))
+
+	figNames := map[string]string{
+		"L1D": "fig1", "L1I": "fig2", "L2": "fig3",
+		"RegFile": "fig4", "DTLB": "fig5", "ITLB": "fig6",
+	}
+	for _, comp := range core.Components() {
+		if !sectionWanted(figNames[comp]) {
+			continue
+		}
+		body, err := report.Figure(rs, comp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", comp, err)
+			continue
+		}
+		printSection(fmt.Sprintf("Fig. %s: AVF classes for %s", figNames[comp][3:], comp), body)
+	}
+
+	cas, err := avf.WeightedFromResults(rs, core.Components(), workloads.Names())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggregate sections unavailable: %v\n", err)
+		return
+	}
+	if sectionWanted("table4") {
+		printSection("Table IV: vulnerability increase per component", report.Table4(cas))
+	}
+	if sectionWanted("table5") {
+		printSection("Table V: weighted AVF per component", report.Table5(cas))
+	}
+	if sectionWanted("fig7") {
+		printSection("Fig. 7: aggregate multi-bit AVF per node", report.Fig7(cas))
+	}
+	if sectionWanted("fig8") {
+		entries, err := fit.CPU(cas)
+		fatalIf(err)
+		printSection("Fig. 8: whole-CPU FIT per node", report.Fig8(entries))
+	}
+	if sectionWanted("verdicts") {
+		vs, err := report.Verdicts(rs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verdicts unavailable: %v\n", err)
+			return
+		}
+		printSection("Shape verdicts (DESIGN.md reproduction targets)", report.RenderVerdicts(vs))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// gefin runs spatial multi-bit fault-injection campaigns on the simulated
+// Cortex-A9-like machine (the Gem5+GeFIN analog of the paper).
+//
+// Run one cell:
+//
+//	gefin -workload CRC32 -comp L1D -faults 2 -samples 100
+//
+// Run the full grid (6 components x 15 workloads x 3 cardinalities) and
+// save the results for avfreport:
+//
+//	gefin -all -samples 100 -out results.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mbusim/internal/core"
+	"mbusim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload name (empty with -all means every workload)")
+		comp     = flag.String("comp", "", "component: L1D, L1I, L2, RegFile, DTLB, ITLB (empty with -all means every component)")
+		faults   = flag.Int("faults", 1, "fault cardinality 1-3 (ignored with -all: all three run)")
+		samples  = flag.Int("samples", 100, "injections per cell")
+		seed     = flag.Uint64("seed", 1, "campaign seed")
+		all      = flag.Bool("all", false, "run the full component x workload x cardinality grid")
+		outPath  = flag.String("out", "", "write results JSON to this file")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress")
+	)
+	flag.Parse()
+
+	rs := core.NewResultSet()
+	var specs []core.Spec
+	if *all {
+		comps := core.Components()
+		if *comp != "" {
+			comps = strings.Split(*comp, ",")
+		}
+		names := workloads.Names()
+		if *workload != "" {
+			names = strings.Split(*workload, ",")
+		}
+		for _, c := range comps {
+			for _, w := range names {
+				for k := 1; k <= 3; k++ {
+					specs = append(specs, core.Spec{
+						Workload: w, Component: c, Faults: k,
+						Samples: *samples, Seed: *seed,
+					})
+				}
+			}
+		}
+	} else {
+		if *workload == "" || *comp == "" {
+			fmt.Fprintln(os.Stderr, "need -workload and -comp (or -all)")
+			os.Exit(2)
+		}
+		specs = append(specs, core.Spec{
+			Workload: *workload, Component: *comp, Faults: *faults,
+			Samples: *samples, Seed: *seed,
+		})
+	}
+
+	start := time.Now()
+	for i, spec := range specs {
+		t0 := time.Now()
+		res, err := core.Run(spec, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rs.Add(res)
+		if !*quiet {
+			fmt.Printf("[%3d/%3d] %-8s %-13s %d-bit: AVF=%6.2f%% masked=%5.1f%% sdc=%5.1f%% crash=%5.1f%% timeout=%5.1f%% assert=%5.1f%% ±%.2f%% (%v)\n",
+				i+1, len(specs), spec.Component, spec.Workload, spec.Faults,
+				100*res.AVF(),
+				100*res.Fraction(core.EffectMasked),
+				100*res.Fraction(core.EffectSDC),
+				100*res.Fraction(core.EffectCrash),
+				100*res.Fraction(core.EffectTimeout),
+				100*res.Fraction(core.EffectAssert),
+				100*res.AdjustedMargin(0.99),
+				time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if !*quiet {
+		fmt.Printf("campaign complete: %d cells in %v\n", len(specs), time.Since(start).Round(time.Second))
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(rs, "", " ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	}
+}

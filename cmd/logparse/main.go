@@ -1,0 +1,74 @@
+// logparse reconstructs a gefin results JSON from a campaign log, allowing
+// analysis of partially completed campaigns (each completed cell's class
+// fractions and sample count are recoverable from its log line).
+//
+//	logparse -samples 120 < campaign.log > results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+
+	"mbusim/internal/core"
+	"mbusim/internal/workloads"
+)
+
+var lineRE = regexp.MustCompile(
+	`^\[\s*\d+/\s*\d+\] (\S+)\s+(\S+)\s+(\d)-bit: AVF=\s*[\d.]+% ` +
+		`masked=\s*([\d.]+)% sdc=\s*([\d.]+)% crash=\s*([\d.]+)% ` +
+		`timeout=\s*([\d.]+)% assert=\s*([\d.]+)%`)
+
+func main() {
+	samples := flag.Int("samples", 120, "per-cell sample count used by the campaign")
+	flag.Parse()
+
+	rs := core.NewResultSet()
+	sc := bufio.NewScanner(os.Stdin)
+	cells := 0
+	for sc.Scan() {
+		m := lineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		comp, wl := m[1], m[2]
+		faults, _ := strconv.Atoi(m[3])
+		res := &core.Result{
+			Spec: core.Spec{Workload: wl, Component: comp, Faults: faults, Samples: *samples},
+		}
+		if w, err := workloads.ByName(wl); err == nil {
+			if g, err := w.Reference(); err == nil {
+				res.GoldenCycles = g.Cycles
+			}
+		}
+		total := 0
+		for i, e := range core.Effects() {
+			pct, _ := strconv.ParseFloat(m[4+i], 64)
+			n := int(math.Round(pct * float64(*samples) / 100))
+			res.Counts[e] = n
+			total += n
+		}
+		if total != *samples {
+			// Rounding slack lands in the dominant class.
+			res.Counts[core.EffectMasked] += *samples - total
+		}
+		rs.Add(res)
+		cells++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rs, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Fprintf(os.Stderr, "parsed %d cells\n", cells)
+}

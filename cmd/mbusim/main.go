@@ -1,0 +1,84 @@
+// mbusim runs the MiBench-analog workloads fault-free on the simulated
+// machine, printing each run's outcome and the Table III cycle counts.
+//
+//	mbusim -all          # golden-run every workload
+//	mbusim CRC32         # run one workload, echo its stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mbusim/internal/report"
+	"mbusim/internal/workloads"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every workload and print Table III")
+	occupancy := flag.Bool("occupancy", false, "sample structure occupancies at the half-way point of each workload")
+	flag.Parse()
+
+	if *occupancy {
+		if err := printOccupancies(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *all {
+		t3, err := report.Table3()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(t3)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: mbusim -all | mbusim <workload>\navailable: %v\n", workloads.Names())
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := w.NewMachine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out := m.Run(500_000_000, 0, nil)
+	os.Stdout.Write(out.Stdout)
+	fmt.Fprintf(os.Stderr, "[%s: stop=%v exit=%d cycles=%d committed=%d IPC=%.2f]\n",
+		w.Name, out.Stop, out.ExitCode, out.Cycles, out.Committed,
+		float64(out.Committed)/float64(out.Cycles))
+}
+
+// printOccupancies reports the valid-entry fraction of every injectable
+// structure at each workload's half-way point — the first-order predictor
+// of its AVF (see EXPERIMENTS.md).
+func printOccupancies() error {
+	fmt.Printf("%-13s %6s %6s %7s %6s %7s %6s %6s\n",
+		"workload", "L1I", "L1D", "L1Ddrt", "L2", "L2drt", "ITLB", "DTLB")
+	for _, w := range workloads.All() {
+		g, err := w.Reference()
+		if err != nil {
+			return err
+		}
+		m, err := w.NewMachine()
+		if err != nil {
+			return err
+		}
+		for m.Core.Cycles() < g.Cycles/2 && m.Core.Stopped() == 0 {
+			m.Core.Cycle()
+		}
+		occ := m.Occupancy()
+		fmt.Printf("%-13s %5.1f%% %5.1f%% %6.1f%% %5.1f%% %6.1f%% %5.1f%% %5.1f%%\n",
+			w.Name, 100*occ["L1I"], 100*occ["L1D"], 100*occ["L1D.dirty"],
+			100*occ["L2"], 100*occ["L2.dirty"], 100*occ["ITLB"], 100*occ["DTLB"])
+	}
+	return nil
+}

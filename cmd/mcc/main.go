@@ -1,0 +1,58 @@
+// mcc is the MiniC compiler driver: it compiles a source file and either
+// prints the generated assembly or runs it on the simulated machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mbusim/internal/asm"
+	"mbusim/internal/isa"
+	"mbusim/internal/minic"
+	"mbusim/internal/sim"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "print generated assembly instead of running")
+	trace := flag.Bool("trace", false, "print every committed instruction (disassembled)")
+	maxCycles := flag.Uint64("max-cycles", 100_000_000, "cycle limit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcc [-S] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	text, err := minic.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *emitAsm {
+		fmt.Print(text)
+		return
+	}
+	prog, err := asm.Assemble(text)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assemble:", err)
+		os.Exit(1)
+	}
+	m := sim.New(sim.DefaultConfig())
+	if err := m.Load(prog); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *trace {
+		m.Core.TraceCommit = func(pc, raw uint32) {
+			fmt.Fprintf(os.Stderr, "%08x  %s\n", pc, isa.Disassemble(pc, raw))
+		}
+	}
+	out := m.Run(*maxCycles, 0, nil)
+	os.Stdout.Write(out.Stdout)
+	fmt.Fprintf(os.Stderr, "[stop=%v pc=%#x addr=%#x exit=%d cycles=%d committed=%d kill=%q panic=%q timeout=%v]\n",
+		out.Stop, m.Core.StopPC(), m.Core.StopAddr(), out.ExitCode, out.Cycles, out.Committed, out.KillMsg, out.PanicMsg, out.TimedOut)
+}

@@ -1,0 +1,24 @@
+// Package mbusim is a from-scratch reproduction of "Multi-Bit Upsets
+// Vulnerability Analysis of Modern Microprocessors" (IISWC 2019): a
+// microarchitecture-level spatial multi-bit fault-injection study on an ARM
+// Cortex-A9-like out-of-order CPU.
+//
+// The module contains the full system stack the paper depends on, built in
+// pure Go with only the standard library:
+//
+//   - internal/isa, internal/asm: the AR32 instruction set and assembler
+//   - internal/minic: a C-like compiler used to write the fifteen
+//     MiBench-analog workloads (internal/workloads)
+//   - internal/cpu, internal/cache, internal/tlb, internal/vm,
+//     internal/mem, internal/kernel, internal/sim: the simulated machine
+//     with bit-accurate, fault-injectable state
+//   - internal/core: the GeFIN-analog spatial multi-bit fault injector and
+//     campaign runner (the paper's primary contribution)
+//   - internal/stats, internal/tech, internal/avf, internal/fit,
+//     internal/report: the statistical and analytical layers producing the
+//     paper's tables and figures
+//
+// The root-level benchmarks (bench_test.go) regenerate every table and
+// figure of the paper's evaluation at reduced sample counts; cmd/gefin and
+// cmd/avfreport do the same at full fidelity.
+package mbusim

@@ -1,0 +1,109 @@
+// Custom workload: bring your own program. This example compiles a MiniC
+// matrix-multiply kernel, captures its golden run, and drives the low-level
+// injection API directly (machine + target + mask) — the path to studying
+// the vulnerability of code this repository does not ship.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"mbusim/internal/core"
+	"mbusim/internal/cpu"
+	"mbusim/internal/minic"
+	"mbusim/internal/sim"
+)
+
+const source = `
+int a[256];
+int b[256];
+int c[256];
+
+int main(void) {
+    // Fill two 16x16 matrices deterministically and multiply them.
+    for (int i = 0; i < 256; i++) {
+        a[i] = (i * 7 + 3) % 97;
+        b[i] = (i * 13 + 5) % 89;
+    }
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            int acc = 0;
+            for (int k = 0; k < 16; k++) {
+                acc += a[i*16 + k] * b[k*16 + j];
+            }
+            c[i*16 + j] = acc;
+        }
+    }
+    uint dig = 2166136261u;
+    for (int i = 0; i < 256; i++) {
+        dig = (dig ^ (uint)c[i]) * 16777619u;
+    }
+    print_str("matmul digest=");
+    print_hex(dig);
+    print_nl();
+    return 0;
+}
+`
+
+func main() {
+	prog, err := minic.CompileProgram(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	newMachine := func() *sim.Machine {
+		m := sim.New(sim.DefaultConfig())
+		if err := m.Load(prog); err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	golden := newMachine().Run(100_000_000, 0, nil)
+	if golden.Stop != cpu.StopExit || golden.ExitCode != 0 {
+		log.Fatalf("golden run failed: %v", golden.Stop)
+	}
+	fmt.Printf("golden: %d cycles, %q\n", golden.Cycles, golden.Stdout)
+
+	// 60 double-bit injections into the L1 data cache.
+	rng := rand.New(rand.NewPCG(99, 1))
+	var counts [5]int
+	for i := 0; i < 60; i++ {
+		m := newMachine()
+		target, err := core.TargetFor(m, core.CompL1D)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mask := core.GenerateMask(rng, target.Rows(), target.Cols(), 2, core.DefaultCluster)
+		out := m.Run(4*golden.Cycles, rng.Uint64N(golden.Cycles), func(*sim.Machine) {
+			mask.Apply(target)
+		})
+
+		// Classify by hand against our own golden reference.
+		var effect core.Effect
+		switch {
+		case out.Assert:
+			effect = core.EffectAssert
+		case out.TimedOut || out.Stop == cpu.StopDeadlock:
+			effect = core.EffectTimeout
+		case out.Stop == cpu.StopExit:
+			if out.ExitCode == golden.ExitCode && bytes.Equal(out.Stdout, golden.Stdout) {
+				effect = core.EffectMasked
+			} else {
+				effect = core.EffectSDC
+			}
+		default:
+			effect = core.EffectCrash
+		}
+		counts[effect]++
+	}
+
+	fmt.Println("60 double-bit L1D injections into the matmul kernel:")
+	for _, e := range core.Effects() {
+		fmt.Printf("  %-8v %3d\n", e, counts[e])
+	}
+	avfVal := 1 - float64(counts[core.EffectMasked])/60
+	fmt.Printf("AVF = %.1f%%\n", 100*avfVal)
+}

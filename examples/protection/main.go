@@ -1,0 +1,76 @@
+// Protection planning: the paper's motivating use case. Error protection
+// (parity, ECC, interleaving) costs area and power, so an architect wants
+// to know which structures contribute most to the failure rate — and how
+// much of that contribution a single-bit-only analysis would miss.
+//
+// This example runs small campaigns for two structures over two workloads,
+// extends them to per-technology-node FIT (Eq. 3 + Eq. 4), and ranks the
+// structures by their 22nm FIT contribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbusim/internal/avf"
+	"mbusim/internal/core"
+	"mbusim/internal/fit"
+	"mbusim/internal/tech"
+)
+
+func main() {
+	components := []string{core.CompL1D, core.CompDTLB}
+	workloadNames := []string{"sha", "stringSearch"}
+	const samples = 40
+
+	// Campaign: both components, both workloads, all three cardinalities.
+	rs := core.NewResultSet()
+	for _, comp := range components {
+		for _, wn := range workloadNames {
+			for k := 1; k <= 3; k++ {
+				res, err := core.Run(core.Spec{
+					Workload: wn, Component: comp, Faults: k,
+					Samples: samples, Seed: 11,
+				}, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rs.Add(res)
+			}
+		}
+	}
+
+	// Weighted AVF per component (Eq. 2), then per-node FIT.
+	cas, err := avf.WeightedFromResults(rs, components, workloadNames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node22, err := tech.ByName("22nm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("structure ranking at 22nm (who needs protection first):")
+	for _, ca := range cas {
+		bits, err := tech.ComponentBits(ca.Component)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg := avf.NodeAVF(ca.ByFaults[1], ca.ByFaults[2], ca.ByFaults[3], node22)
+		f := fit.Structure(agg, node22, bits)
+		fSingle := fit.Structure(ca.ByFaults[1], node22, bits)
+		missed := 0.0
+		if f > 0 {
+			missed = 100 * (1 - fSingle/f)
+		}
+		fmt.Printf("  %-8s AVF(1/2/3-bit) = %4.1f%%/%4.1f%%/%4.1f%%  22nm FIT = %.5f"+
+			"  (a single-bit-only analysis misses %.0f%% of it)\n",
+			ca.Component,
+			100*ca.ByFaults[1], 100*ca.ByFaults[2], 100*ca.ByFaults[3],
+			f, missed)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: the structure with the larger multi-bit FIT share profits")
+	fmt.Println("most from interleaving-aware protection (the paper's Section VI).")
+}

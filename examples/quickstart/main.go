@@ -1,0 +1,69 @@
+// Quickstart: run one workload fault-free, then inject a single triple-bit
+// spatial fault into the L1 data cache and classify the outcome — the
+// smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"mbusim/internal/core"
+	"mbusim/internal/sim"
+	"mbusim/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("sha")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The golden (fault-free) run: reference output and cycle count.
+	golden, err := w.Reference()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden run: %d cycles, output %q\n", golden.Cycles, golden.Stdout)
+
+	// One injection: a 3-bit fault in a 3x3 cluster placed at a random
+	// position in the L1D array, at a random cycle of execution.
+	m, err := w.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := core.TargetFor(m, core.CompL1D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2024, 7))
+	mask := core.GenerateMask(rng, target.Rows(), target.Cols(), 3, core.DefaultCluster)
+	injectAt := rng.Uint64N(golden.Cycles)
+	fmt.Printf("injecting %d faults at cycle %d: cells %v\n", len(mask.Cells), injectAt, mask.Cells)
+
+	out := m.Run(4*golden.Cycles, injectAt, func(*sim.Machine) {
+		mask.Apply(target)
+	})
+	effect := core.Classify(out, golden)
+	fmt.Printf("outcome: %v (stop=%v, %d cycles)\n", effect, out.Stop, out.Cycles)
+	if effect == core.EffectSDC {
+		fmt.Printf("corrupted output: %q\n", out.Stdout)
+	}
+
+	// A small campaign over the same cell gives the AVF with its margin.
+	res, err := core.Run(core.Spec{
+		Workload:  "sha",
+		Component: core.CompL1D,
+		Faults:    3,
+		Samples:   40,
+		Seed:      1,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign (40 injections): AVF = %.1f%% ± %.1f%% at 99%% confidence\n",
+		100*res.AVF(), 100*res.AdjustedMargin(0.99))
+	for _, e := range core.Effects() {
+		fmt.Printf("  %-8v %3d\n", e, res.Counts[e])
+	}
+}

@@ -1,0 +1,55 @@
+// Technology scaling: reproduce the paper's Fig. 7 analysis for one
+// component. A single campaign measures the single/double/triple-bit AVFs
+// of the register file; combining them with each node's multi-bit upset
+// rates (Table VI) shows how the same silicon design becomes more
+// vulnerable as it is manufactured in denser technologies — and how much
+// of that a single-bit-only assessment misses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mbusim/internal/avf"
+	"mbusim/internal/core"
+)
+
+func main() {
+	const workload = "gsm_dec"
+	ca := avf.ComponentAVF{Component: core.CompRF}
+	for k := 1; k <= 3; k++ {
+		res, err := core.Run(core.Spec{
+			Workload:  workload,
+			Component: core.CompRF,
+			Faults:    k,
+			Samples:   60,
+			Seed:      5,
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ca.ByFaults[k] = res.AVF()
+		fmt.Printf("%d-bit campaign: AVF = %.2f%% ± %.2f%%\n",
+			k, 100*res.AVF(), 100*res.AdjustedMargin(0.99))
+	}
+	fmt.Printf("vulnerability increase: 2-bit %.1fx, 3-bit %.1fx\n\n",
+		ca.Increase(2), ca.Increase(3))
+
+	fmt.Printf("register file AVF across technology nodes (workload %s):\n", workload)
+	fmt.Println("node     single-bit  aggregate  gap    bar (green=single, red=MBU extra)")
+	for _, e := range avf.NodeTable(ca) {
+		barLen := func(v float64) int { return int(v * 200) }
+		single := barLen(e.SingleOnly)
+		extra := barLen(e.Aggregate) - single
+		if extra < 0 {
+			extra = 0
+		}
+		fmt.Printf("%-7s  %6.2f%%     %6.2f%%   %5.1f%%  %s%s\n",
+			e.Node.Name, 100*e.SingleOnly, 100*e.Aggregate, 100*e.Gap(),
+			strings.Repeat("#", single), strings.Repeat("+", extra))
+	}
+	fmt.Println()
+	fmt.Println("the '+' region is what any single-bit-only method cannot see; in the")
+	fmt.Println("paper it reaches 35% of the register file's 22nm AVF.")
+}

@@ -1,0 +1,3 @@
+module mbusim
+
+go 1.22

@@ -1,0 +1,683 @@
+// Package asm implements a two-pass assembler for the AR32 instruction set.
+//
+// Syntax, one statement per line ("; " or "//" start comments):
+//
+//	label:
+//	    add   r1, r2, r3
+//	    addi  r1, r2, #-4
+//	    li    r1, #0x12345678      ; macro: MOVZ or MOVZ+MOVT
+//	    la    r1, table            ; macro: load symbol address
+//	    ldr   r1, [r2, #8]
+//	    ldrr  r1, [r2, r3]
+//	    b.ne  loop
+//	    bl    func
+//	    bx    lr
+//	.text / .data                   ; section switch
+//	.word 1, 2, -3, sym             ; 32-bit values (little endian)
+//	.half 1, 2                      ; 16-bit values
+//	.byte 1, 2, 0xFF
+//	.ascii "hi\n"                   ; no terminator
+//	.asciz "hi"                     ; NUL-terminated
+//	.space 64                       ; zero fill
+//	.align 4                        ; pad to power-of-two boundary
+//
+// Register names: r0..r15, sp (r13), lr (r14), fp (r11).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mbusim/internal/isa"
+)
+
+// Program is an assembled binary image.
+type Program struct {
+	Text     []byte // instruction bytes, little endian, loaded at TextBase
+	Data     []byte // data bytes, loaded at DataBase
+	TextBase uint32
+	DataBase uint32
+	Entry    uint32            // address of the "_start" label (or TextBase)
+	Symbols  map[string]uint32 // label -> virtual address
+}
+
+// Default load addresses. Both live in the low 16 MB so that virtual page
+// numbers fit the simulated TLB entry layout.
+const (
+	DefaultTextBase = 0x0001_0000
+	DefaultDataBase = 0x0010_0000
+)
+
+// Error is an assembly error annotated with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type fixup struct {
+	line   int
+	offset uint32 // byte offset into text
+	symbol string
+	kind   fixupKind
+	cond   isa.Cond
+	op     isa.Op
+	rd     uint8
+}
+
+type fixupKind int
+
+const (
+	fixBranch   fixupKind = iota // B-type, pc-relative word offset
+	fixCall                      // BL, pc-relative word offset
+	fixLoadAddr                  // la macro: patch MOVZ+MOVT pair
+	fixWord                      // .word sym
+)
+
+type assembler struct {
+	text     []byte
+	data     []byte
+	sec      section
+	symbols  map[string]uint32
+	fixups   []fixup
+	textBase uint32
+	dataBase uint32
+}
+
+// Assemble assembles source into a Program using the default load addresses.
+func Assemble(src string) (*Program, error) {
+	return AssembleAt(src, DefaultTextBase, DefaultDataBase)
+}
+
+// AssembleAt assembles source with explicit text and data base addresses.
+func AssembleAt(src string, textBase, dataBase uint32) (*Program, error) {
+	a := &assembler{
+		sec:      secText,
+		symbols:  make(map[string]uint32),
+		textBase: textBase,
+		dataBase: dataBase,
+	}
+	for i, line := range strings.Split(src, "\n") {
+		if err := a.line(i+1, line); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	entry := textBase
+	if e, ok := a.symbols["_start"]; ok {
+		entry = e
+	}
+	return &Program{
+		Text: a.text, Data: a.data,
+		TextBase: textBase, DataBase: dataBase,
+		Entry: entry, Symbols: a.symbols,
+	}, nil
+}
+
+func (a *assembler) pc() uint32 {
+	if a.sec == secText {
+		return a.textBase + uint32(len(a.text))
+	}
+	return a.dataBase + uint32(len(a.data))
+}
+
+func (a *assembler) emit32(w uint32) {
+	buf := &a.text
+	if a.sec == secData {
+		buf = &a.data
+	}
+	*buf = append(*buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+func (a *assembler) line(n int, raw string) error {
+	line := raw
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels, possibly several on one line before a statement.
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(line[:i])
+		if !isIdent(name) {
+			break // e.g. a ':' inside a string literal of a directive
+		}
+		if _, dup := a.symbols[name]; dup {
+			return Error{n, "duplicate label " + name}
+		}
+		a.symbols[name] = a.pc()
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(n, line)
+	}
+	return a.instruction(n, line)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(n int, line string) error {
+	name, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	buf := &a.text
+	if a.sec == secData {
+		buf = &a.data
+	}
+	switch name {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			if isIdent(f) {
+				a.fixups = append(a.fixups, fixup{
+					line: n, offset: uint32(len(*buf)), symbol: f, kind: fixWord,
+				})
+				// Real emission happens at resolve time; for .word in data we
+				// still need the fixup to know which section. Track via sec.
+				if a.sec == secData {
+					a.fixups[len(a.fixups)-1].rd = 1 // rd==1 marks data section
+				}
+				a.emit32(0)
+				continue
+			}
+			v, err := parseInt(f)
+			if err != nil {
+				return Error{n, err.Error()}
+			}
+			a.emit32(uint32(v))
+		}
+	case ".half":
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return Error{n, err.Error()}
+			}
+			*buf = append(*buf, byte(v), byte(v>>8))
+		}
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return Error{n, err.Error()}
+			}
+			*buf = append(*buf, byte(v))
+		}
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return Error{n, "bad string literal: " + rest}
+		}
+		*buf = append(*buf, s...)
+		if name == ".asciz" {
+			*buf = append(*buf, 0)
+		}
+	case ".space":
+		v, err := parseInt(rest)
+		if err != nil || v < 0 {
+			return Error{n, "bad .space size"}
+		}
+		*buf = append(*buf, make([]byte, v)...)
+	case ".align":
+		v, err := parseInt(rest)
+		if err != nil || v <= 0 || v&(v-1) != 0 {
+			return Error{n, "bad .align (want power of two)"}
+		}
+		for int64(len(*buf))%v != 0 {
+			*buf = append(*buf, 0)
+		}
+	default:
+		return Error{n, "unknown directive " + name}
+	}
+	return nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimPrefix(s, "#")
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xFFFFFFFF.
+		if u, uerr := strconv.ParseUint(s, 0, 32); uerr == nil {
+			return int64(int32(uint32(u))), nil
+		}
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		return 0, fmt.Errorf("integer %q out of 32-bit range", s)
+	}
+	return v, nil
+}
+
+func parseReg(s string) (uint8, bool) {
+	switch s {
+	case "sp":
+		return isa.RegSP, true
+	case "lr":
+		return isa.RegLR, true
+	case "fp":
+		return 11, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumGPR {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+var condNames = map[string]isa.Cond{
+	"": isa.CondAL, "al": isa.CondAL,
+	"eq": isa.CondEQ, "ne": isa.CondNE,
+	"lt": isa.CondLT, "ge": isa.CondGE,
+	"le": isa.CondLE, "gt": isa.CondGT,
+	"lo": isa.CondLO, "hs": isa.CondHS,
+	"ls": isa.CondLS, "hi": isa.CondHI,
+}
+
+var rTypeOps = map[string]isa.Op{
+	"add": isa.OpADD, "sub": isa.OpSUB, "rsb": isa.OpRSB,
+	"and": isa.OpAND, "orr": isa.OpORR, "eor": isa.OpEOR, "bic": isa.OpBIC,
+	"lsl": isa.OpLSL, "lsr": isa.OpLSR, "asr": isa.OpASR, "ror": isa.OpROR,
+	"mul": isa.OpMUL, "sdiv": isa.OpSDIV, "udiv": isa.OpUDIV,
+	"srem": isa.OpSREM, "urem": isa.OpUREM,
+	"smulh": isa.OpSMLH, "umulh": isa.OpUMLH,
+}
+
+var iTypeOps = map[string]isa.Op{
+	"addi": isa.OpADDI, "subi": isa.OpSUBI, "andi": isa.OpANDI,
+	"orri": isa.OpORRI, "eori": isa.OpEORI,
+	"lsli": isa.OpLSLI, "lsri": isa.OpLSRI, "asri": isa.OpASRI,
+}
+
+var memImmOps = map[string]isa.Op{
+	"ldr": isa.OpLDR, "ldrb": isa.OpLDRB, "ldrh": isa.OpLDRH,
+	"str": isa.OpSTR, "strb": isa.OpSTRB, "strh": isa.OpSTRH,
+}
+
+var memRegOps = map[string]isa.Op{
+	"ldrr": isa.OpLDRR, "ldrbr": isa.OpLDRBR,
+	"strr": isa.OpSTRR, "strbr": isa.OpSTRBR,
+}
+
+func (a *assembler) instruction(n int, line string) error {
+	if a.sec != secText {
+		return Error{n, "instruction outside .text"}
+	}
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(strings.TrimSpace(rest))
+	bad := func(format string, args ...any) error {
+		return Error{n, fmt.Sprintf(format, args...)}
+	}
+	reg := func(i int) (uint8, error) {
+		if i >= len(ops) {
+			return 0, bad("missing operand %d", i+1)
+		}
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, bad("bad register %q", ops[i])
+		}
+		return r, nil
+	}
+
+	// Branches with optional condition suffix: b, b.eq, ...
+	if mnemonic == "b" || strings.HasPrefix(mnemonic, "b.") {
+		suffix := strings.TrimPrefix(strings.TrimPrefix(mnemonic, "b"), ".")
+		cond, ok := condNames[suffix]
+		if !ok {
+			return bad("unknown condition %q", suffix)
+		}
+		if len(ops) != 1 || !isIdent(ops[0]) {
+			return bad("branch needs a label operand")
+		}
+		a.fixups = append(a.fixups, fixup{
+			line: n, offset: uint32(len(a.text)), symbol: ops[0],
+			kind: fixBranch, cond: cond,
+		})
+		a.emit32(0)
+		return nil
+	}
+
+	switch mnemonic {
+	case "bl":
+		if len(ops) != 1 || !isIdent(ops[0]) {
+			return bad("bl needs a label operand")
+		}
+		a.fixups = append(a.fixups, fixup{
+			line: n, offset: uint32(len(a.text)), symbol: ops[0], kind: fixCall,
+		})
+		a.emit32(0)
+		return nil
+	case "bx", "blx":
+		rm, err := reg(0)
+		if err != nil {
+			return err
+		}
+		op := isa.OpBX
+		if mnemonic == "blx" {
+			op = isa.OpBLX
+		}
+		a.emit32(isa.EncodeR(op, 0, 0, rm))
+		return nil
+	case "syscall":
+		a.emit32(uint32(isa.OpSYSCALL) << 26)
+		return nil
+	case "nop":
+		a.emit32(uint32(isa.OpNOP) << 26)
+		return nil
+	case "mov", "mvn":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return err
+		}
+		op := isa.OpMOV
+		if mnemonic == "mvn" {
+			op = isa.OpMVN
+		}
+		a.emit32(isa.EncodeR(op, rd, 0, rm))
+		return nil
+	case "movz", "movt":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err2 := parseIntOp(ops, 1)
+		if err2 != nil {
+			return Error{n, err2.Error()}
+		}
+		if v < 0 || v > 0xFFFF {
+			return bad("%s immediate out of range: %d", mnemonic, v)
+		}
+		if mnemonic == "movz" {
+			a.emit32(isa.EncodeI(isa.OpMOVZ, rd, 0, int32(v)))
+		} else {
+			a.emit32(isa.EncodeI(isa.OpMOVT, rd, rd, int32(v)))
+		}
+		return nil
+	case "li": // load 32-bit immediate macro
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err2 := parseIntOp(ops, 1)
+		if err2 != nil {
+			return Error{n, err2.Error()}
+		}
+		u := uint32(v)
+		a.emit32(isa.EncodeI(isa.OpMOVZ, rd, 0, int32(u&0xFFFF)))
+		if u>>16 != 0 {
+			a.emit32(isa.EncodeI(isa.OpMOVT, rd, rd, int32(u>>16)))
+		}
+		return nil
+	case "la": // load symbol address macro (always two instructions)
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 || !isIdent(ops[1]) {
+			return bad("la needs a symbol operand")
+		}
+		a.fixups = append(a.fixups, fixup{
+			line: n, offset: uint32(len(a.text)), symbol: ops[1],
+			kind: fixLoadAddr, rd: rd,
+		})
+		a.emit32(0)
+		a.emit32(0)
+		return nil
+	case "cmp":
+		rn, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) == 2 && strings.HasPrefix(ops[1], "#") {
+			v, err2 := parseInt(ops[1])
+			if err2 != nil {
+				return Error{n, err2.Error()}
+			}
+			if v < -0x8000 || v > 0x7FFF {
+				return bad("cmp immediate out of range")
+			}
+			a.emit32(isa.EncodeI(isa.OpCMPI, 0, rn, int32(v)))
+			return nil
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit32(isa.EncodeR(isa.OpCMP, 0, rn, rm))
+		return nil
+	case "tst":
+		rn, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit32(isa.EncodeR(isa.OpTST, 0, rn, rm))
+		return nil
+	}
+
+	if op, ok := rTypeOps[mnemonic]; ok {
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rm, err := reg(2)
+		if err != nil {
+			return err
+		}
+		a.emit32(isa.EncodeR(op, rd, rn, rm))
+		return nil
+	}
+	if op, ok := iTypeOps[mnemonic]; ok {
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err2 := parseIntOp(ops, 2)
+		if err2 != nil {
+			return Error{n, err2.Error()}
+		}
+		if v < -0x8000 || v > 0x7FFF {
+			return bad("immediate out of range: %d", v)
+		}
+		a.emit32(isa.EncodeI(op, rd, rn, int32(v)))
+		return nil
+	}
+	if op, ok := memImmOps[mnemonic]; ok {
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, imm, err := parseMemImm(ops)
+		if err != nil {
+			return Error{n, err.Error()}
+		}
+		a.emit32(isa.EncodeI(op, rd, rn, imm))
+		return nil
+	}
+	if op, ok := memRegOps[mnemonic]; ok {
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, rm, err := parseMemReg(ops)
+		if err != nil {
+			return Error{n, err.Error()}
+		}
+		a.emit32(isa.EncodeR(op, rd, rn, rm))
+		return nil
+	}
+	return bad("unknown mnemonic %q", mnemonic)
+}
+
+func parseIntOp(ops []string, i int) (int64, error) {
+	if i >= len(ops) {
+		return 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	return parseInt(ops[i])
+}
+
+// parseMemImm parses the "[rn, #imm]" or "[rn]" operand pair. Because
+// operands were split on commas, the bracket expression arrives as one or
+// two fields.
+func parseMemImm(ops []string) (rn uint8, imm int32, err error) {
+	if len(ops) < 2 {
+		return 0, 0, fmt.Errorf("missing address operand")
+	}
+	addr := strings.Join(ops[1:], ",")
+	if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+		return 0, 0, fmt.Errorf("bad address %q", addr)
+	}
+	inner := splitOperands(addr[1 : len(addr)-1])
+	if len(inner) < 1 || len(inner) > 2 {
+		return 0, 0, fmt.Errorf("bad address %q", addr)
+	}
+	rn, ok := parseReg(inner[0])
+	if !ok {
+		return 0, 0, fmt.Errorf("bad base register %q", inner[0])
+	}
+	if len(inner) == 2 {
+		v, err := parseInt(inner[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		if v < -0x8000 || v > 0x7FFF {
+			return 0, 0, fmt.Errorf("offset out of range: %d", v)
+		}
+		imm = int32(v)
+	}
+	return rn, imm, nil
+}
+
+func parseMemReg(ops []string) (rn, rm uint8, err error) {
+	if len(ops) < 2 {
+		return 0, 0, fmt.Errorf("missing address operand")
+	}
+	addr := strings.Join(ops[1:], ",")
+	if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+		return 0, 0, fmt.Errorf("bad address %q", addr)
+	}
+	inner := splitOperands(addr[1 : len(addr)-1])
+	if len(inner) != 2 {
+		return 0, 0, fmt.Errorf("bad address %q", addr)
+	}
+	rn, ok := parseReg(inner[0])
+	if !ok {
+		return 0, 0, fmt.Errorf("bad base register %q", inner[0])
+	}
+	rm, ok = parseReg(inner[1])
+	if !ok {
+		return 0, 0, fmt.Errorf("bad index register %q", inner[1])
+	}
+	return rn, rm, nil
+}
+
+func (a *assembler) resolve() error {
+	for _, f := range a.fixups {
+		target, ok := a.symbols[f.symbol]
+		if !ok {
+			return Error{f.line, "undefined symbol " + f.symbol}
+		}
+		switch f.kind {
+		case fixBranch, fixCall:
+			// Targets resolve as pc + 4 + off*4 in the core, mirroring the
+			// ARM convention of offsets relative to the next instruction.
+			pc := a.textBase + f.offset
+			diff := int64(target) - int64(pc+4)
+			if diff%4 != 0 {
+				return Error{f.line, "misaligned branch target"}
+			}
+			wordOff := int32(diff / 4)
+			var w uint32
+			if f.kind == fixBranch {
+				w = isa.EncodeB(f.cond, wordOff)
+			} else {
+				w = isa.EncodeBL(wordOff)
+			}
+			putWord(a.text, f.offset, w)
+		case fixLoadAddr:
+			putWord(a.text, f.offset, isa.EncodeI(isa.OpMOVZ, f.rd, 0, int32(target&0xFFFF)))
+			putWord(a.text, f.offset+4, isa.EncodeI(isa.OpMOVT, f.rd, f.rd, int32(target>>16)))
+		case fixWord:
+			buf := a.text
+			if f.rd == 1 {
+				buf = a.data
+			}
+			putWord(buf, f.offset, target)
+		}
+	}
+	return nil
+}
+
+func putWord(buf []byte, off uint32, w uint32) {
+	buf[off] = byte(w)
+	buf[off+1] = byte(w >> 8)
+	buf[off+2] = byte(w >> 16)
+	buf[off+3] = byte(w >> 24)
+}

@@ -1,0 +1,219 @@
+package asm
+
+import (
+	"testing"
+
+	"mbusim/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func word(p *Program, i int) uint32 {
+	b := p.Text[i*4:]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := assemble(t, `
+_start:
+    add r1, r2, r3
+    addi r4, r5, #-7
+    mov r6, r8
+    cmp r1, #3
+    nop
+`)
+	in, err := isa.Decode(word(p, 0))
+	if err != nil || in.Op != isa.OpADD || in.Rd != 1 || in.Rn != 2 || in.Rm != 3 {
+		t.Fatalf("add: %+v %v", in, err)
+	}
+	in, _ = isa.Decode(word(p, 1))
+	if in.Op != isa.OpADDI || in.Imm != -7 {
+		t.Fatalf("addi: %+v", in)
+	}
+	in, _ = isa.Decode(word(p, 2))
+	if in.Op != isa.OpMOV || in.Rd != 6 || in.Rm != 8 {
+		t.Fatalf("mov: %+v", in)
+	}
+	in, _ = isa.Decode(word(p, 3))
+	if in.Op != isa.OpCMPI || in.Imm != 3 {
+		t.Fatalf("cmp imm: %+v", in)
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	// Branch offsets are relative to pc+4 (target = pc + 4 + off*4).
+	p := assemble(t, `
+_start:
+    nop
+top:
+    b.ne top
+    b fwd
+    nop
+fwd:
+    bl top
+`)
+	// b.ne top at word 1: target word 1 -> off = (4 - (4+4))/4 = -1.
+	in, _ := isa.Decode(word(p, 1))
+	if in.Op != isa.OpB || in.Imm != -1 {
+		t.Fatalf("backward branch: %+v", in)
+	}
+	// b fwd at word 2: target word 4 -> off = (16 - 12)/4 = 1.
+	in, _ = isa.Decode(word(p, 2))
+	if in.Imm != 1 {
+		t.Fatalf("forward branch: %+v", in)
+	}
+	// bl top at word 4: off = (4 - 20)/4 = -4.
+	in, _ = isa.Decode(word(p, 4))
+	if in.Op != isa.OpBL || in.Imm != -4 {
+		t.Fatalf("bl: %+v", in)
+	}
+}
+
+func TestLiMacro(t *testing.T) {
+	p := assemble(t, "_start:\n li r1, #0x12345678\n li r2, #5\n")
+	in0, _ := isa.Decode(word(p, 0))
+	in1, _ := isa.Decode(word(p, 1))
+	if in0.Op != isa.OpMOVZ || uint32(in0.Imm) != 0x5678 {
+		t.Fatalf("li low: %+v", in0)
+	}
+	if in1.Op != isa.OpMOVT || uint32(in1.Imm) != 0x1234 {
+		t.Fatalf("li high: %+v", in1)
+	}
+	// Small constant needs only MOVZ.
+	in2, _ := isa.Decode(word(p, 2))
+	if in2.Op != isa.OpMOVZ || in2.Imm != 5 {
+		t.Fatalf("li small: %+v", in2)
+	}
+	if len(p.Text) != 12 {
+		t.Fatalf("text length %d, want 12", len(p.Text))
+	}
+}
+
+func TestLaMacroAndData(t *testing.T) {
+	p := assemble(t, `
+_start:
+    la r1, table
+.data
+.align 4
+table: .word 1, 2, -3
+msg: .asciz "hi"
+`)
+	addr := p.Symbols["table"]
+	if addr != DefaultDataBase {
+		t.Fatalf("table at %#x, want %#x", addr, DefaultDataBase)
+	}
+	in0, _ := isa.Decode(word(p, 0))
+	in1, _ := isa.Decode(word(p, 1))
+	if uint32(in0.Imm) != addr&0xFFFF || uint32(in1.Imm) != addr>>16 {
+		t.Fatalf("la halves: %+v %+v", in0, in1)
+	}
+	if p.Data[0] != 1 || int32(uint32(p.Data[8])|uint32(p.Data[9])<<8|uint32(p.Data[10])<<16|uint32(p.Data[11])<<24) != -3 {
+		t.Fatalf("data words wrong: % x", p.Data[:12])
+	}
+	if string(p.Data[12:15]) != "hi\x00" {
+		t.Fatalf("asciz wrong: %q", p.Data[12:15])
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := assemble(t, `
+_start: nop
+.data
+a: .byte 1, 2, 255
+   .half 0x1234
+   .space 3
+   .align 4
+b: .word sym_in_text
+.text
+sym_in_text: nop
+`)
+	if p.Data[0] != 1 || p.Data[2] != 255 {
+		t.Fatalf(".byte: % x", p.Data[:3])
+	}
+	if p.Data[3] != 0x34 || p.Data[4] != 0x12 {
+		t.Fatalf(".half: % x", p.Data[3:5])
+	}
+	bOff := int(p.Symbols["b"] - DefaultDataBase)
+	got := uint32(p.Data[bOff]) | uint32(p.Data[bOff+1])<<8 | uint32(p.Data[bOff+2])<<16 | uint32(p.Data[bOff+3])<<24
+	if got != p.Symbols["sym_in_text"] {
+		t.Fatalf(".word sym = %#x, want %#x", got, p.Symbols["sym_in_text"])
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	p := assemble(t, `
+_start:
+    ldr r1, [r2, #8]
+    str r3, [sp]
+    ldrr r4, [r5, r6]
+    strb r7, [fp, #-4]
+`)
+	in, _ := isa.Decode(word(p, 0))
+	if in.Op != isa.OpLDR || in.Imm != 8 {
+		t.Fatalf("ldr: %+v", in)
+	}
+	in, _ = isa.Decode(word(p, 1))
+	if in.Op != isa.OpSTR || in.Rn != isa.RegSP || in.Imm != 0 {
+		t.Fatalf("str: %+v", in)
+	}
+	in, _ = isa.Decode(word(p, 2))
+	if in.Op != isa.OpLDRR || in.Rm != 6 {
+		t.Fatalf("ldrr: %+v", in)
+	}
+	in, _ = isa.Decode(word(p, 3))
+	if in.Op != isa.OpSTRB || in.Rn != 11 || in.Imm != -4 {
+		t.Fatalf("strb: %+v", in)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undefined symbol", "_start: b nowhere\n"},
+		{"duplicate label", "a: nop\na: nop\n"},
+		{"bad register", "_start: add r1, r99, r2\n"},
+		{"bad mnemonic", "_start: frobnicate r1\n"},
+		{"imm out of range", "_start: addi r1, r2, #40000\n"},
+		{"instruction in data", ".data\nadd r1, r2, r3\n"},
+		{"bad directive", ".bogus 3\n"},
+		{"bad align", "_start: nop\n.align 3\n"},
+		{"missing operand", "_start: add r1, r2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Assemble(tc.src); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestEntrySymbol(t *testing.T) {
+	p := assemble(t, "foo: nop\n_start: nop\n")
+	if p.Entry != DefaultTextBase+4 {
+		t.Fatalf("entry = %#x, want %#x", p.Entry, DefaultTextBase+4)
+	}
+	// Without _start the entry falls back to the text base.
+	p = assemble(t, "foo: nop\n")
+	if p.Entry != DefaultTextBase {
+		t.Fatalf("fallback entry = %#x", p.Entry)
+	}
+}
+
+func TestCommentsAndLabelsOnOneLine(t *testing.T) {
+	p := assemble(t, "_start: nop ; trailing comment\nx: y: nop // another\n")
+	if p.Symbols["x"] != p.Symbols["y"] {
+		t.Fatal("stacked labels must share an address")
+	}
+	if len(p.Text) != 8 {
+		t.Fatalf("text length %d", len(p.Text))
+	}
+}

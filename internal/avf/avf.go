@@ -1,0 +1,129 @@
+// Package avf implements the paper's AVF aggregation: execution-time
+// weighted averaging across workloads (Eq. 2) and per-technology-node
+// aggregation over fault cardinalities (Eq. 3).
+package avf
+
+import (
+	"fmt"
+
+	"mbusim/internal/core"
+	"mbusim/internal/tech"
+	"mbusim/internal/workloads"
+)
+
+// Weighted computes the execution-time weighted average AVF (Eq. 2):
+//
+//	W_AVF = sum(AVF_k * t_k) / sum(t_k)
+//
+// avfs and cycles must be parallel slices of per-workload values.
+func Weighted(avfs []float64, cycles []uint64) (float64, error) {
+	if len(avfs) != len(cycles) || len(avfs) == 0 {
+		return 0, fmt.Errorf("avf: mismatched or empty inputs (%d vs %d)", len(avfs), len(cycles))
+	}
+	var num, den float64
+	for i, a := range avfs {
+		num += a * float64(cycles[i])
+		den += float64(cycles[i])
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("avf: zero total execution time")
+	}
+	return num / den, nil
+}
+
+// NodeAVF combines per-cardinality AVFs with a node's upset rates (Eq. 3):
+//
+//	Node_AVF = sum_i AVF_i * f(i)
+func NodeAVF(single, double, triple float64, node tech.Node) float64 {
+	return single*node.Single + double*node.Double + triple*node.Triple
+}
+
+// ComponentAVF holds the weighted AVF of one component at each cardinality.
+type ComponentAVF struct {
+	Component string
+	ByFaults  [4]float64 // index 1..3 used
+}
+
+// Increase returns the multiplicative AVF increase of k-bit over single-bit
+// faults (the paper's Table IV columns).
+func (c ComponentAVF) Increase(k int) float64 {
+	if c.ByFaults[1] == 0 {
+		return 0
+	}
+	return c.ByFaults[k] / c.ByFaults[1]
+}
+
+// WeightedFromResults computes the weighted AVF per component and
+// cardinality from a full campaign grid, weighting by each workload's
+// golden execution time.
+func WeightedFromResults(rs *core.ResultSet, components []string, workloadNames []string) ([]ComponentAVF, error) {
+	out := make([]ComponentAVF, 0, len(components))
+	for _, comp := range components {
+		ca := ComponentAVF{Component: comp}
+		for k := 1; k <= 3; k++ {
+			var avfs []float64
+			var cycles []uint64
+			for _, wn := range workloadNames {
+				r, err := rs.Get(comp, wn, k)
+				if err != nil {
+					return nil, err
+				}
+				w, err := workloads.ByName(wn)
+				if err != nil {
+					return nil, err
+				}
+				g, err := w.Reference()
+				if err != nil {
+					return nil, err
+				}
+				avfs = append(avfs, r.AVF())
+				cycles = append(cycles, g.Cycles)
+			}
+			wavf, err := Weighted(avfs, cycles)
+			if err != nil {
+				return nil, err
+			}
+			ca.ByFaults[k] = wavf
+		}
+		out = append(out, ca)
+	}
+	return out, nil
+}
+
+// NodeTable returns, for one component, the aggregate multi-bit AVF at
+// every measured technology node (the bars of Fig. 7), alongside the
+// single-bit-only AVF that a conventional assessment would report.
+func NodeTable(ca ComponentAVF) []NodeAVFEntry {
+	return NodeTableFor(ca, tech.Nodes)
+}
+
+// NodeTableFor is NodeTable over an explicit node list (e.g. including the
+// projected post-22nm nodes of tech.AllNodes).
+func NodeTableFor(ca ComponentAVF, nodes []tech.Node) []NodeAVFEntry {
+	entries := make([]NodeAVFEntry, 0, len(nodes))
+	for _, n := range nodes {
+		entries = append(entries, NodeAVFEntry{
+			Node:       n,
+			Aggregate:  NodeAVF(ca.ByFaults[1], ca.ByFaults[2], ca.ByFaults[3], n),
+			SingleOnly: ca.ByFaults[1],
+		})
+	}
+	return entries
+}
+
+// NodeAVFEntry is one bar of Fig. 7: the single-bit AVF (green) and the
+// aggregate multi-bit AVF (green+red) of a component at one node.
+type NodeAVFEntry struct {
+	Node       tech.Node
+	Aggregate  float64
+	SingleOnly float64
+}
+
+// Gap returns the assessment gap fraction: how much of the aggregate AVF a
+// single-bit-only analysis misses.
+func (e NodeAVFEntry) Gap() float64 {
+	if e.Aggregate == 0 {
+		return 0
+	}
+	return 1 - e.SingleOnly/e.Aggregate
+}

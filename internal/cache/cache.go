@@ -1,0 +1,320 @@
+// Package cache implements set-associative write-back caches with
+// bit-accurate, fault-injectable storage.
+//
+// Every line carries its real state: tag bits, a valid bit, a dirty bit and
+// the data bytes. The cache is the only holder of that state — there is no
+// shadow "functional" memory — so a flipped bit genuinely changes what the
+// simulated program reads, exactly as in the paper's gem5/GeFIN setup.
+//
+// For fault injection the cache exposes a two-dimensional bit geometry
+// matching a physical SRAM array: one row per line (rows ordered set-major,
+// ways adjacent, so a 3x3 spatial cluster can straddle neighbouring lines),
+// and columns laid out as
+//
+//	col 0:            valid bit
+//	col 1:            dirty bit
+//	cols 2..2+T-1:    tag bits (T = tag width for the configured geometry)
+//	cols 2+T..:       data bits, byte 0 bit 0 first
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mbusim/internal/mem"
+)
+
+// Level is a lower memory level the cache fills from and writes back to:
+// either another Cache or the physical RAM.
+type Level interface {
+	// ReadLine fills dst with the line at pa and returns the latency.
+	ReadLine(pa uint32, dst []byte) int
+	// WriteLine writes the line at pa and returns the latency.
+	WriteLine(pa uint32, src []byte) int
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	Name     string
+	Size     int // total bytes
+	Ways     int
+	LineSize int // bytes
+	Latency  int // hit latency in cycles
+	PABits   int // physical address width, determines stored tag width
+}
+
+type line struct {
+	tag     uint32
+	valid   bool
+	dirty   bool
+	lastUse uint64
+	data    []byte
+}
+
+// Cache is a single cache level. It is not safe for concurrent use; each
+// simulated machine owns its own hierarchy.
+type Cache struct {
+	cfg      Config
+	sets     int
+	setShift uint // log2(LineSize)
+	setMask  uint32
+	tagBits  int
+	tagMask  uint32
+	lines    []line // sets*ways, set-major
+	next     Level
+	useClock uint64
+
+	// Statistics.
+	Hits, Misses, Writebacks uint64
+}
+
+// New builds a cache over the given lower level. It panics on an invalid
+// geometry (non power-of-two sizes), which is a programming error.
+func New(cfg Config, next Level) *Cache {
+	if cfg.LineSize <= 0 || cfg.Ways <= 0 || cfg.Size <= 0 {
+		panic("cache: invalid config")
+	}
+	numLines := cfg.Size / cfg.LineSize
+	sets := numLines / cfg.Ways
+	if numLines*cfg.LineSize != cfg.Size || sets*cfg.Ways != numLines ||
+		sets&(sets-1) != 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic("cache: geometry must be power of two")
+	}
+	if cfg.PABits <= 0 {
+		cfg.PABits = 25 // 32 MB default physical space
+	}
+	offBits := bits.TrailingZeros(uint(cfg.LineSize))
+	setBits := bits.TrailingZeros(uint(sets))
+	tagBits := cfg.PABits - offBits - setBits
+	if tagBits < 1 {
+		tagBits = 1
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: uint(offBits),
+		setMask:  uint32(sets - 1),
+		tagBits:  tagBits,
+		tagMask:  uint32(1)<<tagBits - 1,
+		lines:    make([]line, numLines),
+		next:     next,
+	}
+	data := make([]byte, numLines*cfg.LineSize)
+	for i := range c.lines {
+		c.lines[i].data = data[i*cfg.LineSize : (i+1)*cfg.LineSize : (i+1)*cfg.LineSize]
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(pa uint32) uint32 { return pa >> c.setShift & c.setMask }
+func (c *Cache) tag(pa uint32) uint32 {
+	return pa >> (c.setShift + uint(bits.TrailingZeros(uint(c.sets)))) & c.tagMask
+}
+
+// addrOf reconstructs the base physical address of a line from its set and
+// stored tag. A corrupted tag reconstructs a different — possibly unmapped —
+// address, which is how tag faults turn into wrong-data hits, lost updates
+// or assertion failures on writeback.
+func (c *Cache) addrOf(set, tag uint32) uint32 {
+	setBits := uint(bits.TrailingZeros(uint(c.sets)))
+	return tag<<(c.setShift+setBits) | set<<c.setShift
+}
+
+// lookup returns the way index holding pa, or -1.
+func (c *Cache) lookup(set, tag uint32) int {
+	base := int(set) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU way in the set, preferring invalid lines.
+func (c *Cache) victim(set uint32) int {
+	base := int(set) * c.cfg.Ways
+	best, bestUse := 0, ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			return w
+		}
+		if ln.lastUse < bestUse {
+			best, bestUse = w, ln.lastUse
+		}
+	}
+	return best
+}
+
+// fill brings the line containing pa into the cache and returns (way,
+// latency). Dirty victims are written back to the lower level first.
+func (c *Cache) fill(set, tag uint32, pa uint32) (int, int) {
+	w := c.victim(set)
+	ln := &c.lines[int(set)*c.cfg.Ways+w]
+	lat := 0
+	if ln.valid && ln.dirty {
+		lat += c.next.WriteLine(c.addrOf(set, ln.tag), ln.data)
+		c.Writebacks++
+	}
+	lineBase := pa &^ uint32(c.cfg.LineSize-1)
+	lat += c.next.ReadLine(lineBase, ln.data)
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = false
+	return w, lat
+}
+
+func (c *Cache) touch(set uint32, way int) *line {
+	c.useClock++
+	ln := &c.lines[int(set)*c.cfg.Ways+way]
+	ln.lastUse = c.useClock
+	return ln
+}
+
+// Read copies len(dst) bytes at pa into dst, filling on miss, and returns
+// the total latency in cycles. The access must not cross a line boundary.
+func (c *Cache) Read(pa uint32, dst []byte) int {
+	set, tag := c.set(pa), c.tag(pa)
+	off := int(pa) & (c.cfg.LineSize - 1)
+	if off+len(dst) > c.cfg.LineSize {
+		// Inline the assert so the hot path never boxes arguments.
+		mem.Assertf(false, "%s: access %#x+%d crosses line boundary", c.cfg.Name, pa, len(dst))
+	}
+	lat := c.cfg.Latency
+	w := c.lookup(set, tag)
+	if w < 0 {
+		c.Misses++
+		var fillLat int
+		w, fillLat = c.fill(set, tag, pa)
+		lat += fillLat
+	} else {
+		c.Hits++
+	}
+	ln := c.touch(set, w)
+	copy(dst, ln.data[off:])
+	return lat
+}
+
+// Write stores src at pa (write-allocate, write-back) and returns the
+// latency in cycles.
+func (c *Cache) Write(pa uint32, src []byte) int {
+	set, tag := c.set(pa), c.tag(pa)
+	off := int(pa) & (c.cfg.LineSize - 1)
+	if off+len(src) > c.cfg.LineSize {
+		mem.Assertf(false, "%s: access %#x+%d crosses line boundary", c.cfg.Name, pa, len(src))
+	}
+	lat := c.cfg.Latency
+	w := c.lookup(set, tag)
+	if w < 0 {
+		c.Misses++
+		var fillLat int
+		w, fillLat = c.fill(set, tag, pa)
+		lat += fillLat
+	} else {
+		c.Hits++
+	}
+	ln := c.touch(set, w)
+	copy(ln.data[off:], src)
+	ln.dirty = true
+	return lat
+}
+
+// ReadLine implements Level so a Cache can serve as the lower level of
+// another cache (L1 -> L2).
+func (c *Cache) ReadLine(pa uint32, dst []byte) int { return c.Read(pa, dst) }
+
+// WriteLine implements Level.
+func (c *Cache) WriteLine(pa uint32, src []byte) int { return c.Write(pa, src) }
+
+// ReadWord reads an aligned 32-bit word through the cache.
+func (c *Cache) ReadWord(pa uint32) (uint32, int) {
+	var b [4]byte
+	lat := c.Read(pa, b[:])
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, lat
+}
+
+// WriteWord writes an aligned 32-bit word through the cache.
+func (c *Cache) WriteWord(pa uint32, v uint32) int {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return c.Write(pa, b[:])
+}
+
+// FlushAll writes back every dirty line (used by tests to inspect RAM).
+func (c *Cache) FlushAll() {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && ln.dirty {
+			set := uint32(i / c.cfg.Ways)
+			c.next.WriteLine(c.addrOf(set, ln.tag), ln.data)
+			ln.dirty = false
+		}
+	}
+}
+
+// --- Fault-injection geometry (core.Target implementation) ---
+
+// Name returns the component name used by the fault injector.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Rows returns the number of SRAM rows (one per line).
+func (c *Cache) Rows() int { return len(c.lines) }
+
+// Cols returns the number of bit columns per row: valid + dirty + tag bits
+// + data bits.
+func (c *Cache) Cols() int { return 2 + c.tagBits + c.cfg.LineSize*8 }
+
+// StateBits returns the number of metadata columns before the data bits.
+func (c *Cache) StateBits() int { return 2 + c.tagBits }
+
+// FlipBit flips one stored bit. Out-of-range coordinates are a programming
+// error in the injector and panic.
+func (c *Cache) FlipBit(row, col int) {
+	if row < 0 || row >= len(c.lines) || col < 0 || col >= c.Cols() {
+		panic(fmt.Sprintf("cache %s: FlipBit(%d,%d) out of range", c.cfg.Name, row, col))
+	}
+	ln := &c.lines[row]
+	switch {
+	case col == 0:
+		ln.valid = !ln.valid
+	case col == 1:
+		ln.dirty = !ln.dirty
+	case col < 2+c.tagBits:
+		ln.tag ^= 1 << (col - 2)
+	default:
+		bit := col - 2 - c.tagBits
+		ln.data[bit/8] ^= 1 << (bit % 8)
+	}
+}
+
+// Occupancy returns the fraction of valid lines (diagnostics and tests).
+func (c *Cache) Occupancy() float64 {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.lines))
+}
+
+// DirtyFraction returns the fraction of lines that are valid and dirty.
+func (c *Cache) DirtyFraction() float64 {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.lines))
+}
+
+// LineState reports the state of a line by row index (test use).
+func (c *Cache) LineState(row int) (tag uint32, valid, dirty bool, data []byte) {
+	ln := &c.lines[row]
+	return ln.tag, ln.valid, ln.dirty, ln.data
+}

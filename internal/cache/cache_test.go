@@ -1,0 +1,259 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"mbusim/internal/mem"
+)
+
+func newTestCache(size, ways int) (*Cache, *mem.RAM) {
+	ram := mem.NewRAM(1 << 20)
+	c := New(Config{Name: "T", Size: size, Ways: ways, LineSize: 64, Latency: 2, PABits: 20}, ram)
+	return c, ram
+}
+
+func TestReadWriteThrough(t *testing.T) {
+	c, ram := newTestCache(4096, 4)
+	c.WriteWord(0x100, 0xDEADBEEF)
+	v, _ := c.ReadWord(0x100)
+	if v != 0xDEADBEEF {
+		t.Fatalf("read back %#x", v)
+	}
+	// Write-back: RAM must not see it until eviction or flush.
+	if ram.ReadWord(0x100) == 0xDEADBEEF {
+		t.Fatal("write-through behaviour, want write-back")
+	}
+	c.FlushAll()
+	if ram.ReadWord(0x100) != 0xDEADBEEF {
+		t.Fatal("flush did not write back")
+	}
+}
+
+func TestMissLatencyHigherThanHit(t *testing.T) {
+	c, _ := newTestCache(4096, 4)
+	var b [4]byte
+	missLat := c.Read(0x2000, b[:])
+	hitLat := c.Read(0x2000, b[:])
+	if missLat <= hitLat {
+		t.Fatalf("miss lat %d <= hit lat %d", missLat, hitLat)
+	}
+	if hitLat != 2 {
+		t.Fatalf("hit lat %d, want 2", hitLat)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	c, ram := newTestCache(1024, 2) // 8 sets, 2 ways
+	// Three lines mapping to the same set (stride = sets*lineSize = 512).
+	c.WriteWord(0x0000, 1)
+	c.WriteWord(0x0200, 2)
+	c.WriteWord(0x0400, 3) // evicts the LRU dirty line 0x0000
+	if ram.ReadWord(0x0000) != 1 {
+		t.Fatal("evicted dirty line not written back")
+	}
+	v, _ := c.ReadWord(0x0000) // refill
+	if v != 1 {
+		t.Fatalf("refill got %d", v)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c, _ := newTestCache(1024, 2)
+	var b [4]byte
+	c.Read(0x0000, b[:]) // way A
+	c.Read(0x0200, b[:]) // way B
+	c.Read(0x0000, b[:]) // touch A: B is now LRU
+	c.Read(0x0400, b[:]) // evicts B
+	c.Misses = 0
+	c.Read(0x0000, b[:])
+	if c.Misses != 0 {
+		t.Fatal("recently used line was evicted")
+	}
+	c.Read(0x0200, b[:])
+	if c.Misses != 1 {
+		t.Fatal("LRU line was not evicted")
+	}
+}
+
+func TestTwoLevelHierarchy(t *testing.T) {
+	ram := mem.NewRAM(1 << 20)
+	l2 := New(Config{Name: "L2", Size: 16384, Ways: 8, LineSize: 64, Latency: 8, PABits: 20}, ram)
+	l1 := New(Config{Name: "L1", Size: 2048, Ways: 2, LineSize: 64, Latency: 2, PABits: 20}, l2)
+	l1.WriteWord(0x3000, 42)
+	// Force eviction from L1 by filling the set.
+	for i := uint32(1); i <= 2; i++ {
+		l1.WriteWord(0x3000+i*1024, uint32(i))
+	}
+	// The value must now be in L2 (dirty), not RAM.
+	if ram.ReadWord(0x3000) == 42 {
+		t.Fatal("L1 eviction skipped L2")
+	}
+	v, _ := l1.ReadWord(0x3000)
+	if v != 42 {
+		t.Fatalf("reload through L2 got %d", v)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c, _ := newTestCache(8192, 4) // 128 lines
+	if c.Rows() != 128 {
+		t.Fatalf("rows = %d", c.Rows())
+	}
+	// 20 PA bits, 64B line (6), 32 sets (5) -> 9 tag bits; +2 state.
+	if c.StateBits() != 11 {
+		t.Fatalf("state bits = %d", c.StateBits())
+	}
+	if c.Cols() != 11+64*8 {
+		t.Fatalf("cols = %d", c.Cols())
+	}
+}
+
+func TestFlipDataBitChangesRead(t *testing.T) {
+	c, _ := newTestCache(4096, 4)
+	c.WriteWord(0x0, 0)
+	// Find the row holding PA 0 by flipping and reading.
+	tagBits := c.StateBits()
+	for row := 0; row < c.Rows(); row++ {
+		_, valid, _, _ := c.LineState(row)
+		if valid {
+			c.FlipBit(row, tagBits) // first data bit = bit 0 of byte 0
+			v, _ := c.ReadWord(0x0)
+			if v != 1 {
+				t.Fatalf("after flip read %#x, want 1", v)
+			}
+			return
+		}
+	}
+	t.Fatal("no valid line found")
+}
+
+func TestFlipValidBitInvalidatesLine(t *testing.T) {
+	c, ram := newTestCache(4096, 4)
+	ram.WriteWord(0x40, 7)
+	c.ReadWord(0x40)
+	row := -1
+	for r := 0; r < c.Rows(); r++ {
+		if _, valid, _, _ := c.LineState(r); valid {
+			row = r
+			break
+		}
+	}
+	c.FlipBit(row, 0) // valid off
+	c.Misses = 0
+	v, _ := c.ReadWord(0x40)
+	if v != 7 || c.Misses != 1 {
+		t.Fatalf("invalidated line should refill: v=%d misses=%d", v, c.Misses)
+	}
+}
+
+func TestFlipDirtyBitLosesUpdate(t *testing.T) {
+	c, ram := newTestCache(1024, 2)
+	c.WriteWord(0x0, 99)
+	row := -1
+	for r := 0; r < c.Rows(); r++ {
+		if _, valid, dirty, _ := c.LineState(r); valid && dirty {
+			row = r
+			break
+		}
+	}
+	c.FlipBit(row, 1) // dirty off: the write is silently lost
+	c.FlushAll()
+	if ram.ReadWord(0x0) == 99 {
+		t.Fatal("cleared dirty bit still wrote back")
+	}
+}
+
+func TestFlipTagBitAliases(t *testing.T) {
+	c, _ := newTestCache(1024, 2) // 8 sets: tag stride 512
+	c.WriteWord(0x0, 5)
+	row := -1
+	for r := 0; r < c.Rows(); r++ {
+		if _, valid, _, _ := c.LineState(r); valid {
+			row = r
+			break
+		}
+	}
+	c.FlipBit(row, 2) // lowest tag bit: line now claims PA 0x200
+	c.Misses = 0
+	v, _ := c.ReadWord(0x200) // false hit with stale data
+	if c.Misses != 0 {
+		t.Fatal("expected a false hit on the aliased tag")
+	}
+	if v != 5 {
+		t.Fatalf("aliased read got %d", v)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c, _ := newTestCache(4096, 4)
+	if c.Occupancy() != 0 {
+		t.Fatal("new cache not empty")
+	}
+	var b [4]byte
+	for i := uint32(0); i < 16; i++ {
+		c.Read(i*64, b[:])
+	}
+	if got := c.Occupancy(); got != 16.0/64.0 {
+		t.Fatalf("occupancy = %f", got)
+	}
+}
+
+// TestCacheCoherentWithRAMModel is a property test: a random sequence of
+// reads and writes through the cache behaves exactly like a flat memory.
+func TestCacheCoherentWithRAMModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		ram := mem.NewRAM(1 << 16)
+		c := New(Config{Name: "T", Size: 1024, Ways: 2, LineSize: 32, Latency: 1, PABits: 16}, ram)
+		model := make([]byte, 1<<16)
+		for op := 0; op < 500; op++ {
+			pa := rng.Uint32() % (1 << 16)
+			pa &^= 3
+			if pa > 1<<16-4 {
+				pa = 1<<16 - 4
+			}
+			if rng.IntN(2) == 0 {
+				v := rng.Uint32()
+				c.WriteWord(pa, v)
+				model[pa] = byte(v)
+				model[pa+1] = byte(v >> 8)
+				model[pa+2] = byte(v >> 16)
+				model[pa+3] = byte(v >> 24)
+			} else {
+				v, _ := c.ReadWord(pa)
+				want := uint32(model[pa]) | uint32(model[pa+1])<<8 |
+					uint32(model[pa+2])<<16 | uint32(model[pa+3])<<24
+				if v != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipBitOutOfRangePanics(t *testing.T) {
+	c, _ := newTestCache(1024, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.FlipBit(c.Rows(), 0)
+}
+
+func TestCrossLineAccessAsserts(t *testing.T) {
+	c, _ := newTestCache(1024, 2)
+	defer func() {
+		if _, ok := recover().(mem.AssertError); !ok {
+			t.Fatal("expected AssertError")
+		}
+	}()
+	buf := make([]byte, 8)
+	c.Read(60, buf) // crosses the 64B boundary
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"mbusim/internal/sim"
+	"mbusim/internal/stats"
+	"mbusim/internal/workloads"
+)
+
+// Spec describes one fault-injection campaign cell: N injections of
+// k-bit spatial faults into one component while one workload runs.
+type Spec struct {
+	Workload  string
+	Component string
+	Faults    int // cardinality: 1, 2 or 3 bits per upset
+	Samples   int
+	Seed      uint64
+	Cluster   ClusterSpec // zero value means DefaultCluster
+
+	// TimeoutFactor multiplies the golden cycle count to form the Timeout
+	// limit; the paper uses 4x. Zero means 4.
+	TimeoutFactor float64
+
+	// ForceSpanning restricts masks to patterns that span the full cluster
+	// in some dimension (ablation of the paper's sub-cluster inclusion).
+	ForceSpanning bool
+
+	// Protect evaluates an error-protection scheme on the target structure
+	// (extension; see Protection). The zero value is no protection, the
+	// paper's configuration.
+	Protect Protection
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Cluster == (ClusterSpec{}) {
+		s.Cluster = DefaultCluster
+	}
+	if s.TimeoutFactor == 0 {
+		s.TimeoutFactor = 4
+	}
+	return s
+}
+
+// Result aggregates one campaign cell.
+type Result struct {
+	Spec         Spec
+	Counts       [NumEffects]int
+	GoldenCycles uint64
+}
+
+// Samples returns the number of classified runs.
+func (r *Result) Samples() int {
+	n := 0
+	for _, c := range r.Counts {
+		n += c
+	}
+	return n
+}
+
+// AVF is the architectural vulnerability factor of the cell: the fraction
+// of injections that were not masked.
+func (r *Result) AVF() float64 {
+	n := r.Samples()
+	if n == 0 {
+		return 0
+	}
+	return 1 - float64(r.Counts[EffectMasked])/float64(n)
+}
+
+// Fraction returns the fraction of runs in one effect class.
+func (r *Result) Fraction(e Effect) float64 {
+	n := r.Samples()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Counts[e]) / float64(n)
+}
+
+// Margin returns the worst-case (p=0.5) error margin of the cell's AVF at
+// the given confidence, per the Leveugle formulation.
+func (r *Result) Margin(confidence float64) float64 {
+	return stats.Margin(r.Samples(), r.population(), 0.5, confidence)
+}
+
+// AdjustedMargin re-adjusts the margin using the measured AVF, as the paper
+// does after each campaign.
+func (r *Result) AdjustedMargin(confidence float64) float64 {
+	return stats.Readjust(r.Samples(), r.population(), r.AVF(), r.Margin(confidence), confidence)
+}
+
+func (r *Result) population() float64 {
+	// Fault population = bits x cycles of exposure.
+	return float64(r.GoldenCycles) * 1e6
+}
+
+// Progress receives completed-run counts during a campaign (optional).
+type Progress func(done, total int)
+
+// Run executes a campaign cell: Samples independent machine runs, each with
+// a fresh mask at a fresh random injection cycle, classified against the
+// workload's golden run.
+func Run(spec Spec, progress Progress) (*Result, error) {
+	spec = spec.withDefaults()
+	w, err := workloads.ByName(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := w.Reference()
+	if err != nil {
+		return nil, err
+	}
+	// Validate the component and geometry once, on a probe machine.
+	probe, err := w.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := TargetFor(probe, spec.Component); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: spec, GoldenCycles: golden.Cycles}
+	limit := uint64(spec.TimeoutFactor * float64(golden.Cycles))
+
+	// Pre-draw per-run randomness deterministically so results do not
+	// depend on worker scheduling.
+	type job struct {
+		injectAt uint64
+		maskSeed uint64
+	}
+	seedRNG := rand.New(rand.NewPCG(spec.Seed, 0x9E3779B97F4A7C15))
+	jobs := make([]job, spec.Samples)
+	for i := range jobs {
+		jobs[i] = job{
+			injectAt: seedRNG.Uint64N(golden.Cycles),
+			maskSeed: seedRNG.Uint64(),
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > spec.Samples {
+		workers = spec.Samples
+	}
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		next   int
+		done   int
+		runErr error
+	)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if runErr != nil || next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				effect, err := runOne(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed)
+				mu.Lock()
+				if err != nil && runErr == nil {
+					runErr = err
+				}
+				if err == nil {
+					res.Counts[effect]++
+					done++
+					if progress != nil {
+						progress(done, len(jobs))
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// runOne performs a single fault-injection simulation.
+func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64) (Effect, error) {
+	m, err := w.NewMachine()
+	if err != nil {
+		return 0, err
+	}
+	target, err := TargetFor(m, spec.Component)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewPCG(maskSeed, 0xDEADBEEFCAFEF00D))
+	mask := GenerateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster)
+	if spec.ForceSpanning {
+		for tries := 0; !mask.Spanning(spec.Cluster) && tries < 1000; tries++ {
+			mask = GenerateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster)
+		}
+	}
+	if spec.Protect.Kind != ProtectNone {
+		fr := spec.Protect.Filter(mask)
+		switch {
+		case fr.Detected:
+			// Uncorrectable error signalled: machine-check abort
+			// (pessimistic: modeled at injection time, see protect.go).
+			return EffectCrash, nil
+		case len(fr.Surviving.Cells) == 0:
+			// Everything corrected: by construction the run is the golden
+			// run; skip the simulation.
+			return EffectMasked, nil
+		}
+		mask = fr.Surviving
+	}
+	out := m.Run(limit, injectAt, func(*sim.Machine) { mask.Apply(target) })
+	return Classify(out, golden), nil
+}
+
+// CellKey identifies one campaign cell inside a ResultSet.
+type CellKey struct {
+	Component string
+	Workload  string
+	Faults    int
+}
+
+// ResultSet collects the full campaign grid (components x workloads x
+// cardinalities) for the analysis and reporting layers.
+type ResultSet struct {
+	Cells map[CellKey]*Result
+}
+
+// NewResultSet returns an empty result set.
+func NewResultSet() *ResultSet {
+	return &ResultSet{Cells: make(map[CellKey]*Result)}
+}
+
+// Add stores a result under its cell key.
+func (rs *ResultSet) Add(r *Result) {
+	rs.Cells[CellKey{r.Spec.Component, r.Spec.Workload, r.Spec.Faults}] = r
+}
+
+// Get returns the result for a cell, or an error naming the missing cell.
+func (rs *ResultSet) Get(component, workload string, faults int) (*Result, error) {
+	r, ok := rs.Cells[CellKey{component, workload, faults}]
+	if !ok {
+		return nil, fmt.Errorf("core: no result for %s/%s/%d-bit", component, workload, faults)
+	}
+	return r, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+
+	"mbusim/internal/cpu"
+	"mbusim/internal/sim"
+	"mbusim/internal/workloads"
+)
+
+// Effect is the paper's five-way fault-effect classification.
+type Effect int
+
+const (
+	EffectMasked Effect = iota
+	EffectSDC
+	EffectCrash
+	EffectTimeout
+	EffectAssert
+	NumEffects
+)
+
+func (e Effect) String() string {
+	switch e {
+	case EffectMasked:
+		return "Masked"
+	case EffectSDC:
+		return "SDC"
+	case EffectCrash:
+		return "Crash"
+	case EffectTimeout:
+		return "Timeout"
+	case EffectAssert:
+		return "Assert"
+	}
+	return "Unknown"
+}
+
+// Effects lists the classes in presentation order.
+func Effects() []Effect {
+	return []Effect{EffectMasked, EffectSDC, EffectCrash, EffectTimeout, EffectAssert}
+}
+
+// Classify maps a run outcome to its effect class, following the paper's
+// definitions:
+//
+//   - Masked: the program ran to completion with output identical to the
+//     fault-free run.
+//   - SDC: completed, but the output differs and nothing abnormal was
+//     recorded.
+//   - Crash: the process was terminated abnormally (exception, kernel kill)
+//     or the kernel panicked (system crash).
+//   - Timeout: the run exceeded the cycle limit (livelock) or the commit
+//     watchdog fired (deadlock).
+//   - Assert: the simulator itself detected an impossible condition, e.g. a
+//     physical address outside the system map.
+func Classify(out sim.Outcome, golden *workloads.Golden) Effect {
+	switch {
+	case out.Assert:
+		return EffectAssert
+	case out.TimedOut:
+		return EffectTimeout
+	}
+	switch out.Stop {
+	case cpu.StopExit:
+		if out.ExitCode == golden.ExitCode && !out.Truncated &&
+			bytes.Equal(out.Stdout, golden.Stdout) {
+			return EffectMasked
+		}
+		return EffectSDC
+	case cpu.StopDeadlock:
+		return EffectTimeout
+	case cpu.StopUndef, cpu.StopSegv, cpu.StopAlign, cpu.StopKilled,
+		cpu.StopKernelPanic:
+		return EffectCrash
+	}
+	// A run that stopped for no reason is a simulator failure.
+	return EffectAssert
+}

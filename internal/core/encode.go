@@ -1,0 +1,55 @@
+package core
+
+import "encoding/json"
+
+// resultSetJSON is the serialised form of a ResultSet: a flat list of cell
+// results (map keys are structs, which JSON cannot encode directly).
+type resultSetJSON struct {
+	Results []*Result
+}
+
+// MarshalJSON encodes the result set as a flat result list.
+func (rs *ResultSet) MarshalJSON() ([]byte, error) {
+	enc := resultSetJSON{Results: make([]*Result, 0, len(rs.Cells))}
+	for _, k := range rs.sortedKeys() {
+		enc.Results = append(enc.Results, rs.Cells[k])
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes a flat result list back into the cell map.
+func (rs *ResultSet) UnmarshalJSON(data []byte) error {
+	var enc resultSetJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return err
+	}
+	rs.Cells = make(map[CellKey]*Result, len(enc.Results))
+	for _, r := range enc.Results {
+		rs.Add(r)
+	}
+	return nil
+}
+
+func (rs *ResultSet) sortedKeys() []CellKey {
+	keys := make([]CellKey, 0, len(rs.Cells))
+	for k := range rs.Cells {
+		keys = append(keys, k)
+	}
+	// Deterministic order: component, workload, faults.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessKey(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func lessKey(a, b CellKey) bool {
+	if a.Component != b.Component {
+		return a.Component < b.Component
+	}
+	if a.Workload != b.Workload {
+		return a.Workload < b.Workload
+	}
+	return a.Faults < b.Faults
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+type fakeTarget struct {
+	rows, cols int
+	flips      map[Cell]int
+}
+
+func newFakeTarget(rows, cols int) *fakeTarget {
+	return &fakeTarget{rows: rows, cols: cols, flips: make(map[Cell]int)}
+}
+
+func (f *fakeTarget) Name() string { return "fake" }
+func (f *fakeTarget) Rows() int    { return f.rows }
+func (f *fakeTarget) Cols() int    { return f.cols }
+func (f *fakeTarget) FlipBit(r, c int) {
+	if r < 0 || r >= f.rows || c < 0 || c >= f.cols {
+		panic("flip out of range")
+	}
+	f.flips[Cell{r, c}]++
+}
+
+func TestGenerateMaskProperties(t *testing.T) {
+	// Properties of the cluster generator: exactly k distinct cells, all
+	// inside one 3x3 window, all inside the geometry.
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw)%3 + 1
+		rng := rand.New(rand.NewPCG(seed, 1))
+		rows, cols := 8+rng.IntN(64), 8+rng.IntN(64)
+		m := GenerateMask(rng, rows, cols, k, DefaultCluster)
+		if len(m.Cells) != k {
+			return false
+		}
+		seen := map[Cell]bool{}
+		minR, maxR := rows, -1
+		minC, maxC := cols, -1
+		for _, c := range m.Cells {
+			if c.Row < 0 || c.Row >= rows || c.Col < 0 || c.Col >= cols {
+				return false
+			}
+			if seen[c] {
+				return false // duplicate cell
+			}
+			seen[c] = true
+			if c.Row < minR {
+				minR = c.Row
+			}
+			if c.Row > maxR {
+				maxR = c.Row
+			}
+			if c.Col < minC {
+				minC = c.Col
+			}
+			if c.Col > maxC {
+				maxC = c.Col
+			}
+		}
+		return maxR-minR < 3 && maxC-minC < 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMaskCoversWholeGeometry(t *testing.T) {
+	// Over many draws, every row and column must be reachable.
+	rng := rand.New(rand.NewPCG(5, 6))
+	rows, cols := 16, 16
+	seenRow := make([]bool, rows)
+	seenCol := make([]bool, cols)
+	for i := 0; i < 5000; i++ {
+		m := GenerateMask(rng, rows, cols, 1, DefaultCluster)
+		seenRow[m.Cells[0].Row] = true
+		seenCol[m.Cells[0].Col] = true
+	}
+	for r, ok := range seenRow {
+		if !ok {
+			t.Fatalf("row %d never hit", r)
+		}
+	}
+	for c, ok := range seenCol {
+		if !ok {
+			t.Fatalf("col %d never hit", c)
+		}
+	}
+}
+
+func TestMaskApply(t *testing.T) {
+	ft := newFakeTarget(32, 32)
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := GenerateMask(rng, ft.Rows(), ft.Cols(), 3, DefaultCluster)
+	m.Apply(ft)
+	if len(ft.flips) != 3 {
+		t.Fatalf("%d cells flipped", len(ft.flips))
+	}
+	for c, n := range ft.flips {
+		if n != 1 {
+			t.Fatalf("cell %v flipped %d times", c, n)
+		}
+	}
+}
+
+func TestSubClustersAllowed(t *testing.T) {
+	// The paper's generator deliberately includes patterns that fit
+	// smaller clusters; with k=2 both spanning and non-spanning masks must
+	// occur.
+	rng := rand.New(rand.NewPCG(9, 9))
+	spanning, compact := 0, 0
+	for i := 0; i < 2000; i++ {
+		m := GenerateMask(rng, 64, 64, 2, DefaultCluster)
+		if m.Spanning(DefaultCluster) {
+			spanning++
+		} else {
+			compact++
+		}
+	}
+	if spanning == 0 || compact == 0 {
+		t.Fatalf("spanning=%d compact=%d: both kinds must occur", spanning, compact)
+	}
+}
+
+func TestGenerateMaskPanicsOnBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	cases := []func(){
+		func() { GenerateMask(rng, 2, 32, 1, DefaultCluster) },  // too few rows
+		func() { GenerateMask(rng, 32, 32, 0, DefaultCluster) }, // k = 0
+		func() { GenerateMask(rng, 32, 32, 10, DefaultCluster) },
+		func() { GenerateMask(rng, 32, 32, 1, ClusterSpec{}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpanningDetection(t *testing.T) {
+	m := Mask{Cells: []Cell{{0, 0}, {2, 1}}}
+	if !m.Spanning(DefaultCluster) {
+		t.Fatal("row-spanning mask not detected")
+	}
+	m = Mask{Cells: []Cell{{0, 0}, {1, 1}}}
+	if m.Spanning(DefaultCluster) {
+		t.Fatal("2x2 mask wrongly spanning")
+	}
+	if (Mask{}).Spanning(DefaultCluster) {
+		t.Fatal("empty mask cannot span")
+	}
+}

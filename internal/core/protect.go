@@ -1,0 +1,109 @@
+package core
+
+// Error-protection modeling: the paper's purpose is to guide protection
+// decisions ("informed multi-bit error protection can be implemented in a
+// CPU design", Sec. II), and its related work (refs [39], [46]) studies
+// bit-interleaving against spatial MBUs. This extension evaluates those
+// options on top of the measured fault model.
+//
+// A Protection describes a per-word code plus physical bit interleaving.
+// With interleave degree I, physically adjacent columns belong to I
+// different logical words (bit-slice interleaving), so a spatial cluster
+// that spans adjacent columns is spread over several words and a SECDED
+// code can correct what would otherwise be an uncorrectable multi-bit
+// error.
+//
+// Modeling note: detection is evaluated at injection time, which is
+// pessimistic for truly dead bits (a real DUE only fires when the word is
+// read). The comparison between protection options is unaffected, which is
+// what the ablation reports.
+
+// ProtectionKind selects the per-word code.
+type ProtectionKind int
+
+const (
+	// ProtectNone leaves the structure unprotected (the paper's setup:
+	// vulnerability is assessed before protection is chosen).
+	ProtectNone ProtectionKind = iota
+	// ProtectParity detects an odd number of flipped bits per word.
+	ProtectParity
+	// ProtectSECDED corrects single-bit and detects double-bit errors per
+	// word.
+	ProtectSECDED
+)
+
+func (k ProtectionKind) String() string {
+	switch k {
+	case ProtectNone:
+		return "none"
+	case ProtectParity:
+		return "parity"
+	case ProtectSECDED:
+		return "secded"
+	}
+	return "unknown"
+}
+
+// wordBits is the logical protection word size.
+const wordBits = 32
+
+// Protection is a protection configuration for one structure.
+type Protection struct {
+	Kind       ProtectionKind
+	Interleave int // physical interleaving degree; 0 or 1 means none
+}
+
+// logicalWord maps a physical cell to its logical word identity under the
+// interleaving: with degree I, physical column c carries bit c/I of the
+// word (row, c mod I, (c/I)/wordBits).
+func (p Protection) logicalWord(cell Cell) [3]int {
+	il := p.Interleave
+	if il < 1 {
+		il = 1
+	}
+	return [3]int{cell.Row, cell.Col % il, (cell.Col / il) / wordBits}
+}
+
+// FilterResult describes what the protection did to a fault mask.
+type FilterResult struct {
+	Surviving Mask // flips that escape correction and reach the array
+	Corrected int  // bits removed by SECDED single-bit correction
+	Detected  bool // at least one word signalled an uncorrectable error
+}
+
+// Filter applies the protection to a mask.
+func (p Protection) Filter(m Mask) FilterResult {
+	if p.Kind == ProtectNone {
+		return FilterResult{Surviving: m}
+	}
+	words := make(map[[3]int][]Cell)
+	for _, c := range m.Cells {
+		w := p.logicalWord(c)
+		words[w] = append(words[w], c)
+	}
+	var out FilterResult
+	for _, cells := range words {
+		switch p.Kind {
+		case ProtectParity:
+			if len(cells)%2 == 1 {
+				out.Detected = true
+			}
+			// Parity cannot correct: the flips stay (even counts pass
+			// silently, odd counts are flagged but the data is still bad).
+			out.Surviving.Cells = append(out.Surviving.Cells, cells...)
+		case ProtectSECDED:
+			switch len(cells) {
+			case 1:
+				out.Corrected++
+			case 2:
+				out.Detected = true
+				out.Surviving.Cells = append(out.Surviving.Cells, cells...)
+			default:
+				// Three or more flips in one word alias a correctable
+				// syndrome: silent corruption (possibly miscorrection).
+				out.Surviving.Cells = append(out.Surviving.Cells, cells...)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Package core implements the paper's primary contribution: the
+// GeFIN-style microarchitecture-level fault-injection framework extended
+// with a spatial multi-bit upset generator.
+//
+// Faults are bit flips in the real state arrays of the simulated machine
+// (caches, TLBs, physical register file). A fault mask is a set of cells
+// inside a small cluster (3x3 by default, following Ibe et al.) placed at a
+// random position in the component's two-dimensional bit geometry; the mask
+// is applied at a random cycle of a workload's execution and the run's
+// outcome is classified as Masked, SDC, Crash, Timeout or Assert against
+// the fault-free golden run.
+package core
+
+import (
+	"fmt"
+
+	"mbusim/internal/sim"
+)
+
+// Target is an injectable hardware structure exposing its SRAM bit
+// geometry. The cache, TLB and register-file types satisfy it.
+type Target interface {
+	Name() string
+	Rows() int
+	Cols() int
+	FlipBit(row, col int)
+}
+
+// Component names, matching the paper's six structures.
+const (
+	CompL1D  = "L1D"
+	CompL1I  = "L1I"
+	CompL2   = "L2"
+	CompRF   = "RegFile"
+	CompDTLB = "DTLB"
+	CompITLB = "ITLB"
+)
+
+// Components returns the six structures in the paper's presentation order.
+func Components() []string {
+	return []string{CompL1D, CompL1I, CompL2, CompRF, CompDTLB, CompITLB}
+}
+
+// TargetFor returns the named component of a machine.
+func TargetFor(m *sim.Machine, component string) (Target, error) {
+	switch component {
+	case CompL1D:
+		return m.L1D, nil
+	case CompL1I:
+		return m.L1I, nil
+	case CompL2:
+		return m.L2, nil
+	case CompRF:
+		return m.Core.RegFile(), nil
+	case CompDTLB:
+		return m.DTLB, nil
+	case CompITLB:
+		return m.ITLB, nil
+	}
+	return nil, fmt.Errorf("core: unknown component %q", component)
+}

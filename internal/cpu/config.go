@@ -1,0 +1,57 @@
+package cpu
+
+// Config holds the microarchitectural parameters of the core. The defaults
+// follow the paper's Table I (an ARM Cortex-A9-like out-of-order core).
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle
+	IssueWidth  int // instructions issued to execution per cycle
+	WBWidth     int // completions written back per cycle
+	CommitWidth int // instructions committed per cycle
+
+	ROBSize    int // reorder buffer entries
+	IQSize     int // instruction queue entries
+	PhysRegs   int // physical register file size
+	LQSize     int // load queue entries
+	SQSize     int // store queue entries
+	FetchQSize int // fetch buffer entries
+
+	// Execution latencies in cycles.
+	ALULat int
+	MulLat int
+	DivLat int
+	AGULat int // address generation before the cache access
+
+	// DeadlockLimit is the number of cycles without a commit after which
+	// the core reports a deadlock (the watchdog behind the paper's Timeout
+	// class for stuck pipelines).
+	DeadlockLimit uint64
+
+	// InOrder restricts issue to program order (the paper's conclusion
+	// notes the methodology applies to in-order CPUs as well; this models
+	// one without a separate core).
+	InOrder bool
+}
+
+// DefaultConfig returns the Cortex-A9-like configuration of Table I.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  2,
+		IssueWidth:  4,
+		WBWidth:     4,
+		CommitWidth: 4,
+
+		ROBSize:    40,
+		IQSize:     32,
+		PhysRegs:   56,
+		LQSize:     8,
+		SQSize:     8,
+		FetchQSize: 8,
+
+		ALULat: 1,
+		MulLat: 3,
+		DivLat: 12,
+		AGULat: 1,
+
+		DeadlockLimit: 25000,
+	}
+}

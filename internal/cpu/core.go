@@ -1,0 +1,1115 @@
+// Package cpu implements the out-of-order core of the simulated machine: a
+// cycle-stepped pipeline with register renaming onto a physical register
+// file, a reorder buffer, an instruction queue, load/store queues with
+// store-to-load forwarding, and branch prediction. The configuration
+// defaults follow the paper's Table I (ARM Cortex-A9-like).
+//
+// The core executes architecturally: instruction bits come out of the L1I
+// cache through the ITLB, data comes out of the L1D cache through the DTLB,
+// and register values live in the injectable physical register file, so a
+// fault injected anywhere in that state genuinely changes program behaviour.
+package cpu
+
+import (
+	"mbusim/internal/cache"
+	"mbusim/internal/isa"
+	"mbusim/internal/tlb"
+	"mbusim/internal/vm"
+)
+
+// StopKind says why the core stopped.
+type StopKind uint8
+
+const (
+	StopNone        StopKind = iota
+	StopExit                 // program exited via syscall
+	StopUndef                // undefined instruction committed
+	StopSegv                 // memory fault (unmapped or protected page)
+	StopAlign                // misaligned access committed
+	StopKernelPanic          // corrupted page tables reached the walker
+	StopKilled               // kernel killed the process (bad syscall, fault in handler)
+	StopDeadlock             // watchdog: no commit progress
+)
+
+func (k StopKind) String() string {
+	switch k {
+	case StopNone:
+		return "running"
+	case StopExit:
+		return "exit"
+	case StopUndef:
+		return "undefined-instruction"
+	case StopSegv:
+		return "segfault"
+	case StopAlign:
+		return "alignment-fault"
+	case StopKernelPanic:
+		return "kernel-panic"
+	case StopKilled:
+		return "killed"
+	case StopDeadlock:
+		return "deadlock"
+	}
+	return "unknown"
+}
+
+// SysAction tells the core how to continue after a system call.
+type SysAction uint8
+
+const (
+	SysContinue SysAction = iota
+	SysExit               // stop with StopExit
+	SysKill               // stop with StopKilled
+	SysPanic              // stop with StopKernelPanic (fault inside the kernel)
+)
+
+// OS handles system calls at commit time. Implementations read arguments
+// with Core.ArchReg and access memory through their own cache handle.
+type OS interface {
+	Syscall(c *Core) (r0 uint32, action SysAction)
+}
+
+type excKind uint8
+
+const (
+	excNone excKind = iota
+	excUndef
+	excSegv
+	excAlign
+	excKPanic
+)
+
+type robEntry struct {
+	seq   uint64
+	pc    uint32
+	inst  isa.Inst
+	valid bool
+	done  bool
+
+	exc     excKind
+	excAddr uint32
+
+	archDest         uint8 // architectural dest (0..16) or isa.NoReg
+	newPhys, oldPhys uint8
+
+	predNext uint32
+	isBranch bool
+
+	isLoad, isStore bool
+	memSize         uint8
+	addrVA, addrPA  uint32
+	addrKnown       bool
+	storeVal        uint32
+
+	isSys bool
+}
+
+type fetchedInst struct {
+	pc       uint32
+	inst     isa.Inst
+	exc      excKind
+	excAddr  uint32
+	predNext uint32
+}
+
+type iqEntry struct {
+	slot int
+	seq  uint64
+	srcs [3]uint8 // physical registers, NoPhys if unused
+}
+
+type wbEntry struct {
+	slot      int
+	seq       uint64
+	destPhys  uint8
+	val       uint32
+	doneCycle uint64
+
+	isBranch   bool
+	isCond     bool
+	isInd      bool
+	brPC       uint32
+	taken      bool
+	actualNext uint32
+}
+
+type pendingLoad struct {
+	slot int
+	seq  uint64
+}
+
+// Core is the out-of-order CPU core.
+type Core struct {
+	cfg Config
+
+	icache, dcache *cache.Cache
+	itlb, dtlb     *tlb.TLB
+	walker         *vm.Walker
+	os             OS
+
+	rf        *RegFile
+	renameMap [isa.NumArch]uint8 // speculative map, updated at rename
+	archMap   [isa.NumArch]uint8 // committed map, updated at commit
+	freeList  []uint8
+
+	rob      []robEntry
+	robHead  int
+	robCount int
+	seqNext  uint64
+
+	fetchPC      uint32
+	fetchQ       []fetchedInst
+	fqHead       int // consumed prefix of fetchQ (reset when drained)
+	fetchReadyAt uint64
+	fetchFaulted bool
+
+	iq       []iqEntry
+	inflight []wbEntry
+	pending  []pendingLoad
+	sq       []int // ROB slots of in-flight stores, program order
+	sqHead   int   // consumed prefix of sq
+	lqCount  int
+	sqCount  int
+
+	pred *predictor
+
+	cycle      uint64
+	lastCommit uint64
+
+	stopped  StopKind
+	stopPC   uint32
+	stopAddr uint32
+
+	// Stats.
+	Committed   uint64
+	Mispredicts uint64
+	Squashes    uint64
+
+	// TraceCommit, when non-nil, is invoked for every committed
+	// instruction (debugging aid; see cmd/mcc -trace).
+	TraceCommit func(pc uint32, raw uint32)
+}
+
+// New wires a core to its memory system and operating system handler.
+func New(cfg Config, ic, dc *cache.Cache, it, dt *tlb.TLB, w *vm.Walker, os OS) *Core {
+	c := &Core{
+		cfg:    cfg,
+		icache: ic, dcache: dc,
+		itlb: it, dtlb: dt,
+		walker: w,
+		os:     os,
+		rf:     NewRegFile(cfg.PhysRegs),
+		rob:    make([]robEntry, cfg.ROBSize),
+		pred:   newPredictor(),
+	}
+	for i := 0; i < isa.NumArch; i++ {
+		c.renameMap[i] = uint8(i)
+		c.archMap[i] = uint8(i)
+	}
+	for p := isa.NumArch; p < cfg.PhysRegs; p++ {
+		c.freeList = append(c.freeList, uint8(p))
+	}
+	return c
+}
+
+// RegFile exposes the physical register file for fault injection.
+func (c *Core) RegFile() *RegFile { return c.rf }
+
+// Cycles returns the number of cycles simulated so far.
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// Stopped returns the stop reason, StopNone while running.
+func (c *Core) Stopped() StopKind { return c.stopped }
+
+// StopPC returns the PC of the instruction that stopped the core.
+func (c *Core) StopPC() uint32 { return c.stopPC }
+
+// StopAddr returns the faulting address for memory faults.
+func (c *Core) StopAddr() uint32 { return c.stopAddr }
+
+// SetPC sets the fetch PC (loader use, before the first cycle).
+func (c *Core) SetPC(pc uint32) { c.fetchPC = pc }
+
+// ArchReg returns the committed architectural value of register i.
+func (c *Core) ArchReg(i int) uint32 { return c.rf.Val(c.archMap[i]) }
+
+// SetArchReg sets the committed architectural value of register i (loader
+// use, before the first cycle).
+func (c *Core) SetArchReg(i int, v uint32) { c.rf.Write(c.archMap[i], v) }
+
+func (c *Core) stop(kind StopKind, pc, addr uint32) {
+	c.stopped = kind
+	c.stopPC = pc
+	c.stopAddr = addr
+}
+
+// Cycle advances the machine by one clock cycle. Pipeline stages run in
+// reverse order so results move between stages with one-cycle latency.
+func (c *Core) Cycle() {
+	if c.stopped != StopNone {
+		return
+	}
+	c.cycle++
+	c.commit()
+	if c.stopped != StopNone {
+		return
+	}
+	c.writeback()
+	c.executeLoads()
+	c.issue()
+	c.rename()
+	c.fetch()
+
+	if c.cycle-c.lastCommit > c.cfg.DeadlockLimit {
+		c.stop(StopDeadlock, c.fetchPC, 0)
+	}
+}
+
+func (c *Core) robPos(slot int) int {
+	return (slot - c.robHead + c.cfg.ROBSize) % c.cfg.ROBSize
+}
+
+func (c *Core) fqLen() int { return len(c.fetchQ) - c.fqHead }
+
+// --- Fetch ---
+
+func (c *Core) fetch() {
+	if c.fetchFaulted || c.cycle < c.fetchReadyAt {
+		return
+	}
+	if c.fqHead > 0 {
+		// Compact the consumed prefix so the queue reuses its backing
+		// array instead of growing without bound.
+		n := copy(c.fetchQ, c.fetchQ[c.fqHead:])
+		c.fetchQ = c.fetchQ[:n]
+		c.fqHead = 0
+	}
+	for n := 0; n < c.cfg.FetchWidth && c.fqLen() < c.cfg.FetchQSize; n++ {
+		pc := c.fetchPC
+		fi := fetchedInst{pc: pc, predNext: pc + 4}
+		if pc&3 != 0 {
+			fi.exc, fi.excAddr = excAlign, pc
+			c.fetchQ = append(c.fetchQ, fi)
+			c.fetchFaulted = true
+			return
+		}
+		if pc >= vm.VASize {
+			fi.exc, fi.excAddr = excSegv, pc
+			c.fetchQ = append(c.fetchQ, fi)
+			c.fetchFaulted = true
+			return
+		}
+		vpn := pc >> tlb.PageShift
+		tr, hit := c.itlb.Lookup(vpn)
+		if !hit {
+			var lat int
+			var fault vm.WalkFault
+			tr, lat, fault = c.walker.Refill(c.itlb, vpn)
+			c.fetchReadyAt = c.cycle + uint64(lat)
+			switch fault {
+			case vm.WalkUnmapped:
+				fi.exc, fi.excAddr = excSegv, pc
+				c.fetchQ = append(c.fetchQ, fi)
+				c.fetchFaulted = true
+				return
+			case vm.WalkBadFrame:
+				fi.exc, fi.excAddr = excKPanic, pc
+				c.fetchQ = append(c.fetchQ, fi)
+				c.fetchFaulted = true
+				return
+			}
+			if lat > 0 {
+				return // retry after the walk completes
+			}
+		}
+		pa := tr.PFN<<tlb.PageShift | pc&(tlb.PageSize-1)
+		word, lat := c.icache.ReadWord(pa)
+		if lat > c.icache.Config().Latency {
+			// Miss: stall fetch until the fill completes, then deliver.
+			c.fetchReadyAt = c.cycle + uint64(lat)
+		}
+		inst, err := isa.Decode(word)
+		if err != nil {
+			fi.inst = inst
+			fi.exc, fi.excAddr = excUndef, pc
+			c.fetchQ = append(c.fetchQ, fi)
+			c.fetchPC = pc + 4
+			continue
+		}
+		fi.inst = inst
+		// Pre-decode control flow and predict the next PC.
+		switch inst.Op {
+		case isa.OpB:
+			target := pc + 4 + uint32(inst.Imm)*4
+			if inst.Cond == isa.CondAL {
+				fi.predNext = target
+			} else if c.pred.predictCond(pc) {
+				fi.predNext = target
+			}
+		case isa.OpBL:
+			fi.predNext = pc + 4 + uint32(inst.Imm)*4
+		case isa.OpBX, isa.OpBLX:
+			if tgt, ok := c.pred.predictIndirect(pc); ok {
+				fi.predNext = tgt
+			}
+		}
+		c.fetchQ = append(c.fetchQ, fi)
+		c.fetchPC = fi.predNext
+		if fi.predNext != pc+4 {
+			return // redirected: start a new fetch group next cycle
+		}
+	}
+}
+
+// --- Rename/dispatch ---
+
+// sources lists the physical registers an instruction reads.
+func (c *Core) sources(in isa.Inst) [3]uint8 {
+	srcs := [3]uint8{NoPhys, NoPhys, NoPhys}
+	n := 0
+	add := func(arch uint8) {
+		srcs[n] = c.renameMap[arch]
+		n++
+	}
+	switch in.Class {
+	case isa.ClassALU:
+		if in.Rn != isa.NoReg {
+			add(in.Rn)
+		}
+		// MOV/MVN track their single source through both Rn and Rm; Rn was
+		// already added above, so only genuine second sources follow.
+		if in.Rm != isa.NoReg && in.Op != isa.OpMOV && in.Op != isa.OpMVN {
+			add(in.Rm)
+		}
+	case isa.ClassCmp:
+		add(in.Rn)
+		if in.Op != isa.OpCMPI {
+			add(in.Rm)
+		}
+	case isa.ClassLoad:
+		add(in.Rn)
+		if in.Op == isa.OpLDRR || in.Op == isa.OpLDRBR {
+			add(in.Rm)
+		}
+	case isa.ClassStore:
+		add(in.Rn)
+		if in.Op == isa.OpSTRR || in.Op == isa.OpSTRBR {
+			add(in.Rm)
+		}
+		add(in.Rd) // store data
+	case isa.ClassBranch:
+		switch in.Op {
+		case isa.OpB:
+			if in.Cond != isa.CondAL {
+				add(isa.RegFlags)
+			}
+		case isa.OpBX, isa.OpBLX:
+			add(in.Rm)
+		}
+	}
+	return srcs
+}
+
+// dest returns the architectural destination register of an instruction,
+// or isa.NoReg.
+func dest(in isa.Inst) uint8 {
+	switch in.Class {
+	case isa.ClassALU:
+		return in.Rd
+	case isa.ClassCmp:
+		return isa.RegFlags
+	case isa.ClassLoad:
+		return in.Rd
+	case isa.ClassBranch:
+		if in.Op == isa.OpBL || in.Op == isa.OpBLX {
+			return isa.RegLR
+		}
+	case isa.ClassSys:
+		return 0 // syscalls return in r0
+	}
+	return isa.NoReg
+}
+
+func (c *Core) rename() {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.fqLen() == 0 || c.robCount == c.cfg.ROBSize {
+			return
+		}
+		fi := c.fetchQ[c.fqHead]
+		in := fi.inst
+
+		needsIQ := fi.exc == excNone && (in.Class == isa.ClassALU ||
+			in.Class == isa.ClassCmp || in.Class == isa.ClassLoad ||
+			in.Class == isa.ClassStore ||
+			in.Op == isa.OpB && in.Cond != isa.CondAL ||
+			in.Op == isa.OpBX || in.Op == isa.OpBLX)
+		if needsIQ && len(c.iq) >= c.cfg.IQSize {
+			return
+		}
+		isLoad := fi.exc == excNone && in.Class == isa.ClassLoad
+		isStore := fi.exc == excNone && in.Class == isa.ClassStore
+		if isLoad && c.lqCount >= c.cfg.LQSize {
+			return
+		}
+		if isStore && c.sqCount >= c.cfg.SQSize {
+			return
+		}
+		archDest := uint8(isa.NoReg)
+		if fi.exc == excNone {
+			archDest = dest(in)
+		}
+		if archDest != isa.NoReg && len(c.freeList) == 0 {
+			return // physical registers exhausted; wait for commit
+		}
+
+		c.fqHead++
+		slot := (c.robHead + c.robCount) % c.cfg.ROBSize
+		c.robCount++
+		c.seqNext++
+		e := &c.rob[slot]
+		*e = robEntry{
+			seq: c.seqNext, pc: fi.pc, inst: in, valid: true,
+			exc: fi.exc, excAddr: fi.excAddr,
+			archDest: isa.NoReg, newPhys: NoPhys, oldPhys: NoPhys,
+			predNext: fi.predNext,
+			isLoad:   isLoad, isStore: isStore,
+		}
+		srcs := [3]uint8{NoPhys, NoPhys, NoPhys}
+		if fi.exc == excNone {
+			srcs = c.sources(in)
+		}
+		if archDest != isa.NoReg {
+			p := c.freeList[len(c.freeList)-1]
+			c.freeList = c.freeList[:len(c.freeList)-1]
+			e.archDest = archDest
+			e.newPhys = p
+			e.oldPhys = c.renameMap[archDest]
+			c.renameMap[archDest] = p
+			c.rf.Alloc(p)
+		}
+
+		switch {
+		case fi.exc != excNone:
+			e.done = true
+		case in.Class == isa.ClassNop:
+			e.done = true
+		case in.Class == isa.ClassSys:
+			e.isSys = true
+			e.done = true // handled at commit
+		case in.Op == isa.OpB && in.Cond == isa.CondAL:
+			e.isBranch = true
+			e.done = true // resolved at fetch
+		case in.Op == isa.OpBL:
+			e.isBranch = true
+			e.done = true
+			c.rf.Write(e.newPhys, fi.pc+4)
+		default:
+			if in.Op == isa.OpBLX {
+				// The link value is known at rename even though the
+				// target resolves at execute.
+				c.rf.Write(e.newPhys, fi.pc+4)
+			}
+			if in.Op == isa.OpB || in.Op == isa.OpBX || in.Op == isa.OpBLX {
+				e.isBranch = true
+			}
+			c.iq = append(c.iq, iqEntry{slot: slot, seq: e.seq, srcs: srcs})
+		}
+		if isLoad {
+			c.lqCount++
+		}
+		if isStore {
+			c.sqCount++
+			if c.sqHead > 0 {
+				n := copy(c.sq, c.sq[c.sqHead:])
+				c.sq = c.sq[:n]
+				c.sqHead = 0
+			}
+			c.sq = append(c.sq, slot)
+		}
+	}
+}
+
+// --- Issue/execute ---
+
+func (c *Core) issue() {
+	issued := 0
+	for i := 0; i < len(c.iq) && issued < c.cfg.IssueWidth; i++ {
+		ent := c.iq[i]
+		ready := true
+		for _, s := range ent.srcs {
+			if s != NoPhys && !c.rf.Ready(s) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			if c.cfg.InOrder {
+				return // in-order cores stall behind the oldest waiter
+			}
+			continue
+		}
+		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+		i--
+		issued++
+		c.executeOne(ent)
+	}
+}
+
+func (c *Core) executeOne(ent iqEntry) {
+	e := &c.rob[ent.slot]
+	in := e.inst
+	val := func(p uint8) uint32 { return c.rf.Val(p) }
+
+	switch {
+	case e.isLoad:
+		base := val(ent.srcs[0])
+		var off uint32
+		if in.Op == isa.OpLDRR || in.Op == isa.OpLDRBR {
+			off = val(ent.srcs[1])
+		} else {
+			off = uint32(in.Imm)
+		}
+		e.addrVA = base + off
+		e.memSize = memSize(in.Op)
+		e.addrKnown = true
+		c.pending = append(c.pending, pendingLoad{slot: ent.slot, seq: ent.seq})
+
+	case e.isStore:
+		base := val(ent.srcs[0])
+		var off uint32
+		dataIdx := 1
+		if in.Op == isa.OpSTRR || in.Op == isa.OpSTRBR {
+			off = val(ent.srcs[1])
+			dataIdx = 2
+		} else {
+			off = uint32(in.Imm)
+		}
+		e.addrVA = base + off
+		e.memSize = memSize(in.Op)
+		e.storeVal = val(ent.srcs[dataIdx])
+		e.addrKnown = true
+		if e.addrVA&uint32(e.memSize-1) != 0 {
+			e.exc, e.excAddr = excAlign, e.addrVA
+		} else {
+			pa, _, exc := c.translate(e.addrVA, true)
+			if exc != excNone {
+				e.exc, e.excAddr = exc, e.addrVA
+			} else {
+				e.addrPA = pa
+			}
+		}
+		c.inflight = append(c.inflight, wbEntry{
+			slot: ent.slot, seq: ent.seq, destPhys: NoPhys,
+			doneCycle: c.cycle + uint64(c.cfg.AGULat),
+		})
+
+	case e.isBranch:
+		var actual uint32
+		taken := false
+		isCond, isInd := false, false
+		switch in.Op {
+		case isa.OpB:
+			isCond = true
+			flags := val(ent.srcs[0])
+			taken = isa.EvalCond(in.Cond, flags)
+			if taken {
+				actual = e.pc + 4 + uint32(in.Imm)*4
+			} else {
+				actual = e.pc + 4
+			}
+		case isa.OpBX, isa.OpBLX:
+			isInd = true
+			actual = val(ent.srcs[0])
+			taken = true
+		}
+		c.inflight = append(c.inflight, wbEntry{
+			slot: ent.slot, seq: ent.seq, destPhys: NoPhys,
+			doneCycle: c.cycle + uint64(c.cfg.ALULat),
+			isBranch:  true, isCond: isCond, isInd: isInd,
+			brPC: e.pc, taken: taken, actualNext: actual,
+		})
+
+	case in.Class == isa.ClassCmp:
+		a := val(ent.srcs[0])
+		var b uint32
+		if in.Op == isa.OpCMPI {
+			b = uint32(in.Imm)
+		} else {
+			b = val(ent.srcs[1])
+		}
+		var flags uint32
+		if in.Op == isa.OpTST {
+			flags = isa.AndFlags(a, b)
+		} else {
+			flags = isa.SubFlags(a, b)
+		}
+		c.inflight = append(c.inflight, wbEntry{
+			slot: ent.slot, seq: ent.seq, destPhys: e.newPhys, val: flags,
+			doneCycle: c.cycle + uint64(c.cfg.ALULat),
+		})
+
+	default: // ALU
+		result := c.alu(in, ent, val)
+		c.inflight = append(c.inflight, wbEntry{
+			slot: ent.slot, seq: ent.seq, destPhys: e.newPhys, val: result,
+			doneCycle: c.cycle + uint64(c.aluLat(in.Op)),
+		})
+	}
+}
+
+func memSize(op isa.Op) uint8 {
+	switch op {
+	case isa.OpLDRB, isa.OpSTRB, isa.OpLDRBR, isa.OpSTRBR:
+		return 1
+	case isa.OpLDRH, isa.OpSTRH:
+		return 2
+	}
+	return 4
+}
+
+func (c *Core) aluLat(op isa.Op) int {
+	switch op {
+	case isa.OpMUL, isa.OpSMLH, isa.OpUMLH:
+		return c.cfg.MulLat
+	case isa.OpSDIV, isa.OpUDIV, isa.OpSREM, isa.OpUREM:
+		return c.cfg.DivLat
+	}
+	return c.cfg.ALULat
+}
+
+func (c *Core) alu(in isa.Inst, ent iqEntry, val func(uint8) uint32) uint32 {
+	a := uint32(0)
+	if ent.srcs[0] != NoPhys {
+		a = val(ent.srcs[0])
+	}
+	b := uint32(in.Imm)
+	reg2 := false
+	switch in.Op {
+	case isa.OpADD, isa.OpSUB, isa.OpRSB, isa.OpAND, isa.OpORR, isa.OpEOR,
+		isa.OpBIC, isa.OpLSL, isa.OpLSR, isa.OpASR, isa.OpROR, isa.OpMUL,
+		isa.OpSDIV, isa.OpUDIV, isa.OpSREM, isa.OpUREM, isa.OpSMLH, isa.OpUMLH:
+		reg2 = true
+	}
+	if reg2 {
+		b = val(ent.srcs[1])
+	}
+	switch in.Op {
+	case isa.OpADD, isa.OpADDI:
+		return a + b
+	case isa.OpSUB, isa.OpSUBI:
+		return a - b
+	case isa.OpRSB:
+		return b - a
+	case isa.OpAND, isa.OpANDI:
+		return a & b
+	case isa.OpORR, isa.OpORRI:
+		return a | b
+	case isa.OpEOR, isa.OpEORI:
+		return a ^ b
+	case isa.OpBIC:
+		return a &^ b
+	case isa.OpLSL, isa.OpLSLI:
+		return a << (b & 31)
+	case isa.OpLSR, isa.OpLSRI:
+		return a >> (b & 31)
+	case isa.OpASR, isa.OpASRI:
+		return uint32(int32(a) >> (b & 31))
+	case isa.OpROR:
+		s := b & 31
+		if s == 0 {
+			return a
+		}
+		return a>>s | a<<(32-s)
+	case isa.OpMUL:
+		return a * b
+	case isa.OpSMLH:
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case isa.OpUMLH:
+		return uint32(uint64(a) * uint64(b) >> 32)
+	case isa.OpSDIV:
+		return sdiv(int32(a), int32(b))
+	case isa.OpUDIV:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.OpSREM:
+		return srem(int32(a), int32(b))
+	case isa.OpUREM:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case isa.OpMOV:
+		return a
+	case isa.OpMVN:
+		return ^a
+	case isa.OpMOVZ:
+		return uint32(in.Imm)
+	case isa.OpMOVT:
+		return a&0xFFFF | uint32(in.Imm)<<16
+	}
+	return 0
+}
+
+// sdiv implements ARM division semantics: x/0 == 0 and MinInt32/-1 wraps.
+func sdiv(a, b int32) uint32 {
+	if b == 0 {
+		return 0
+	}
+	if a == -1<<31 && b == -1 {
+		return uint32(a)
+	}
+	return uint32(a / b)
+}
+
+func srem(a, b int32) uint32 {
+	if b == 0 {
+		return uint32(a)
+	}
+	if a == -1<<31 && b == -1 {
+		return 0
+	}
+	return uint32(a % b)
+}
+
+// translate maps a virtual address through the DTLB, walking on a miss.
+func (c *Core) translate(va uint32, write bool) (pa uint32, lat int, exc excKind) {
+	if va >= vm.VASize {
+		return 0, 0, excSegv
+	}
+	vpn := va >> tlb.PageShift
+	tr, hit := c.dtlb.Lookup(vpn)
+	if !hit {
+		var fault vm.WalkFault
+		tr, lat, fault = c.walker.Refill(c.dtlb, vpn)
+		switch fault {
+		case vm.WalkUnmapped:
+			return 0, lat, excSegv
+		case vm.WalkBadFrame:
+			return 0, lat, excKPanic
+		}
+	}
+	if write && !tr.Writable {
+		return 0, lat, excSegv
+	}
+	return tr.PFN<<tlb.PageShift | va&(tlb.PageSize-1), lat, excNone
+}
+
+// executeLoads retries pending loads against the store queue each cycle.
+func (c *Core) executeLoads() {
+	for i := 0; i < len(c.pending); i++ {
+		p := c.pending[i]
+		e := &c.rob[p.slot]
+		if !e.valid || e.seq != p.seq {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			i--
+			continue
+		}
+		fwd, fwdVal, blocked := c.checkStoreQueue(e)
+		if blocked {
+			continue
+		}
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		i--
+
+		wb := wbEntry{slot: p.slot, seq: p.seq, destPhys: e.newPhys}
+		switch {
+		case e.addrVA&uint32(e.memSize-1) != 0:
+			e.exc, e.excAddr = excAlign, e.addrVA
+			wb.doneCycle = c.cycle + 1
+		case fwd:
+			wb.val = truncVal(fwdVal, e.memSize)
+			wb.doneCycle = c.cycle + uint64(c.cfg.AGULat) + 1
+		default:
+			pa, lat, exc := c.translate(e.addrVA, false)
+			if exc != excNone {
+				e.exc, e.excAddr = exc, e.addrVA
+				wb.doneCycle = c.cycle + uint64(1+lat)
+			} else {
+				e.addrPA = pa
+				var buf [4]byte
+				rlat := c.dcache.Read(pa, buf[:e.memSize])
+				wb.val = truncVal(leWord(buf), e.memSize)
+				wb.doneCycle = c.cycle + uint64(c.cfg.AGULat+lat+rlat)
+			}
+		}
+		c.inflight = append(c.inflight, wb)
+	}
+}
+
+func leWord(b [4]byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func truncVal(v uint32, size uint8) uint32 {
+	switch size {
+	case 1:
+		return v & 0xFF
+	case 2:
+		return v & 0xFFFF
+	}
+	return v
+}
+
+// checkStoreQueue looks for older stores that overlap a load. It returns
+// forwarded data for an exact match, or blocked while an older store's
+// address is unknown or a partial overlap is still in flight.
+func (c *Core) checkStoreQueue(ld *robEntry) (fwd bool, val uint32, blocked bool) {
+	// Scan youngest-first among stores older than the load.
+	for i := len(c.sq) - 1; i >= c.sqHead; i-- {
+		st := &c.rob[c.sq[i]]
+		if !st.valid || st.seq >= ld.seq {
+			continue
+		}
+		if !st.addrKnown {
+			return false, 0, true
+		}
+		if st.exc != excNone {
+			// The store will fault at commit; it cannot forward. It also
+			// cannot overlap meaningfully — wait for it to drain.
+			return false, 0, true
+		}
+		aLo, aHi := ld.addrVA, ld.addrVA+uint32(ld.memSize)
+		bLo, bHi := st.addrVA, st.addrVA+uint32(st.memSize)
+		if aLo < bHi && bLo < aHi {
+			if aLo == bLo && ld.memSize == st.memSize {
+				return true, st.storeVal, false
+			}
+			return false, 0, true // partial overlap: wait for commit
+		}
+	}
+	return false, 0, false
+}
+
+// --- Writeback ---
+
+func (c *Core) writeback() {
+	done := 0
+	for done < c.cfg.WBWidth {
+		// Pick the oldest eligible completion.
+		best := -1
+		for i := range c.inflight {
+			if c.inflight[i].doneCycle > c.cycle {
+				continue
+			}
+			if best < 0 || c.inflight[i].seq < c.inflight[best].seq {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		wb := c.inflight[best]
+		c.inflight = append(c.inflight[:best], c.inflight[best+1:]...)
+		e := &c.rob[wb.slot]
+		if !e.valid || e.seq != wb.seq {
+			continue // squashed while in flight
+		}
+		done++
+		if wb.destPhys != NoPhys {
+			c.rf.Write(wb.destPhys, wb.val)
+		}
+		e.done = true
+		if e.isLoad {
+			c.lqCount--
+		}
+		if wb.isBranch && e.exc == excNone {
+			if wb.isCond {
+				c.pred.trainCond(wb.brPC, wb.taken)
+			}
+			if wb.isInd {
+				c.pred.trainIndirect(wb.brPC, wb.actualNext)
+				if wb.actualNext&3 != 0 || wb.actualNext >= vm.VASize {
+					e.exc, e.excAddr = excAlign, wb.actualNext
+					if wb.actualNext >= vm.VASize {
+						e.exc = excSegv
+					}
+					continue // raise at commit; no redirect
+				}
+			}
+			if wb.actualNext != e.predNext {
+				c.Mispredicts++
+				c.squashAfter(wb.slot)
+				c.fetchPC = wb.actualNext
+			}
+		}
+	}
+}
+
+// squashAfter removes every instruction younger than the one in slot,
+// restoring the speculative rename map and the free list by walking the
+// reorder buffer from youngest to oldest.
+func (c *Core) squashAfter(slot int) {
+	c.Squashes++
+	keep := c.robPos(slot) + 1
+	for pos := c.robCount - 1; pos >= keep; pos-- {
+		s := (c.robHead + pos) % c.cfg.ROBSize
+		e := &c.rob[s]
+		if e.newPhys != NoPhys {
+			c.renameMap[e.archDest] = e.oldPhys
+			c.freeList = append(c.freeList, e.newPhys)
+		}
+		e.valid = false
+	}
+	c.robCount = keep
+	brSeq := c.rob[slot].seq
+
+	filterIQ := c.iq[:0]
+	for _, q := range c.iq {
+		if q.seq <= brSeq {
+			filterIQ = append(filterIQ, q)
+		}
+	}
+	c.iq = filterIQ
+
+	filterWB := c.inflight[:0]
+	for _, w := range c.inflight {
+		if w.seq <= brSeq {
+			filterWB = append(filterWB, w)
+		}
+	}
+	c.inflight = filterWB
+
+	filterPend := c.pending[:0]
+	for _, p := range c.pending {
+		if p.seq <= brSeq {
+			filterPend = append(filterPend, p)
+		}
+	}
+	c.pending = filterPend
+
+	filterSQ := c.sq[:0]
+	for _, s := range c.sq[c.sqHead:] {
+		if c.rob[s].valid && c.rob[s].seq <= brSeq {
+			filterSQ = append(filterSQ, s)
+		}
+	}
+	c.sq = filterSQ
+	c.sqHead = 0
+
+	// Recompute load/store queue occupancy from surviving entries.
+	c.lqCount, c.sqCount = 0, 0
+	for pos := 0; pos < c.robCount; pos++ {
+		e := &c.rob[(c.robHead+pos)%c.cfg.ROBSize]
+		if e.isLoad && !e.done {
+			c.lqCount++
+		}
+		if e.isStore {
+			c.sqCount++
+		}
+	}
+
+	c.fetchQ = c.fetchQ[:0]
+	c.fqHead = 0
+	c.fetchFaulted = false
+	c.fetchReadyAt = c.cycle
+}
+
+// --- Commit ---
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		slot := c.robHead
+		e := &c.rob[slot]
+		if !e.done {
+			return
+		}
+		if e.exc != excNone {
+			switch e.exc {
+			case excUndef:
+				c.stop(StopUndef, e.pc, e.excAddr)
+			case excSegv:
+				c.stop(StopSegv, e.pc, e.excAddr)
+			case excAlign:
+				c.stop(StopAlign, e.pc, e.excAddr)
+			case excKPanic:
+				c.stop(StopKernelPanic, e.pc, e.excAddr)
+			}
+			return
+		}
+		if e.isStore {
+			var buf [4]byte
+			buf[0] = byte(e.storeVal)
+			buf[1] = byte(e.storeVal >> 8)
+			buf[2] = byte(e.storeVal >> 16)
+			buf[3] = byte(e.storeVal >> 24)
+			c.dcache.Write(e.addrPA, buf[:e.memSize])
+			c.sqCount--
+			if c.sqHead < len(c.sq) && c.sq[c.sqHead] == slot {
+				c.sqHead++
+			}
+		}
+		if e.isSys {
+			r0, action := c.os.Syscall(c)
+			c.rf.Write(e.newPhys, r0)
+			switch action {
+			case SysExit:
+				c.retire(e)
+				c.stop(StopExit, e.pc, 0)
+				return
+			case SysKill:
+				c.retire(e)
+				c.stop(StopKilled, e.pc, 0)
+				return
+			case SysPanic:
+				c.retire(e)
+				c.stop(StopKernelPanic, e.pc, 0)
+				return
+			}
+			c.retire(e)
+			// Serialise: flush everything younger and refetch.
+			if c.robCount > 0 {
+				c.squashAfterCommitted(slot)
+			}
+			c.fetchPC = e.pc + 4
+			return
+		}
+		c.retire(e)
+	}
+}
+
+// retire updates the committed architectural map and recycles the previous
+// mapping of the destination register.
+func (c *Core) retire(e *robEntry) {
+	if c.TraceCommit != nil {
+		c.TraceCommit(e.pc, e.inst.Raw)
+	}
+	if e.newPhys != NoPhys {
+		old := c.archMap[e.archDest]
+		c.archMap[e.archDest] = e.newPhys
+		c.freeList = append(c.freeList, old)
+	}
+	e.valid = false
+	c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+	c.robCount--
+	c.Committed++
+	c.lastCommit = c.cycle
+}
+
+// squashAfterCommitted flushes the whole speculative window after the
+// instruction in slot has already retired (syscall serialisation).
+func (c *Core) squashAfterCommitted(slot int) {
+	c.Squashes++
+	for pos := c.robCount - 1; pos >= 0; pos-- {
+		s := (c.robHead + pos) % c.cfg.ROBSize
+		e := &c.rob[s]
+		if e.newPhys != NoPhys {
+			c.renameMap[e.archDest] = e.oldPhys
+			c.freeList = append(c.freeList, e.newPhys)
+		}
+		e.valid = false
+	}
+	c.robCount = 0
+	c.iq = c.iq[:0]
+	c.inflight = c.inflight[:0]
+	c.pending = c.pending[:0]
+	c.sq = c.sq[:0]
+	c.sqHead = 0
+	c.lqCount, c.sqCount = 0, 0
+	c.fetchQ = c.fetchQ[:0]
+	c.fqHead = 0
+	c.fetchFaulted = false
+	c.fetchReadyAt = c.cycle
+	_ = slot
+}

@@ -1,0 +1,439 @@
+package cpu
+
+import (
+	"testing"
+
+	"mbusim/internal/asm"
+	"mbusim/internal/cache"
+	"mbusim/internal/isa"
+	"mbusim/internal/mem"
+	"mbusim/internal/tlb"
+	"mbusim/internal/vm"
+)
+
+// testOS implements OS: syscall 1 exits with r0, everything else kills.
+type testOS struct {
+	exitCode uint32
+	exited   bool
+}
+
+func (o *testOS) Syscall(c *Core) (uint32, SysAction) {
+	if c.ArchReg(isa.RegSys) == 1 {
+		o.exitCode = c.ArchReg(0)
+		o.exited = true
+		return 0, SysExit
+	}
+	return 0, SysKill
+}
+
+// rig is a minimal machine without the kernel package: identity-ish page
+// tables built by hand, real caches and TLBs.
+type rig struct {
+	core *Core
+	os   *testOS
+	ram  *mem.RAM
+	l1d  *cache.Cache
+	l1i  *cache.Cache
+}
+
+// buildRig loads prog with text, data and one stack page mapped.
+func buildRig(t *testing.T, prog *asm.Program) *rig {
+	return buildRigWithConfig(t, prog, DefaultConfig())
+}
+
+func buildRigWithConfig(t *testing.T, prog *asm.Program, cfg Config) *rig {
+	t.Helper()
+	ram := mem.NewRAM(1 << 23)
+	l2 := cache.New(cache.Config{Name: "L2", Size: 64 << 10, Ways: 8, LineSize: 64, Latency: 8, PABits: 23}, ram)
+	l1i := cache.New(cache.Config{Name: "L1I", Size: 8 << 10, Ways: 4, LineSize: 64, Latency: 2, PABits: 23}, l2)
+	l1d := cache.New(cache.Config{Name: "L1D", Size: 8 << 10, Ways: 4, LineSize: 64, Latency: 2, PABits: 23}, l2)
+	itlb := tlb.New("ITLB", 32)
+	dtlb := tlb.New("DTLB", 32)
+
+	// Page tables: root at frame 1; level-2 tables from frame 2; user
+	// frames from frame 16.
+	const root = uint32(1) << tlb.PageShift
+	nextL2 := uint32(2)
+	nextFrame := uint32(16)
+	mapPage := func(vpn uint32, writable bool) uint32 {
+		idx1 := vpn >> 7 & (vm.L1Entries - 1)
+		idx2 := vpn & (vm.L2Entries - 1)
+		l1e := ram.ReadWord(root + idx1*4)
+		var l2f uint32
+		if l1e&vm.PTEValid == 0 {
+			l2f = nextL2
+			nextL2++
+			ram.WriteWord(root+idx1*4, vm.PackPTE(l2f, true, false))
+		} else {
+			l2f = l1e & vm.PTEFrameMask
+		}
+		pte := ram.ReadWord(l2f<<tlb.PageShift + idx2*4)
+		if pte&vm.PTEValid != 0 {
+			return pte & vm.PTEFrameMask
+		}
+		f := nextFrame
+		nextFrame++
+		ram.WriteWord(l2f<<tlb.PageShift+idx2*4, vm.PackPTE(f, writable, true))
+		return f
+	}
+	loadSeg := func(base uint32, img []byte, writable bool) {
+		for off := 0; off < len(img); off += tlb.PageSize {
+			f := mapPage(base>>tlb.PageShift+uint32(off/tlb.PageSize), writable)
+			end := off + tlb.PageSize
+			if end > len(img) {
+				end = len(img)
+			}
+			ram.WriteBytes(f<<tlb.PageShift, img[off:end])
+		}
+	}
+	loadSeg(prog.TextBase, prog.Text, false)
+	if len(prog.Data) > 0 {
+		loadSeg(prog.DataBase, prog.Data, true)
+	}
+	const stackTop = 0x0040_0000
+	for p := uint32(1); p <= 4; p++ {
+		mapPage(stackTop>>tlb.PageShift-p, true)
+	}
+
+	walker := vm.NewWalker(l2, root, 1<<13)
+	os := &testOS{}
+	core := New(cfg, l1i, l1d, itlb, dtlb, walker, os)
+	core.SetPC(prog.Entry)
+	core.SetArchReg(isa.RegSP, stackTop)
+	return &rig{core: core, os: os, ram: ram, l1d: l1d, l1i: l1i}
+}
+
+func runRig(t *testing.T, src string, maxCycles uint64) *rig {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildRig(t, prog)
+	for r.core.Stopped() == StopNone && r.core.Cycles() < maxCycles {
+		r.core.Cycle()
+	}
+	return r
+}
+
+func TestMispredictRecovery(t *testing.T) {
+	// A data-dependent alternating branch defeats the bimodal predictor;
+	// the architectural result must still be exact.
+	r := runRig(t, `
+_start:
+    li r1, #0       ; acc
+    li r2, #0       ; i
+loop:
+    andi r3, r2, #1
+    cmp r3, #0
+    b.eq even
+    addi r1, r1, #3
+    b next
+even:
+    addi r1, r1, #5
+next:
+    addi r2, r2, #1
+    cmp r2, #100
+    b.lt loop
+    mov r0, r1
+    li r7, #1
+    syscall
+`, 1_000_000)
+	if r.core.Stopped() != StopExit {
+		t.Fatalf("stop = %v", r.core.Stopped())
+	}
+	if r.os.exitCode != 50*3+50*5 {
+		t.Fatalf("exit = %d, want %d", r.os.exitCode, 50*3+50*5)
+	}
+	if r.core.Mispredicts == 0 {
+		t.Fatal("alternating branch should mispredict at least once")
+	}
+}
+
+func TestRegFileReadyBitDeadlock(t *testing.T) {
+	// Clearing a ready bit on a live register parks its consumers; the
+	// watchdog must classify the hang as a deadlock.
+	prog, err := asm.Assemble(`
+_start:
+    li r1, #1
+loop:
+    add r1, r1, r1
+    cmp r1, #0
+    b.ne loop
+    li r7, #1
+    syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildRig(t, prog)
+	for r.core.Cycles() < 200 {
+		r.core.Cycle()
+	}
+	rf := r.core.RegFile()
+	for p := 0; p < rf.Rows(); p++ {
+		rf.FlipBit(p, 32) // toggle every ready bit: guaranteed to park someone
+	}
+	for r.core.Stopped() == StopNone && r.core.Cycles() < 1_000_000 {
+		r.core.Cycle()
+	}
+	if r.core.Stopped() != StopDeadlock {
+		t.Fatalf("stop = %v, want deadlock", r.core.Stopped())
+	}
+}
+
+func TestWrongPathFaultNotRaised(t *testing.T) {
+	// An undefined word sits on the not-taken path; since the branch is
+	// always taken, the fault must never commit. The bimodal predictor
+	// starts weakly-taken, but exercise both directions anyway.
+	r := runRig(t, `
+_start:
+    li r2, #0
+loop:
+    addi r2, r2, #1
+    cmp r2, #50
+    b.lt skip
+    b done
+skip:
+    b loop
+    .word 0xFFFFFFFF   ; never executed architecturally
+done:
+    li r0, #9
+    li r7, #1
+    syscall
+`, 1_000_000)
+	if r.core.Stopped() != StopExit || r.os.exitCode != 9 {
+		t.Fatalf("stop = %v exit=%d", r.core.Stopped(), r.os.exitCode)
+	}
+}
+
+func TestPreciseUndef(t *testing.T) {
+	// Instructions after the faulting one must not change state; the store
+	// following the undef word must never land.
+	prog, err := asm.Assemble(`
+_start:
+    li r1, #0x00200000  ; unmapped... actually use data
+    .word 0x00000000    ; undefined (all zeros)
+    li r7, #1
+    syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildRig(t, prog)
+	for r.core.Stopped() == StopNone && r.core.Cycles() < 100000 {
+		r.core.Cycle()
+	}
+	if r.core.Stopped() != StopUndef {
+		t.Fatalf("stop = %v, want undefined-instruction", r.core.Stopped())
+	}
+	if r.os.exited {
+		t.Fatal("syscall after the fault must not commit")
+	}
+}
+
+func TestStoreLoadForwardingSizes(t *testing.T) {
+	r := runRig(t, `
+_start:
+    li r1, #0x00100000
+    li r2, #0xAABBCCDD
+    str r2, [r1, #0]
+    ldr r3, [r1, #0]     ; word forward
+    ldrb r4, [r1, #0]    ; partial: must wait for commit, then read 0xDD
+    add r0, r4, r3
+    sub r0, r0, r3       ; r0 = 0xDD
+    li r7, #1
+    syscall
+.data
+.word 0
+`, 1_000_000)
+	if r.core.Stopped() != StopExit || r.os.exitCode != 0xDD {
+		t.Fatalf("stop=%v exit=%#x", r.core.Stopped(), r.os.exitCode)
+	}
+}
+
+func TestSegfaultOnReadOnlyStore(t *testing.T) {
+	// Text pages are mapped read-only; writing one is a protection fault.
+	r := runRig(t, `
+_start:
+    li r1, #0x00010000
+    li r2, #1
+    str r2, [r1, #0]
+    li r7, #1
+    syscall
+`, 1_000_000)
+	if r.core.Stopped() != StopSegv {
+		t.Fatalf("stop = %v, want segfault", r.core.Stopped())
+	}
+}
+
+func TestIndirectCallAndReturn(t *testing.T) {
+	r := runRig(t, `
+_start:
+    la r1, fn
+    blx r1
+    addi r0, r0, #1
+    li r7, #1
+    syscall
+fn:
+    li r0, #41
+    bx lr
+`, 1_000_000)
+	if r.core.Stopped() != StopExit || r.os.exitCode != 42 {
+		t.Fatalf("stop=%v exit=%d", r.core.Stopped(), r.os.exitCode)
+	}
+}
+
+func TestUnalignedAccessFaults(t *testing.T) {
+	r := runRig(t, `
+_start:
+    li r1, #0x00100001
+    ldr r2, [r1, #0]
+    li r7, #1
+    syscall
+.data
+.word 0
+`, 1_000_000)
+	if r.core.Stopped() != StopAlign {
+		t.Fatalf("stop = %v, want alignment fault", r.core.Stopped())
+	}
+}
+
+func TestRegFileDataFlipChangesResult(t *testing.T) {
+	// Flip bit 0 of every physical register mid-run: the exit code of a
+	// long dependent chain must change (value corruption propagates).
+	src := `
+_start:
+    li r1, #0
+    li r2, #0
+loop:
+    add r1, r1, r2
+    addi r2, r2, #1
+    cmp r2, #2000
+    b.lt loop
+    andi r0, r1, #0xFF
+    li r7, #1
+    syscall
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := buildRig(t, prog)
+	for clean.core.Stopped() == StopNone && clean.core.Cycles() < 1_000_000 {
+		clean.core.Cycle()
+	}
+	faulty := buildRig(t, prog)
+	for faulty.core.Cycles() < 2000 {
+		faulty.core.Cycle()
+	}
+	rf := faulty.core.RegFile()
+	for p := 0; p < rf.Rows(); p++ {
+		rf.FlipBit(p, 7)
+	}
+	for faulty.core.Stopped() == StopNone && faulty.core.Cycles() < 1_000_000 {
+		faulty.core.Cycle()
+	}
+	if faulty.core.Stopped() == StopExit && faulty.os.exitCode == clean.os.exitCode {
+		t.Fatal("massive register corruption was architecturally invisible")
+	}
+}
+
+func TestCommitCountMatchesWork(t *testing.T) {
+	r := runRig(t, `
+_start:
+    li r2, #0
+loop:
+    addi r2, r2, #1
+    cmp r2, #100
+    b.lt loop
+    li r7, #1
+    syscall
+`, 1_000_000)
+	if r.core.Stopped() != StopExit {
+		t.Fatalf("stop = %v", r.core.Stopped())
+	}
+	// 2 setup + 100 iterations x 3 + final li/syscall: roughly 300-320.
+	if r.core.Committed < 300 || r.core.Committed > 330 {
+		t.Fatalf("committed = %d", r.core.Committed)
+	}
+	if r.core.Cycles() == 0 || r.core.Cycles() > 10*r.core.Committed {
+		t.Fatalf("implausible cycle count %d for %d instructions", r.core.Cycles(), r.core.Committed)
+	}
+}
+
+func TestDivLatencyVisible(t *testing.T) {
+	// A chain of dependent divisions must take roughly DivLat cycles each.
+	r := runRig(t, `
+_start:
+    li r1, #100000
+    li r2, #3
+    sdiv r1, r1, r2
+    sdiv r1, r1, r2
+    sdiv r1, r1, r2
+    sdiv r1, r1, r2
+    mov r0, r1
+    li r7, #1
+    syscall
+`, 1_000_000)
+	if r.core.Stopped() != StopExit {
+		t.Fatalf("stop = %v", r.core.Stopped())
+	}
+	if r.os.exitCode != 100000/3/3/3/3 {
+		t.Fatalf("exit = %d", r.os.exitCode)
+	}
+	if r.core.Cycles() < 4*12 {
+		t.Fatalf("dependent divides finished in %d cycles", r.core.Cycles())
+	}
+}
+
+func TestInOrderModeSameResultLowerILP(t *testing.T) {
+	// In-order issue must preserve architectural results while extracting
+	// less ILP from an interleaved independent-chain kernel.
+	src := `
+_start:
+    li r1, #1
+    li r2, #1
+    li r3, #0
+loop:
+    mul r4, r1, r2      ; long-latency op feeding nothing immediately
+    addi r1, r1, #3
+    addi r2, r2, #5
+    add r5, r1, r2
+    eor r6, r4, r5
+    add r3, r3, r6
+    cmp r1, #3000
+    b.lt loop
+    andi r0, r3, #0xFF
+    li r7, #1
+    syscall
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCfg := func(inOrder bool) (*rig, uint64) {
+		r := buildRig(t, prog)
+		if inOrder {
+			// Rebuild with the in-order configuration.
+			cfg := DefaultConfig()
+			cfg.InOrder = true
+			r = buildRigWithConfig(t, prog, cfg)
+		}
+		for r.core.Stopped() == StopNone && r.core.Cycles() < 10_000_000 {
+			r.core.Cycle()
+		}
+		if r.core.Stopped() != StopExit {
+			t.Fatalf("inOrder=%v: stop = %v", inOrder, r.core.Stopped())
+		}
+		return r, r.core.Cycles()
+	}
+	ooo, oooCycles := runCfg(false)
+	ino, inoCycles := runCfg(true)
+	if ooo.os.exitCode != ino.os.exitCode {
+		t.Fatalf("architectural results differ: %d vs %d", ooo.os.exitCode, ino.os.exitCode)
+	}
+	if inoCycles < oooCycles {
+		t.Fatalf("in-order (%d cycles) should not beat out-of-order (%d)", inoCycles, oooCycles)
+	}
+}

@@ -1,0 +1,64 @@
+package cpu
+
+// Branch prediction: a bimodal table of 2-bit saturating counters for
+// conditional branch direction plus a direct-mapped BTB for indirect branch
+// targets. Direct targets never need the BTB because fetch pre-decodes the
+// instruction word and computes them immediately.
+//
+// The predictor is not one of the paper's injection targets, so its state
+// is not part of the injectable geometry.
+
+const (
+	bimodalEntries = 512
+	btbEntries     = 64
+)
+
+type predictor struct {
+	bimodal [bimodalEntries]uint8 // 2-bit counters, initialised weakly taken
+	btbTag  [btbEntries]uint32
+	btbTgt  [btbEntries]uint32
+	btbOK   [btbEntries]bool
+}
+
+func newPredictor() *predictor {
+	p := &predictor{}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2 // weakly taken: loops predict well from cold
+	}
+	return p
+}
+
+func bimodalIdx(pc uint32) int { return int(pc>>2) & (bimodalEntries - 1) }
+func btbIdx(pc uint32) int     { return int(pc>>2) & (btbEntries - 1) }
+
+// predictCond predicts the direction of a conditional branch at pc.
+func (p *predictor) predictCond(pc uint32) bool {
+	return p.bimodal[bimodalIdx(pc)] >= 2
+}
+
+// trainCond updates the direction counter with the resolved outcome.
+func (p *predictor) trainCond(pc uint32, taken bool) {
+	i := bimodalIdx(pc)
+	if taken {
+		if p.bimodal[i] < 3 {
+			p.bimodal[i]++
+		}
+	} else if p.bimodal[i] > 0 {
+		p.bimodal[i]--
+	}
+}
+
+// predictIndirect returns the BTB target for an indirect branch, if any.
+func (p *predictor) predictIndirect(pc uint32) (uint32, bool) {
+	i := btbIdx(pc)
+	if p.btbOK[i] && p.btbTag[i] == pc {
+		return p.btbTgt[i], true
+	}
+	return 0, false
+}
+
+// trainIndirect records the resolved target of an indirect branch.
+func (p *predictor) trainIndirect(pc, target uint32) {
+	i := btbIdx(pc)
+	p.btbTag[i], p.btbTgt[i], p.btbOK[i] = pc, target, true
+}

@@ -1,0 +1,69 @@
+package cpu
+
+import "fmt"
+
+// NoPhys marks an unused physical register slot.
+const NoPhys = 0xFF
+
+// RegFile is the physical register file: the values and per-register ready
+// bits that back the renamed architectural state. It is one of the paper's
+// six injection targets; the injectable geometry is one row per physical
+// register, columns 0..31 the data bits and column 32 the ready bit.
+//
+// Flipping a data bit corrupts a (possibly committed) value and propagates
+// to every later reader; flipping a ready bit either releases a consumer
+// early (it reads a stale value) or parks consumers forever, which the
+// watchdog eventually reports as a deadlock — both effects the paper
+// observes for register-file faults.
+type RegFile struct {
+	vals  []uint32
+	ready []bool
+}
+
+// NewRegFile returns a register file with n physical registers, all zero
+// and ready.
+func NewRegFile(n int) *RegFile {
+	rf := &RegFile{vals: make([]uint32, n), ready: make([]bool, n)}
+	for i := range rf.ready {
+		rf.ready[i] = true
+	}
+	return rf
+}
+
+// Val returns the value of physical register p.
+func (rf *RegFile) Val(p uint8) uint32 { return rf.vals[p] }
+
+// Ready reports whether physical register p holds a produced value.
+func (rf *RegFile) Ready(p uint8) bool { return rf.ready[p] }
+
+// Write produces a value into p and marks it ready.
+func (rf *RegFile) Write(p uint8, v uint32) {
+	rf.vals[p] = v
+	rf.ready[p] = true
+}
+
+// Alloc marks p as allocated and awaiting its value.
+func (rf *RegFile) Alloc(p uint8) { rf.ready[p] = false }
+
+// --- Fault-injection geometry (core.Target implementation) ---
+
+// Name returns the component name used by the fault injector.
+func (rf *RegFile) Name() string { return "RegFile" }
+
+// Rows returns the number of physical registers.
+func (rf *RegFile) Rows() int { return len(rf.vals) }
+
+// Cols returns the bit width of a register row (32 data bits + ready).
+func (rf *RegFile) Cols() int { return 33 }
+
+// FlipBit flips one stored bit of register row.
+func (rf *RegFile) FlipBit(row, col int) {
+	if row < 0 || row >= len(rf.vals) || col < 0 || col >= 33 {
+		panic(fmt.Sprintf("regfile: FlipBit(%d,%d) out of range", row, col))
+	}
+	if col == 32 {
+		rf.ready[row] = !rf.ready[row]
+		return
+	}
+	rf.vals[row] ^= 1 << col
+}

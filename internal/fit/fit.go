@@ -1,0 +1,67 @@
+// Package fit implements the paper's Failures-In-Time analysis (Eq. 4):
+//
+//	FIT_struct = AVF_struct x rawFIT_bit x #Bits_struct
+//
+// summed over structures to give the whole-CPU FIT per technology node,
+// with the multi-bit contribution separated out (Fig. 8).
+package fit
+
+import (
+	"mbusim/internal/avf"
+	"mbusim/internal/tech"
+)
+
+// Structure computes the FIT of one structure at one node from its
+// aggregate AVF.
+func Structure(nodeAVF float64, node tech.Node, bits int) float64 {
+	return nodeAVF * node.RawFIT * float64(bits)
+}
+
+// CPUEntry is one bar of Fig. 8: the whole-CPU FIT at a node, split into
+// the part a single-bit-only analysis would report and the extra part
+// contributed by multi-bit upsets.
+type CPUEntry struct {
+	Node       tech.Node
+	Total      float64            // FIT with the full multi-bit AVF
+	SingleOnly float64            // FIT using only the single-bit AVF
+	PerComp    map[string]float64 // per-structure FIT (multi-bit)
+}
+
+// MBUShare is the fraction of the total FIT attributable to multi-bit
+// upsets (the red area of Fig. 8), 0% at 250 nm rising to ~21% at 22 nm in
+// the paper.
+func (e CPUEntry) MBUShare() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return 1 - e.SingleOnly/e.Total
+}
+
+// CPU computes the whole-CPU FIT at every measured node from per-component
+// weighted AVFs, using the paper's Table VII raw rates and Table VIII
+// sizes.
+func CPU(cas []avf.ComponentAVF) ([]CPUEntry, error) {
+	return CPUFor(cas, tech.Nodes)
+}
+
+// CPUFor is CPU over an explicit node list (e.g. tech.AllNodes to include
+// the projected post-22nm extension).
+func CPUFor(cas []avf.ComponentAVF, nodes []tech.Node) ([]CPUEntry, error) {
+	entries := make([]CPUEntry, 0, len(nodes))
+	for _, n := range nodes {
+		e := CPUEntry{Node: n, PerComp: make(map[string]float64, len(cas))}
+		for _, ca := range cas {
+			bits, err := tech.ComponentBits(ca.Component)
+			if err != nil {
+				return nil, err
+			}
+			agg := avf.NodeAVF(ca.ByFaults[1], ca.ByFaults[2], ca.ByFaults[3], n)
+			f := Structure(agg, n, bits)
+			e.PerComp[ca.Component] = f
+			e.Total += f
+			e.SingleOnly += Structure(ca.ByFaults[1], n, bits)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

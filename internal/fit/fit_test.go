@@ -1,0 +1,110 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"mbusim/internal/avf"
+	"mbusim/internal/tech"
+)
+
+func TestStructureEq4(t *testing.T) {
+	n, _ := tech.ByName("130nm")
+	// FIT = AVF x rawFIT x bits.
+	got := Structure(0.25, n, 262144)
+	want := 0.25 * 106e-8 * 262144
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FIT = %g, want %g", got, want)
+	}
+}
+
+func paperLikeAVFs() []avf.ComponentAVF {
+	// Per-component AVFs in the paper's Table V.
+	mk := func(name string, a1, a2, a3 float64) avf.ComponentAVF {
+		ca := avf.ComponentAVF{Component: name}
+		ca.ByFaults[1], ca.ByFaults[2], ca.ByFaults[3] = a1, a2, a3
+		return ca
+	}
+	return []avf.ComponentAVF{
+		mk("L1D", 0.2032, 0.2970, 0.3628),
+		mk("L1I", 0.1201, 0.1957, 0.2514),
+		mk("L2", 0.1794, 0.2483, 0.3013),
+		mk("RegFile", 0.1095, 0.1865, 0.2301),
+		mk("ITLB", 0.5031, 0.6291, 0.6667),
+		mk("DTLB", 0.5066, 0.6177, 0.6722),
+	}
+}
+
+func TestCPUWithPaperNumbers(t *testing.T) {
+	// Feeding the paper's own Table V AVFs through our Eq. 3 + Eq. 4
+	// machinery must reproduce the paper's Fig. 8 shape: FIT peaks at
+	// 130nm, falls to a minimum at 22nm, and the MBU share rises
+	// monotonically from 0% to ~20% at 22nm.
+	entries, err := CPU(paperLikeAVFs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	peak, low := 0, 0
+	for i, e := range entries {
+		if e.Total > entries[peak].Total {
+			peak = i
+		}
+		if e.Total < entries[low].Total {
+			low = i
+		}
+	}
+	if entries[peak].Node.Name != "130nm" {
+		t.Fatalf("FIT peaks at %s, want 130nm", entries[peak].Node.Name)
+	}
+	if entries[low].Node.Name != "22nm" {
+		t.Fatalf("FIT minimum at %s, want 22nm", entries[low].Node.Name)
+	}
+	if entries[0].MBUShare() != 0 {
+		t.Fatalf("250nm MBU share = %f, want 0", entries[0].MBUShare())
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].MBUShare() < entries[i-1].MBUShare()-1e-9 {
+			t.Fatalf("MBU share not monotone at %s", entries[i].Node.Name)
+		}
+	}
+	share22 := entries[7].MBUShare()
+	if share22 < 0.15 || share22 > 0.27 {
+		t.Fatalf("22nm MBU share = %.1f%%, paper reports ~21%%", 100*share22)
+	}
+}
+
+func TestCPUPerComponentBreakdown(t *testing.T) {
+	entries, err := CPU(paperLikeAVFs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries[7]
+	sum := 0.0
+	for _, f := range e.PerComp {
+		sum += f
+	}
+	if math.Abs(sum-e.Total) > 1e-9 {
+		t.Fatalf("per-component FITs sum to %g, total %g", sum, e.Total)
+	}
+	// The L2 dominates the CPU FIT (it holds 88% of the bits).
+	if e.PerComp["L2"] < e.PerComp["L1D"] {
+		t.Fatal("L2 should dominate the FIT budget")
+	}
+}
+
+func TestCPUUnknownComponent(t *testing.T) {
+	bad := []avf.ComponentAVF{{Component: "BTB"}}
+	if _, err := CPU(bad); err == nil {
+		t.Fatal("expected error for unknown component")
+	}
+}
+
+func TestMBUShareZeroTotal(t *testing.T) {
+	var e CPUEntry
+	if e.MBUShare() != 0 {
+		t.Fatal("zero total must give zero share")
+	}
+}

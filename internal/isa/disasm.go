@@ -1,0 +1,68 @@
+package isa
+
+import "fmt"
+
+// opNames maps opcodes to their assembler mnemonics.
+var opNames = map[Op]string{
+	OpADD: "add", OpSUB: "sub", OpRSB: "rsb", OpAND: "and", OpORR: "orr",
+	OpEOR: "eor", OpBIC: "bic", OpLSL: "lsl", OpLSR: "lsr", OpASR: "asr",
+	OpROR: "ror", OpMUL: "mul", OpSDIV: "sdiv", OpUDIV: "udiv",
+	OpSREM: "srem", OpUREM: "urem", OpMOV: "mov", OpMVN: "mvn",
+	OpSMLH: "smulh", OpUMLH: "umulh",
+	OpADDI: "addi", OpSUBI: "subi", OpANDI: "andi", OpORRI: "orri",
+	OpEORI: "eori", OpLSLI: "lsli", OpLSRI: "lsri", OpASRI: "asri",
+	OpMOVZ: "movz", OpMOVT: "movt",
+	OpCMP: "cmp", OpCMPI: "cmp", OpTST: "tst",
+	OpLDR: "ldr", OpLDRB: "ldrb", OpLDRH: "ldrh",
+	OpSTR: "str", OpSTRB: "strb", OpSTRH: "strh",
+	OpLDRR: "ldrr", OpLDRBR: "ldrbr", OpSTRR: "strr", OpSTRBR: "strbr",
+	OpB: "b", OpBL: "bl", OpBX: "bx", OpBLX: "blx",
+	OpSYSCALL: "syscall", OpNOP: "nop",
+}
+
+var condNames = map[Cond]string{
+	CondAL: "", CondEQ: ".eq", CondNE: ".ne", CondLT: ".lt", CondGE: ".ge",
+	CondLE: ".le", CondGT: ".gt", CondLO: ".lo", CondHS: ".hs",
+	CondLS: ".ls", CondHI: ".hi",
+}
+
+// Disassemble renders a raw instruction word at address pc as assembler
+// syntax. Undefined encodings render as ".word 0x…".
+func Disassemble(pc, w uint32) string {
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08X", w)
+	}
+	name := opNames[in.Op]
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	switch in.Op {
+	case OpMOV, OpMVN:
+		return fmt.Sprintf("%s %s, %s", name, r(in.Rd), r(in.Rm))
+	case OpMOVZ, OpMOVT:
+		return fmt.Sprintf("%s %s, #0x%X", name, r(in.Rd), uint32(in.Imm))
+	case OpCMP, OpTST:
+		return fmt.Sprintf("%s %s, %s", name, r(in.Rn), r(in.Rm))
+	case OpCMPI:
+		return fmt.Sprintf("%s %s, #%d", name, r(in.Rn), in.Imm)
+	case OpLDR, OpLDRB, OpLDRH, OpSTR, OpSTRB, OpSTRH:
+		return fmt.Sprintf("%s %s, [%s, #%d]", name, r(in.Rd), r(in.Rn), in.Imm)
+	case OpLDRR, OpLDRBR, OpSTRR, OpSTRBR:
+		return fmt.Sprintf("%s %s, [%s, %s]", name, r(in.Rd), r(in.Rn), r(in.Rm))
+	case OpB:
+		return fmt.Sprintf("b%s 0x%X", condNames[in.Cond], pc+4+uint32(in.Imm)*4)
+	case OpBL:
+		return fmt.Sprintf("bl 0x%X", pc+4+uint32(in.Imm)*4)
+	case OpBX, OpBLX:
+		return fmt.Sprintf("%s %s", name, r(in.Rm))
+	case OpSYSCALL, OpNOP:
+		return name
+	}
+	switch in.Class {
+	case ClassALU:
+		if in.Rm != NoReg {
+			return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rd), r(in.Rn), r(in.Rm))
+		}
+		return fmt.Sprintf("%s %s, %s, #%d", name, r(in.Rd), r(in.Rn), in.Imm)
+	}
+	return fmt.Sprintf(".word 0x%08X", w)
+}

@@ -1,0 +1,45 @@
+package isa
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestDisassembleForms(t *testing.T) {
+	cases := []struct {
+		w    uint32
+		pc   uint32
+		want string
+	}{
+		{EncodeR(OpADD, 1, 2, 3), 0, "add r1, r2, r3"},
+		{EncodeI(OpADDI, 4, 5, -7), 0, "addi r4, r5, #-7"},
+		{EncodeR(OpMOV, 6, 0, 8), 0, "mov r6, r8"},
+		{EncodeI(OpMOVZ, 1, 0, 0x1234), 0, "movz r1, #0x1234"},
+		{EncodeI(OpCMPI, 0, 2, 3), 0, "cmp r2, #3"},
+		{EncodeI(OpLDR, 1, 13, 8), 0, "ldr r1, [r13, #8]"},
+		{EncodeR(OpSTRR, 1, 2, 3), 0, "strr r1, [r2, r3]"},
+		{EncodeB(CondNE, -1), 0x100, "b.ne 0x100"},
+		{EncodeBL(2), 0x100, "bl 0x10C"},
+		{EncodeR(OpBX, 0, 0, 14), 0, "bx r14"},
+		{uint32(OpSYSCALL) << 26, 0, "syscall"},
+		{0xFFFFFFFF, 0, ".word 0xFFFFFFFF"},
+		{0, 0, ".word 0x00000000"},
+	}
+	for _, tc := range cases {
+		if got := Disassemble(tc.pc, tc.w); got != tc.want {
+			t.Errorf("Disassemble(%#x) = %q, want %q", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestDisassembleTotal(t *testing.T) {
+	// Every word disassembles to something non-empty without panicking.
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 100000; i++ {
+		s := Disassemble(0x1000, rng.Uint32())
+		if s == "" || strings.Contains(s, "%!") {
+			t.Fatalf("bad disassembly %q", s)
+		}
+	}
+}

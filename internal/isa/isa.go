@@ -1,0 +1,428 @@
+// Package isa defines AR32, the 32-bit ARM-like instruction set executed by
+// the simulated CPU. AR32 keeps the structural properties that matter for
+// fault-effect studies: a dense but not full opcode space (random bit flips
+// in instruction words frequently produce undefined instructions), register
+// fields wider than the register file (flips can produce invalid register
+// numbers), condition codes on an NZCV flag register, and fixed 32-bit
+// encodings.
+//
+// Encoding formats (bit 31 is the most significant):
+//
+//	R-type:  op[31:26] rd[25:21] rn[20:16] rm[15:11] zero[10:0]
+//	I-type:  op[31:26] rd[25:21] rn[20:16] imm16[15:0]   (signed unless noted)
+//	B-type:  op[31:26] cond[25:22] off22[21:0]           (signed word offset)
+//	BL:      op[31:26] off26[25:0]                       (signed word offset)
+package isa
+
+import "fmt"
+
+// Architectural registers. AR32 has 16 general purpose registers plus a
+// condition flag register that is renamed like any other register.
+const (
+	NumGPR   = 16 // r0..r15
+	RegSP    = 13 // stack pointer
+	RegLR    = 14 // link register
+	RegFlags = 16 // architectural index of the NZCV flag register
+	NumArch  = 17 // GPRs + flags
+	RegSys   = 7  // syscall number register (ARM EABI convention)
+)
+
+// Op is an AR32 opcode (the 6-bit primary opcode field).
+type Op uint8
+
+// Opcode space. Gaps are deliberate: encodings whose opcode field falls in a
+// gap decode as undefined instructions, as on real machines.
+const (
+	OpInvalid Op = 0x00 // all-zero words are undefined
+
+	// R-type ALU: rd = rn OP rm
+	OpADD  Op = 0x01
+	OpSUB  Op = 0x02
+	OpRSB  Op = 0x03 // rd = rm - rn
+	OpAND  Op = 0x04
+	OpORR  Op = 0x05
+	OpEOR  Op = 0x06
+	OpBIC  Op = 0x07 // rd = rn &^ rm
+	OpLSL  Op = 0x08
+	OpLSR  Op = 0x09
+	OpASR  Op = 0x0A
+	OpROR  Op = 0x0B
+	OpMUL  Op = 0x0C
+	OpSDIV Op = 0x0D // ARM semantics: x/0 == 0
+	OpUDIV Op = 0x0E
+	OpSREM Op = 0x0F // x%0 == x (consistent with ARM's __aeabi behaviour)
+	OpUREM Op = 0x10
+	OpMOV  Op = 0x11 // rd = rm
+	OpMVN  Op = 0x12 // rd = ^rm
+	OpSMLH Op = 0x13 // rd = high 32 bits of int64(rn)*int64(rm)
+	OpUMLH Op = 0x14 // rd = high 32 bits of uint64(rn)*uint64(rm)
+
+	// I-type ALU: rd = rn OP signExt(imm16), unless noted.
+	OpADDI Op = 0x18
+	OpSUBI Op = 0x19
+	OpANDI Op = 0x1A
+	OpORRI Op = 0x1B
+	OpEORI Op = 0x1C
+	OpLSLI Op = 0x1D // shift amount = imm16 & 31
+	OpLSRI Op = 0x1E
+	OpASRI Op = 0x1F
+	OpMOVZ Op = 0x20 // rd = zeroExt(imm16)
+	OpMOVT Op = 0x21 // rd = (rd & 0xFFFF) | imm16<<16  (rn must equal rd)
+
+	// Compares: set NZCV, write no GPR.
+	OpCMP  Op = 0x24 // flags from rn - rm
+	OpCMPI Op = 0x25 // flags from rn - signExt(imm16)
+	OpTST  Op = 0x26 // flags from rn & rm (N,Z only; C,V cleared)
+
+	// Memory. Immediate forms: address = rn + signExt(imm16).
+	// Register forms: address = rn + rm.
+	OpLDR   Op = 0x28 // 32-bit load
+	OpLDRB  Op = 0x29 // zero-extending byte load
+	OpLDRH  Op = 0x2A // zero-extending halfword load
+	OpSTR   Op = 0x2B
+	OpSTRB  Op = 0x2C
+	OpSTRH  Op = 0x2D
+	OpLDRR  Op = 0x2E
+	OpLDRBR Op = 0x2F
+	OpSTRR  Op = 0x30
+	OpSTRBR Op = 0x31
+
+	// Control flow.
+	OpB   Op = 0x34 // conditional branch, B-type
+	OpBL  Op = 0x35 // branch and link, BL format
+	OpBX  Op = 0x36 // indirect branch to rm (R-type, rd/rn zero)
+	OpBLX Op = 0x37 // indirect call to rm, LR = PC+4
+
+	// System.
+	OpSYSCALL Op = 0x3A
+	OpNOP     Op = 0x3B
+
+	numOps = 0x40
+)
+
+// Cond is a branch condition evaluated against the NZCV flags.
+type Cond uint8
+
+const (
+	CondAL   Cond = 0  // always
+	CondEQ   Cond = 1  // Z
+	CondNE   Cond = 2  // !Z
+	CondLT   Cond = 3  // N != V
+	CondGE   Cond = 4  // N == V
+	CondLE   Cond = 5  // Z || N != V
+	CondGT   Cond = 6  // !Z && N == V
+	CondLO   Cond = 7  // !C (unsigned <)
+	CondHS   Cond = 8  // C  (unsigned >=)
+	CondLS   Cond = 9  // Z || !C (unsigned <=)
+	CondHI   Cond = 10 // !C is false and !Z (unsigned >)
+	numConds      = 11
+)
+
+// Flag bits inside the renamed flag register value.
+const (
+	FlagN uint32 = 1 << 3
+	FlagZ uint32 = 1 << 2
+	FlagC uint32 = 1 << 1
+	FlagV uint32 = 1 << 0
+)
+
+// EvalCond reports whether condition c holds for the given flag value.
+// Invalid condition encodings report an undefined-instruction error at
+// decode, so EvalCond only sees valid conditions.
+func EvalCond(c Cond, flags uint32) bool {
+	n := flags&FlagN != 0
+	z := flags&FlagZ != 0
+	cf := flags&FlagC != 0
+	v := flags&FlagV != 0
+	switch c {
+	case CondAL:
+		return true
+	case CondEQ:
+		return z
+	case CondNE:
+		return !z
+	case CondLT:
+		return n != v
+	case CondGE:
+		return n == v
+	case CondLE:
+		return z || n != v
+	case CondGT:
+		return !z && n == v
+	case CondLO:
+		return !cf
+	case CondHS:
+		return cf
+	case CondLS:
+		return z || !cf
+	case CondHI:
+		return cf && !z
+	}
+	return false
+}
+
+// SubFlags computes the NZCV flags of a - b, with ARM carry semantics
+// (C set when no borrow occurred).
+func SubFlags(a, b uint32) uint32 {
+	r := a - b
+	var f uint32
+	if r&0x8000_0000 != 0 {
+		f |= FlagN
+	}
+	if r == 0 {
+		f |= FlagZ
+	}
+	if a >= b {
+		f |= FlagC
+	}
+	// Signed overflow: operands of differing sign and result sign differs
+	// from the minuend.
+	if (a^b)&0x8000_0000 != 0 && (a^r)&0x8000_0000 != 0 {
+		f |= FlagV
+	}
+	return f
+}
+
+// AndFlags computes flags for TST (N and Z from a&b, C and V cleared).
+func AndFlags(a, b uint32) uint32 {
+	r := a & b
+	var f uint32
+	if r&0x8000_0000 != 0 {
+		f |= FlagN
+	}
+	if r == 0 {
+		f |= FlagZ
+	}
+	return f
+}
+
+// Class groups opcodes by execution behaviour.
+type Class uint8
+
+const (
+	ClassInvalid Class = iota
+	ClassALU           // register or immediate ALU, writes rd
+	ClassCmp           // writes flags only
+	ClassLoad
+	ClassStore
+	ClassBranch // B, BL, BX, BLX
+	ClassSys    // SYSCALL
+	ClassNop
+)
+
+// Inst is a decoded AR32 instruction.
+type Inst struct {
+	Op    Op
+	Class Class
+	Rd    uint8 // destination GPR (or 0xFF if none)
+	Rn    uint8 // first source
+	Rm    uint8 // second source (0xFF if unused)
+	Imm   int32 // sign- or zero-extended immediate / branch word offset
+	Cond  Cond  // for OpB
+	Raw   uint32
+}
+
+// NoReg marks an unused register slot in a decoded instruction.
+const NoReg = 0xFF
+
+// ErrUndef is returned by Decode for undefined encodings. The simulated CPU
+// raises an undefined-instruction exception when such an instruction reaches
+// commit, exactly as the paper's gem5 model does for corrupted I-cache bits.
+type ErrUndef struct {
+	Raw    uint32
+	Reason string
+}
+
+func (e ErrUndef) Error() string {
+	return fmt.Sprintf("undefined instruction %#08x: %s", e.Raw, e.Reason)
+}
+
+func opcode(w uint32) Op      { return Op(w >> 26) }
+func rdField(w uint32) uint8  { return uint8(w >> 21 & 0x1F) }
+func rnField(w uint32) uint8  { return uint8(w >> 16 & 0x1F) }
+func rmField(w uint32) uint8  { return uint8(w >> 11 & 0x1F) }
+func imm16(w uint32) int32    { return int32(int16(w & 0xFFFF)) }
+func off22(w uint32) int32    { return int32(w<<10) >> 10 }
+func off26(w uint32) int32    { return int32(w<<6) >> 6 }
+func condField(w uint32) Cond { return Cond(w >> 22 & 0xF) }
+
+// Decode decodes a raw instruction word. It returns ErrUndef for encodings
+// outside the defined space: unknown opcodes, register fields >= NumGPR,
+// invalid condition codes, and nonzero must-be-zero fields.
+func Decode(w uint32) (Inst, error) {
+	op := opcode(w)
+	in := Inst{Op: op, Raw: w, Rd: NoReg, Rm: NoReg}
+	undef := func(reason string) (Inst, error) {
+		in.Class = ClassInvalid
+		return in, ErrUndef{Raw: w, Reason: reason}
+	}
+	checkReg := func(r uint8) bool { return r < NumGPR }
+
+	switch op {
+	case OpADD, OpSUB, OpRSB, OpAND, OpORR, OpEOR, OpBIC,
+		OpLSL, OpLSR, OpASR, OpROR, OpMUL, OpSDIV, OpUDIV,
+		OpSREM, OpUREM, OpSMLH, OpUMLH:
+		in.Class = ClassALU
+		in.Rd, in.Rn, in.Rm = rdField(w), rnField(w), rmField(w)
+		if !checkReg(in.Rd) || !checkReg(in.Rn) || !checkReg(in.Rm) {
+			return undef("register field out of range")
+		}
+		if w&0x7FF != 0 {
+			return undef("nonzero reserved field")
+		}
+	case OpMOV, OpMVN:
+		in.Class = ClassALU
+		in.Rd, in.Rm = rdField(w), rmField(w)
+		in.Rn = in.Rm // single-source: track through rn for simplicity
+		if !checkReg(in.Rd) || !checkReg(in.Rm) {
+			return undef("register field out of range")
+		}
+		if w&0x7FF != 0 || rnField(w) != 0 {
+			return undef("nonzero reserved field")
+		}
+	case OpADDI, OpSUBI, OpANDI, OpORRI, OpEORI, OpLSLI, OpLSRI, OpASRI:
+		in.Class = ClassALU
+		in.Rd, in.Rn, in.Imm = rdField(w), rnField(w), imm16(w)
+		if !checkReg(in.Rd) || !checkReg(in.Rn) {
+			return undef("register field out of range")
+		}
+	case OpMOVZ:
+		in.Class = ClassALU
+		in.Rd = rdField(w)
+		in.Rn = NoReg
+		in.Imm = int32(w & 0xFFFF) // zero-extended
+		if !checkReg(in.Rd) || rnField(w) != 0 {
+			return undef("bad MOVZ encoding")
+		}
+	case OpMOVT:
+		in.Class = ClassALU
+		in.Rd, in.Rn = rdField(w), rnField(w)
+		in.Imm = int32(w & 0xFFFF)
+		if !checkReg(in.Rd) || in.Rd != in.Rn {
+			return undef("MOVT requires rn == rd")
+		}
+	case OpCMP, OpTST:
+		in.Class = ClassCmp
+		in.Rd = NoReg
+		in.Rn, in.Rm = rnField(w), rmField(w)
+		if !checkReg(in.Rn) || !checkReg(in.Rm) {
+			return undef("register field out of range")
+		}
+		if rdField(w) != 0 || w&0x7FF != 0 {
+			return undef("nonzero reserved field")
+		}
+	case OpCMPI:
+		in.Class = ClassCmp
+		in.Rd = NoReg
+		in.Rn, in.Imm = rnField(w), imm16(w)
+		if !checkReg(in.Rn) || rdField(w) != 0 {
+			return undef("bad CMPI encoding")
+		}
+	case OpLDR, OpLDRB, OpLDRH:
+		in.Class = ClassLoad
+		in.Rd, in.Rn, in.Imm = rdField(w), rnField(w), imm16(w)
+		if !checkReg(in.Rd) || !checkReg(in.Rn) {
+			return undef("register field out of range")
+		}
+	case OpSTR, OpSTRB, OpSTRH:
+		in.Class = ClassStore
+		// rd holds the value to store; it is a source here.
+		in.Rd, in.Rn, in.Imm = rdField(w), rnField(w), imm16(w)
+		if !checkReg(in.Rd) || !checkReg(in.Rn) {
+			return undef("register field out of range")
+		}
+	case OpLDRR, OpLDRBR:
+		in.Class = ClassLoad
+		in.Rd, in.Rn, in.Rm = rdField(w), rnField(w), rmField(w)
+		if !checkReg(in.Rd) || !checkReg(in.Rn) || !checkReg(in.Rm) {
+			return undef("register field out of range")
+		}
+		if w&0x7FF != 0 {
+			return undef("nonzero reserved field")
+		}
+	case OpSTRR, OpSTRBR:
+		in.Class = ClassStore
+		in.Rd, in.Rn, in.Rm = rdField(w), rnField(w), rmField(w)
+		if !checkReg(in.Rd) || !checkReg(in.Rn) || !checkReg(in.Rm) {
+			return undef("register field out of range")
+		}
+		if w&0x7FF != 0 {
+			return undef("nonzero reserved field")
+		}
+	case OpB:
+		in.Class = ClassBranch
+		in.Cond = condField(w)
+		in.Imm = off22(w)
+		if in.Cond >= numConds {
+			return undef("invalid condition code")
+		}
+	case OpBL:
+		in.Class = ClassBranch
+		in.Imm = off26(w)
+	case OpBX, OpBLX:
+		in.Class = ClassBranch
+		in.Rm = rmField(w)
+		if !checkReg(in.Rm) {
+			return undef("register field out of range")
+		}
+		if rdField(w) != 0 || rnField(w) != 0 || w&0x7FF != 0 {
+			return undef("nonzero reserved field")
+		}
+	case OpSYSCALL:
+		in.Class = ClassSys
+		if w&0x03FF_FFFF != 0 {
+			return undef("nonzero reserved field")
+		}
+	case OpNOP:
+		in.Class = ClassNop
+		if w&0x03FF_FFFF != 0 {
+			return undef("nonzero reserved field")
+		}
+	default:
+		return undef("unknown opcode")
+	}
+	return in, nil
+}
+
+// Encode helpers used by the assembler. They panic on out-of-range operands;
+// the assembler validates operands and reports errors with source positions
+// before calling them.
+
+func EncodeR(op Op, rd, rn, rm uint8) uint32 {
+	mustReg(rd)
+	mustReg(rn)
+	mustReg(rm)
+	return uint32(op)<<26 | uint32(rd)<<21 | uint32(rn)<<16 | uint32(rm)<<11
+}
+
+func EncodeI(op Op, rd, rn uint8, imm int32) uint32 {
+	mustReg(rd)
+	mustReg(rn)
+	if imm < -0x8000 || imm > 0xFFFF {
+		panic(fmt.Sprintf("isa: immediate %d out of range", imm))
+	}
+	return uint32(op)<<26 | uint32(rd)<<21 | uint32(rn)<<16 | uint32(uint16(imm))
+}
+
+func EncodeB(cond Cond, wordOff int32) uint32 {
+	if cond >= numConds {
+		panic("isa: invalid condition")
+	}
+	if wordOff < -(1<<21) || wordOff >= 1<<21 {
+		panic(fmt.Sprintf("isa: branch offset %d out of range", wordOff))
+	}
+	return uint32(OpB)<<26 | uint32(cond)<<22 | uint32(wordOff)&0x3F_FFFF
+}
+
+func EncodeBL(wordOff int32) uint32 {
+	if wordOff < -(1<<25) || wordOff >= 1<<25 {
+		panic(fmt.Sprintf("isa: call offset %d out of range", wordOff))
+	}
+	return uint32(OpBL)<<26 | uint32(wordOff)&0x03FF_FFFF
+}
+
+func mustReg(r uint8) {
+	if r >= NumGPR {
+		panic(fmt.Sprintf("isa: register r%d out of range", r))
+	}
+}

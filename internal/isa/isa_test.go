@@ -1,0 +1,182 @@
+package isa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRType(t *testing.T) {
+	ops := []Op{OpADD, OpSUB, OpRSB, OpAND, OpORR, OpEOR, OpBIC, OpLSL,
+		OpLSR, OpASR, OpROR, OpMUL, OpSDIV, OpUDIV, OpSREM, OpUREM,
+		OpSMLH, OpUMLH}
+	for _, op := range ops {
+		w := EncodeR(op, 3, 4, 5)
+		in, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v: %v", op, err)
+		}
+		if in.Op != op || in.Rd != 3 || in.Rn != 4 || in.Rm != 5 {
+			t.Fatalf("roundtrip %v: got %+v", op, in)
+		}
+		if in.Class != ClassALU {
+			t.Fatalf("%v class = %v", op, in.Class)
+		}
+	}
+}
+
+func TestEncodeDecodeIType(t *testing.T) {
+	for _, imm := range []int32{0, 1, -1, 32767, -32768, 1234} {
+		w := EncodeI(OpADDI, 1, 2, imm)
+		in, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode ADDI #%d: %v", imm, err)
+		}
+		if in.Imm != imm {
+			t.Fatalf("imm roundtrip: got %d want %d", in.Imm, imm)
+		}
+	}
+}
+
+func TestEncodeDecodeBranch(t *testing.T) {
+	for _, off := range []int32{0, 1, -1, 1<<21 - 1, -(1 << 21)} {
+		w := EncodeB(CondNE, off)
+		in, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode B %d: %v", off, err)
+		}
+		if in.Imm != off || in.Cond != CondNE {
+			t.Fatalf("branch roundtrip: got %+v want off=%d", in, off)
+		}
+	}
+	for _, off := range []int32{0, -1, 1<<25 - 1, -(1 << 25)} {
+		w := EncodeBL(off)
+		in, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode BL %d: %v", off, err)
+		}
+		if in.Imm != off {
+			t.Fatalf("BL roundtrip: got %d want %d", in.Imm, off)
+		}
+	}
+}
+
+func TestDecodeRejectsBadEncodings(t *testing.T) {
+	cases := []struct {
+		name string
+		w    uint32
+	}{
+		{"all zero", 0},
+		{"all ones", 0xFFFFFFFF},
+		{"unknown opcode", uint32(0x3F) << 26},
+		{"register out of range", EncodeR(OpADD, 3, 4, 5) | 1<<25}, // rd bit 4 set -> rd=19
+		{"nonzero reserved R-type", EncodeR(OpADD, 1, 2, 3) | 0x7},
+		{"invalid condition", uint32(OpB)<<26 | 13<<22},
+		{"nonzero reserved syscall", uint32(OpSYSCALL)<<26 | 1},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.w); err == nil {
+			t.Errorf("%s (%#08x): decoded without error", tc.name, tc.w)
+		}
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	// Property: Decode is total over all 32-bit words.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200000; i++ {
+		w := rng.Uint32()
+		in, err := Decode(w)
+		if err == nil && in.Class == ClassInvalid {
+			t.Fatalf("%#08x: decoded without error but invalid class", w)
+		}
+	}
+}
+
+func TestUndefinedFractionIsSubstantial(t *testing.T) {
+	// The opcode space is deliberately sparse: a substantial fraction of
+	// random words must decode as undefined, since that drives the
+	// crash-dominant behaviour of I-cache faults.
+	rng := rand.New(rand.NewPCG(7, 9))
+	bad := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if _, err := Decode(rng.Uint32()); err != nil {
+			bad++
+		}
+	}
+	frac := float64(bad) / n
+	if frac < 0.3 || frac > 0.95 {
+		t.Fatalf("undefined fraction = %.2f, want within [0.30, 0.95]", frac)
+	}
+}
+
+func TestSubFlagsProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		fl := SubFlags(a, b)
+		r := a - b
+		if (fl&FlagZ != 0) != (r == 0) {
+			return false
+		}
+		if (fl&FlagN != 0) != (int32(r) < 0) {
+			return false
+		}
+		if (fl&FlagC != 0) != (a >= b) {
+			return false
+		}
+		// V: signed overflow iff the true signed difference is not
+		// representable.
+		d := int64(int32(a)) - int64(int32(b))
+		overflow := d < -(1<<31) || d >= 1<<31
+		return (fl&FlagV != 0) == overflow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalCondMatchesComparisons(t *testing.T) {
+	// Property: after CMP a,b the condition codes implement the signed and
+	// unsigned comparisons.
+	f := func(a, b uint32) bool {
+		fl := SubFlags(a, b)
+		sa, sb := int32(a), int32(b)
+		checks := []struct {
+			c    Cond
+			want bool
+		}{
+			{CondEQ, a == b},
+			{CondNE, a != b},
+			{CondLT, sa < sb},
+			{CondGE, sa >= sb},
+			{CondLE, sa <= sb},
+			{CondGT, sa > sb},
+			{CondLO, a < b},
+			{CondHS, a >= b},
+			{CondLS, a <= b},
+			{CondHI, a > b},
+			{CondAL, true},
+		}
+		for _, ch := range checks {
+			if EvalCond(ch.c, fl) != ch.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndFlags(t *testing.T) {
+	if f := AndFlags(0, 0); f&FlagZ == 0 {
+		t.Fatal("TST 0,0 must set Z")
+	}
+	if f := AndFlags(0x80000000, 0x80000000); f&FlagN == 0 {
+		t.Fatal("TST of negative overlap must set N")
+	}
+	if f := AndFlags(1, 2); f&FlagZ == 0 {
+		t.Fatal("TST 1,2 must set Z")
+	}
+}

@@ -1,0 +1,303 @@
+// Package kernel implements the operating-system layer of the simulated
+// machine: physical frame allocation, page-table construction, program
+// loading, and the system-call interface.
+//
+// The kernel's code runs natively (it is Go), but all of its *data* — page
+// tables, the process image, the stack — lives in simulated RAM and is
+// accessed through the simulated cache hierarchy, so injected faults reach
+// kernel state exactly as in the paper's full-system setup: a corrupted
+// page-table line read back by the page walker or by the kernel itself
+// becomes a kernel panic, a corrupted user buffer handed to write() becomes
+// silent data corruption, and so on.
+package kernel
+
+import (
+	"fmt"
+
+	"mbusim/internal/asm"
+	"mbusim/internal/cache"
+	"mbusim/internal/cpu"
+	"mbusim/internal/isa"
+	"mbusim/internal/mem"
+	"mbusim/internal/tlb"
+	"mbusim/internal/vm"
+)
+
+// Physical memory layout. RAM is deliberately smaller than the 13-bit
+// physical frame space representable in a TLB entry, so that corrupted
+// frame numbers can point outside the system map — the mechanism behind
+// the paper's elevated Assert rates for DTLB faults.
+const (
+	RAMSize   = 8 << 20 // 8 MB
+	NumFrames = RAMSize / tlb.PageSize
+)
+
+// Virtual memory layout.
+const (
+	StackTop    = 0x00F8_0000
+	StackSize   = 512 << 10
+	HeapMax     = 0x00E0_0000
+	MaxWriteLen = 1 << 20
+	MaxStdout   = 1 << 20
+)
+
+// Linux-flavoured system call numbers (ARM EABI).
+const (
+	SysExit  = 1
+	SysWrite = 4
+	SysBrk   = 45
+)
+
+// Kernel is the per-machine operating system instance. It implements
+// cpu.OS.
+type Kernel struct {
+	ram    *mem.RAM
+	l2     *cache.Cache // page-table and kernel data path
+	dcache *cache.Cache // user-memory path for syscall buffers
+
+	ptRoot    uint32 // physical address of the level-1 page table
+	nextFrame uint32
+	booted    bool
+
+	heapStart uint32
+	brk       uint32
+
+	Stdout    []byte
+	Truncated bool // stdout exceeded MaxStdout
+	ExitCode  uint32
+	KillMsg   string // why the process was killed, for diagnostics
+	PanicMsg  string // why the kernel panicked
+}
+
+// New creates a kernel over the given memory system.
+func New(ram *mem.RAM, l2, dcache *cache.Cache) *Kernel {
+	k := &Kernel{ram: ram, l2: l2, dcache: dcache}
+	k.nextFrame = 1 // frame 0 stays unmapped so a zero PTE never aliases it
+	k.ptRoot = k.allocFrame() << tlb.PageShift
+	return k
+}
+
+// PTRoot returns the physical address of the level-1 page table for wiring
+// the page walker.
+func (k *Kernel) PTRoot() uint32 { return k.ptRoot }
+
+func (k *Kernel) allocFrame() uint32 {
+	if k.nextFrame >= NumFrames {
+		panic("kernel: out of physical memory") // configuration error
+	}
+	f := k.nextFrame
+	k.nextFrame++
+	return f
+}
+
+// writePTE stores a page-table entry. During boot the caches are empty and
+// RAM is written directly; afterwards (brk growing the heap) entries go
+// through the L2 cache to stay coherent with the hardware walker, which
+// reads page tables through L2.
+func (k *Kernel) writePTE(pa, pte uint32) {
+	if k.booted {
+		k.l2.WriteWord(pa, pte)
+	} else {
+		k.ram.WriteWord(pa, pte)
+	}
+}
+
+func (k *Kernel) readPTE(pa uint32) uint32 {
+	if k.booted {
+		w, _ := k.l2.ReadWord(pa)
+		return w
+	}
+	return k.ram.ReadWord(pa)
+}
+
+// mapPage installs a mapping for vpn, allocating the level-2 table and the
+// backing frame as needed, and returns the physical frame number.
+func (k *Kernel) mapPage(vpn uint32, writable bool) uint32 {
+	idx1 := vpn >> 7 & (vm.L1Entries - 1)
+	idx2 := vpn & (vm.L2Entries - 1)
+	l1pa := k.ptRoot + idx1*4
+	l1e := k.readPTE(l1pa)
+	var l2frame uint32
+	if l1e&vm.PTEValid == 0 {
+		l2frame = k.allocFrame()
+		k.writePTE(l1pa, vm.PackPTE(l2frame, true, false))
+	} else {
+		l2frame = l1e & vm.PTEFrameMask
+	}
+	l2pa := l2frame<<tlb.PageShift + idx2*4
+	l2e := k.readPTE(l2pa)
+	if l2e&vm.PTEValid != 0 {
+		return l2e & vm.PTEFrameMask // already mapped
+	}
+	frame := k.allocFrame()
+	k.writePTE(l2pa, vm.PackPTE(frame, writable, true))
+	return frame
+}
+
+// translate walks the page tables for vpn on the kernel's behalf (system
+// call argument access). It distinguishes an unmapped page (the process
+// passed a bad pointer) from a corrupted entry (kernel panic).
+func (k *Kernel) translate(vpn uint32) (pfn uint32, fault vm.WalkFault) {
+	if vpn > tlb.MaxVPN {
+		return 0, vm.WalkUnmapped
+	}
+	idx1 := vpn >> 7 & (vm.L1Entries - 1)
+	idx2 := vpn & (vm.L2Entries - 1)
+	l1e := k.readPTE(k.ptRoot + idx1*4)
+	if l1e&vm.PTEValid == 0 {
+		return 0, vm.WalkUnmapped
+	}
+	l2frame := l1e & vm.PTEFrameMask
+	if l2frame >= NumFrames {
+		return 0, vm.WalkBadFrame
+	}
+	l2e := k.readPTE(l2frame<<tlb.PageShift + idx2*4)
+	if l2e&vm.PTEValid == 0 {
+		return 0, vm.WalkUnmapped
+	}
+	pfn = l2e & vm.PTEFrameMask
+	if pfn >= NumFrames {
+		return 0, vm.WalkBadFrame
+	}
+	return pfn, vm.WalkOK
+}
+
+// Load builds the process image for prog: it maps and copies the text and
+// data segments, maps the stack, and initialises the heap break. It returns
+// the entry point and initial stack pointer for the core.
+func (k *Kernel) Load(prog *asm.Program) (entry, sp uint32, err error) {
+	if k.booted {
+		return 0, 0, fmt.Errorf("kernel: process already loaded")
+	}
+	copySegment := func(base uint32, img []byte, writable bool) error {
+		if base&(tlb.PageSize-1) != 0 {
+			return fmt.Errorf("kernel: segment base %#x not page aligned", base)
+		}
+		pages := (len(img) + tlb.PageSize - 1) / tlb.PageSize
+		for p := 0; p < pages; p++ {
+			vpn := base>>tlb.PageShift + uint32(p)
+			frame := k.mapPage(vpn, writable)
+			lo := p * tlb.PageSize
+			hi := lo + tlb.PageSize
+			if hi > len(img) {
+				hi = len(img)
+			}
+			k.ram.WriteBytes(frame<<tlb.PageShift, img[lo:hi])
+		}
+		return nil
+	}
+	if err := copySegment(prog.TextBase, prog.Text, false); err != nil {
+		return 0, 0, err
+	}
+	if err := copySegment(prog.DataBase, prog.Data, true); err != nil {
+		return 0, 0, err
+	}
+	for vpn := uint32(StackTop-StackSize) >> tlb.PageShift; vpn < StackTop>>tlb.PageShift; vpn++ {
+		k.mapPage(vpn, true)
+	}
+	dataEnd := prog.DataBase + uint32(len(prog.Data))
+	k.heapStart = (dataEnd + tlb.PageSize - 1) &^ (tlb.PageSize - 1)
+	k.brk = k.heapStart
+	k.booted = true
+	return prog.Entry, StackTop, nil
+}
+
+// Syscall implements cpu.OS. It dispatches on r7 with arguments in r0-r2,
+// following the ARM EABI convention.
+func (k *Kernel) Syscall(c *cpu.Core) (uint32, cpu.SysAction) {
+	num := c.ArchReg(isa.RegSys)
+	switch num {
+	case SysExit:
+		k.ExitCode = c.ArchReg(0)
+		return 0, cpu.SysExit
+	case SysWrite:
+		return k.sysWrite(c.ArchReg(0), c.ArchReg(1), c.ArchReg(2))
+	case SysBrk:
+		return k.sysBrk(c.ArchReg(0)), cpu.SysContinue
+	default:
+		k.KillMsg = fmt.Sprintf("bad syscall %d", num)
+		return 0, cpu.SysKill
+	}
+}
+
+func (k *Kernel) sysWrite(fd, buf, length uint32) (uint32, cpu.SysAction) {
+	if fd != 1 && fd != 2 {
+		k.KillMsg = fmt.Sprintf("write to bad fd %d", fd)
+		return 0, cpu.SysKill
+	}
+	if length > MaxWriteLen {
+		k.KillMsg = fmt.Sprintf("oversized write of %d bytes", length)
+		return 0, cpu.SysKill
+	}
+	// Copy out page by page through the data cache.
+	for n := uint32(0); n < length; {
+		va := buf + n
+		pfn, fault := k.translate(va >> tlb.PageShift)
+		switch fault {
+		case vm.WalkUnmapped:
+			k.KillMsg = fmt.Sprintf("write from unmapped address %#x", va)
+			return 0, cpu.SysKill
+		case vm.WalkBadFrame:
+			k.PanicMsg = fmt.Sprintf("corrupted PTE for address %#x", va)
+			return 0, cpu.SysPanic
+		}
+		pa := pfn<<tlb.PageShift | va&(tlb.PageSize-1)
+		chunk := tlb.PageSize - int(va&(tlb.PageSize-1))
+		if rem := int(length - n); chunk > rem {
+			chunk = rem
+		}
+		k.copyOut(pa, chunk)
+		n += uint32(chunk)
+	}
+	return length, cpu.SysContinue
+}
+
+// copyOut appends chunk bytes at physical address pa to stdout, reading
+// through the data cache so that cached (possibly corrupted) data is what
+// the program output actually contains.
+func (k *Kernel) copyOut(pa uint32, chunk int) {
+	var line [64]byte
+	for chunk > 0 {
+		n := 64 - int(pa&63)
+		if n > chunk {
+			n = chunk
+		}
+		k.dcache.Read(pa, line[:n])
+		if len(k.Stdout) < MaxStdout {
+			room := MaxStdout - len(k.Stdout)
+			if n <= room {
+				k.Stdout = append(k.Stdout, line[:n]...)
+			} else {
+				k.Stdout = append(k.Stdout, line[:room]...)
+				k.Truncated = true
+			}
+		} else {
+			k.Truncated = true
+		}
+		pa += uint32(n)
+		chunk -= n
+	}
+}
+
+func (k *Kernel) sysBrk(newBrk uint32) uint32 {
+	if newBrk == 0 || newBrk < k.heapStart || newBrk > HeapMax {
+		return k.brk
+	}
+	for vpn := k.brkPage(); vpn < (newBrk+tlb.PageSize-1)>>tlb.PageShift; vpn++ {
+		k.mapPage(vpn, true)
+	}
+	if newBrk > k.brk {
+		k.brk = newBrk
+	}
+	return k.brk
+}
+
+func (k *Kernel) brkPage() uint32 {
+	return (k.brk + tlb.PageSize - 1) >> tlb.PageShift
+}
+
+// Brk returns the current heap break (test use).
+func (k *Kernel) Brk() uint32 { return k.brk }
+
+// HeapStart returns the initial heap break (test use).
+func (k *Kernel) HeapStart() uint32 { return k.heapStart }

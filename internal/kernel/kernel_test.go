@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"testing"
+
+	"mbusim/internal/asm"
+	"mbusim/internal/cache"
+	"mbusim/internal/mem"
+	"mbusim/internal/tlb"
+	"mbusim/internal/vm"
+)
+
+func newKernelEnv() (*Kernel, *mem.RAM, *vm.Walker) {
+	ram := mem.NewRAM(RAMSize)
+	l2 := cache.New(cache.Config{Name: "L2", Size: 64 << 10, Ways: 8, LineSize: 64, Latency: 8, PABits: 23}, ram)
+	l1d := cache.New(cache.Config{Name: "L1D", Size: 8 << 10, Ways: 4, LineSize: 64, Latency: 2, PABits: 23}, l2)
+	k := New(ram, l2, l1d)
+	w := vm.NewWalker(l2, k.PTRoot(), NumFrames)
+	return k, ram, w
+}
+
+func mustProg(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadBuildsWorkingTranslations(t *testing.T) {
+	k, ram, w := newKernelEnv()
+	prog := mustProg(t, `
+_start:
+    nop
+.data
+val: .word 0x11223344
+`)
+	entry, sp, err := k.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != prog.Entry || sp != StackTop {
+		t.Fatalf("entry=%#x sp=%#x", entry, sp)
+	}
+	// Text translates and holds the image.
+	tr, _, fault := w.Walk(prog.TextBase >> tlb.PageShift)
+	if fault != vm.WalkOK {
+		t.Fatalf("text walk fault %v", fault)
+	}
+	if got := ram.ReadWord(tr.PFN << tlb.PageShift); got != uint32(prog.Text[0])|uint32(prog.Text[1])<<8|uint32(prog.Text[2])<<16|uint32(prog.Text[3])<<24 {
+		t.Fatalf("text not loaded: %#x", got)
+	}
+	if tr.Writable {
+		t.Fatal("text must be read-only")
+	}
+	// Data translates writable and holds the initializer.
+	tr, _, fault = w.Walk(prog.DataBase >> tlb.PageShift)
+	if fault != vm.WalkOK || !tr.Writable {
+		t.Fatalf("data walk: %+v %v", tr, fault)
+	}
+	if got := ram.ReadWord(tr.PFN << tlb.PageShift); got != 0x11223344 {
+		t.Fatalf("data not loaded: %#x", got)
+	}
+	// Stack pages are mapped.
+	if _, _, fault = w.Walk((StackTop - 4) >> tlb.PageShift); fault != vm.WalkOK {
+		t.Fatalf("stack walk fault %v", fault)
+	}
+	// Unmapped addresses fault.
+	if _, _, fault = w.Walk(0x00D0_0000 >> tlb.PageShift); fault != vm.WalkUnmapped {
+		t.Fatal("hole did not fault")
+	}
+	// Double load is rejected.
+	if _, _, err := k.Load(prog); err == nil {
+		t.Fatal("second load must fail")
+	}
+}
+
+func TestBrkGrowsHeap(t *testing.T) {
+	k, _, w := newKernelEnv()
+	prog := mustProg(t, "_start: nop\n.data\n.space 100\n")
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	base := k.Brk()
+	if k.sysBrk(0) != base {
+		t.Fatal("brk(0) must return the current break")
+	}
+	newBrk := base + 3*tlb.PageSize
+	if got := k.sysBrk(newBrk); got != newBrk {
+		t.Fatalf("brk grew to %#x, want %#x", got, newBrk)
+	}
+	if _, _, fault := w.Walk((newBrk - 4) >> tlb.PageShift); fault != vm.WalkOK {
+		t.Fatal("new heap page not mapped")
+	}
+	// Shrinking or exceeding the limit is refused (current break returned).
+	if got := k.sysBrk(base - tlb.PageSize); got != newBrk {
+		t.Fatal("shrink should be refused")
+	}
+	if got := k.sysBrk(HeapMax + tlb.PageSize); got != newBrk {
+		t.Fatal("overgrowth should be refused")
+	}
+}
+
+func TestSysWriteCapturesOutput(t *testing.T) {
+	k, _, _ := newKernelEnv()
+	prog := mustProg(t, "_start: nop\n.data\nmsg: .ascii \"hello world\"\n")
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	n, action := k.sysWrite(1, prog.DataBase, 11)
+	if action != 0 || n != 11 {
+		t.Fatalf("write returned %d action %v", n, action)
+	}
+	if string(k.Stdout) != "hello world" {
+		t.Fatalf("stdout %q", k.Stdout)
+	}
+}
+
+func TestSysWriteRejectsBadArgs(t *testing.T) {
+	k, _, _ := newKernelEnv()
+	prog := mustProg(t, "_start: nop\n")
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, action := k.sysWrite(7, prog.TextBase, 4); action == 0 {
+		t.Fatal("bad fd accepted")
+	}
+	if _, action := k.sysWrite(1, 0x00D0_0000, 4); action == 0 {
+		t.Fatal("unmapped buffer accepted")
+	}
+	if _, action := k.sysWrite(1, prog.TextBase, MaxWriteLen+1); action == 0 {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestFrameZeroReserved(t *testing.T) {
+	k, _, _ := newKernelEnv()
+	prog := mustProg(t, "_start: nop\n")
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	// The root page table must not live in frame 0, and no mapping may
+	// point there (a zero PTE must never alias real memory).
+	if k.PTRoot() == 0 {
+		t.Fatal("page table root in frame 0")
+	}
+}

@@ -1,0 +1,102 @@
+// Package mem models the physical memory of the simulated machine: a flat
+// RAM array addressed by physical addresses, accessed in cache-line units by
+// the cache hierarchy and in words by the page-table walker.
+//
+// It also defines AssertError, the simulated-hardware assertion used across
+// the machine model. The paper's "Assert" outcome class covers runs where
+// the simulator itself detects an impossible condition (most prominently a
+// physical address request outside the system map, the typical result of a
+// corrupted TLB physical frame number). Model code signals such conditions
+// with panic(AssertError{...}); the campaign runner recovers them and
+// classifies the run as Assert.
+package mem
+
+import "fmt"
+
+// AssertError is a simulated-hardware assertion failure.
+type AssertError struct {
+	Msg string
+}
+
+func (e AssertError) Error() string { return "simulator assert: " + e.Msg }
+
+// Assertf panics with an AssertError when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(AssertError{Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// RAM is the physical memory. The zero value is not usable; call NewRAM.
+type RAM struct {
+	bytes   []byte
+	latency int // access latency in cycles, charged by the cache hierarchy
+}
+
+// DefaultLatency is the DRAM access latency in CPU cycles.
+const DefaultLatency = 60
+
+// NewRAM returns a RAM of the given size in bytes.
+func NewRAM(size int) *RAM {
+	return &RAM{bytes: make([]byte, size), latency: DefaultLatency}
+}
+
+// Size returns the RAM size in bytes.
+func (r *RAM) Size() uint32 { return uint32(len(r.bytes)) }
+
+// Latency returns the access latency in cycles.
+func (r *RAM) Latency() int { return r.latency }
+
+// check panics with an AssertError if [pa, pa+n) is outside RAM. All
+// physical accesses funnel through here, so corrupted physical addresses
+// produced anywhere in the machine surface as Assert outcomes.
+func (r *RAM) check(pa uint32, n int) {
+	end := uint64(pa) + uint64(n)
+	if end > uint64(len(r.bytes)) {
+		Assertf(false, "physical access %#x+%d outside system map (%#x bytes of RAM)", pa, n, len(r.bytes))
+	}
+}
+
+// ReadLine copies the cache line at pa into dst and returns the latency.
+// pa must be aligned to len(dst).
+func (r *RAM) ReadLine(pa uint32, dst []byte) int {
+	r.check(pa, len(dst))
+	copy(dst, r.bytes[pa:])
+	return r.latency
+}
+
+// WriteLine writes a full cache line at pa and returns the latency.
+func (r *RAM) WriteLine(pa uint32, src []byte) int {
+	r.check(pa, len(src))
+	copy(r.bytes[pa:], src)
+	return r.latency
+}
+
+// ReadWord reads an aligned 32-bit word (used by the loader and tests; the
+// running machine reads through the cache hierarchy).
+func (r *RAM) ReadWord(pa uint32) uint32 {
+	r.check(pa, 4)
+	b := r.bytes[pa:]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// WriteWord writes an aligned 32-bit word directly to RAM.
+func (r *RAM) WriteWord(pa uint32, v uint32) {
+	r.check(pa, 4)
+	b := r.bytes[pa:]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// WriteBytes copies buf into RAM at pa (loader use).
+func (r *RAM) WriteBytes(pa uint32, buf []byte) {
+	r.check(pa, len(buf))
+	copy(r.bytes[pa:], buf)
+}
+
+// ReadBytes copies n bytes at pa into a new slice (test and loader use).
+func (r *RAM) ReadBytes(pa uint32, n int) []byte {
+	r.check(pa, n)
+	out := make([]byte, n)
+	copy(out, r.bytes[pa:])
+	return out
+}

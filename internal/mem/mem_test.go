@@ -1,0 +1,67 @@
+package mem
+
+import "testing"
+
+func TestReadWriteWord(t *testing.T) {
+	r := NewRAM(4096)
+	r.WriteWord(8, 0xCAFEBABE)
+	if v := r.ReadWord(8); v != 0xCAFEBABE {
+		t.Fatalf("read %#x", v)
+	}
+	// Little-endian layout.
+	if b := r.ReadBytes(8, 4); b[0] != 0xBE || b[3] != 0xCA {
+		t.Fatalf("layout % x", b)
+	}
+}
+
+func TestLineTransfer(t *testing.T) {
+	r := NewRAM(4096)
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if lat := r.WriteLine(64, src); lat != DefaultLatency {
+		t.Fatalf("latency %d", lat)
+	}
+	dst := make([]byte, 64)
+	r.ReadLine(64, dst)
+	for i := range dst {
+		if dst[i] != byte(i) {
+			t.Fatalf("byte %d = %d", i, dst[i])
+		}
+	}
+}
+
+func TestOutOfRangeAsserts(t *testing.T) {
+	r := NewRAM(4096)
+	cases := []func(){
+		func() { r.ReadWord(4096) },
+		func() { r.WriteWord(4094, 1) },
+		func() { r.ReadLine(4095, make([]byte, 64)) },
+		func() { r.WriteBytes(4090, make([]byte, 10)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if _, ok := recover().(AssertError); !ok {
+					t.Fatalf("case %d: expected AssertError", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAssertf(t *testing.T) {
+	Assertf(true, "never fires")
+	defer func() {
+		ae, ok := recover().(AssertError)
+		if !ok {
+			t.Fatal("expected AssertError")
+		}
+		if ae.Error() == "" {
+			t.Fatal("empty message")
+		}
+	}()
+	Assertf(false, "value %d out of map", 7)
+}

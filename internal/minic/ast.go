@@ -1,0 +1,263 @@
+package minic
+
+// Types.
+
+type typeKind uint8
+
+const (
+	tVoid typeKind = iota
+	tInt
+	tUint
+	tChar
+	tPtr
+	tArray
+)
+
+// Type describes a MiniC type. Types are compared structurally.
+type Type struct {
+	kind typeKind
+	elem *Type // for tPtr and tArray
+	len  int   // for tArray
+}
+
+var (
+	typeVoid = &Type{kind: tVoid}
+	typeInt  = &Type{kind: tInt}
+	typeUint = &Type{kind: tUint}
+	typeChar = &Type{kind: tChar}
+)
+
+func ptrTo(t *Type) *Type          { return &Type{kind: tPtr, elem: t} }
+func arrayOf(t *Type, n int) *Type { return &Type{kind: tArray, elem: t, len: n} }
+
+func (t *Type) size() int {
+	switch t.kind {
+	case tChar:
+		return 1
+	case tInt, tUint, tPtr:
+		return 4
+	case tArray:
+		return t.len * t.elem.size()
+	}
+	return 0
+}
+
+func (t *Type) String() string {
+	switch t.kind {
+	case tVoid:
+		return "void"
+	case tInt:
+		return "int"
+	case tUint:
+		return "uint"
+	case tChar:
+		return "char"
+	case tPtr:
+		return t.elem.String() + "*"
+	case tArray:
+		return t.elem.String() + "[]"
+	}
+	return "?"
+}
+
+func sameType(a, b *Type) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case tPtr:
+		return sameType(a.elem, b.elem)
+	case tArray:
+		return a.len == b.len && sameType(a.elem, b.elem)
+	}
+	return true
+}
+
+// isUnsigned reports whether arithmetic on t uses unsigned operations.
+// Pointers compare unsigned, as in C.
+func (t *Type) isUnsigned() bool {
+	return t.kind == tUint || t.kind == tChar || t.kind == tPtr
+}
+
+func (t *Type) isInteger() bool {
+	return t.kind == tInt || t.kind == tUint || t.kind == tChar
+}
+
+func (t *Type) isScalar() bool { return t.isInteger() || t.kind == tPtr }
+
+// Expressions. The checker fills in the typ field.
+
+type expr interface {
+	exprLine() int
+	typeOf() *Type
+}
+
+type exprBase struct {
+	line int
+	typ  *Type
+}
+
+func (e *exprBase) exprLine() int { return e.line }
+func (e *exprBase) typeOf() *Type { return e.typ }
+
+type numLit struct {
+	exprBase
+	val     uint32
+	uintLit bool
+}
+
+type strLit struct {
+	exprBase
+	val   string
+	label string // assigned by codegen
+}
+
+type varRef struct {
+	exprBase
+	name string
+	// resolved by the checker:
+	local  *localVar // nil for globals and functions
+	global *globalVar
+}
+
+type unary struct {
+	exprBase
+	op      string // ! ~ - * & ++ -- (prefix), p++ p-- as postfix=true
+	x       expr
+	postfix bool
+}
+
+type binary struct {
+	exprBase
+	op   string
+	l, r expr
+}
+
+type assign struct {
+	exprBase
+	op   string // "=", "+=", ...
+	l, r expr
+}
+
+type ternary struct {
+	exprBase
+	cond, a, b expr
+}
+
+type index struct {
+	exprBase
+	base, idx expr
+}
+
+type call struct {
+	exprBase
+	name string
+	args []expr
+	fn   *funcDecl // resolved; nil for intrinsics
+}
+
+type cast struct {
+	exprBase
+	to *Type
+	x  expr
+}
+
+// Statements.
+
+type stmt interface{ stmtLine() int }
+
+type stmtBase struct{ line int }
+
+func (s *stmtBase) stmtLine() int { return s.line }
+
+type declStmt struct {
+	stmtBase
+	name string
+	typ  *Type
+	init expr // nil for none; arrays may not have initializers
+	v    *localVar
+}
+
+type exprStmt struct {
+	stmtBase
+	x expr
+}
+
+type ifStmt struct {
+	stmtBase
+	cond      expr
+	then, els stmt // els may be nil
+}
+
+type whileStmt struct {
+	stmtBase
+	cond expr
+	body stmt
+}
+
+type doWhileStmt struct {
+	stmtBase
+	body stmt
+	cond expr
+}
+
+type forStmt struct {
+	stmtBase
+	init stmt // nil, declStmt or exprStmt
+	cond expr // nil means true
+	post expr // nil for none
+	body stmt
+}
+
+type returnStmt struct {
+	stmtBase
+	x expr // nil for void return
+}
+
+type breakStmt struct{ stmtBase }
+type continueStmt struct{ stmtBase }
+
+type block struct {
+	stmtBase
+	stmts []stmt
+}
+
+// Declarations.
+
+type param struct {
+	name string
+	typ  *Type
+}
+
+type funcDecl struct {
+	name   string
+	ret    *Type
+	params []param
+	body   *block
+	line   int
+
+	// Populated by the checker/codegen.
+	locals  []*localVar
+	maxArgs int // widest call made by this function
+}
+
+type localVar struct {
+	name   string
+	typ    *Type
+	offset int // sp-relative, assigned by codegen
+}
+
+type globalVar struct {
+	name   string
+	typ    *Type
+	line   int
+	init   expr   // scalar initializer
+	inits  []expr // array initializer list
+	str    string // string initializer for char arrays
+	hasStr bool
+}
+
+type program struct {
+	globals []*globalVar
+	funcs   []*funcDecl
+}

@@ -1,0 +1,582 @@
+package minic
+
+import "fmt"
+
+// checker resolves names and computes types for every expression.
+type checker struct {
+	prog    *program
+	funcs   map[string]*funcDecl
+	globals map[string]*globalVar
+
+	fn     *funcDecl
+	scopes []map[string]*localVar
+	loops  int
+}
+
+// intrinsics maps intrinsic names to their signatures. The pointer argument
+// of __write accepts any pointer type.
+var intrinsics = map[string]struct {
+	args int
+	ret  *Type
+}{
+	"__write": {2, typeVoid},
+	"__exit":  {1, typeVoid},
+	"__brk":   {1, typeUint},
+}
+
+func check(prog *program) error {
+	c := &checker{
+		prog:    prog,
+		funcs:   make(map[string]*funcDecl),
+		globals: make(map[string]*globalVar),
+	}
+	for _, fn := range prog.funcs {
+		if _, dup := c.funcs[fn.name]; dup {
+			return Error{fn.line, "duplicate function " + fn.name}
+		}
+		if _, isIntr := intrinsics[fn.name]; isIntr {
+			return Error{fn.line, fn.name + " is a builtin"}
+		}
+		c.funcs[fn.name] = fn
+	}
+	for _, g := range prog.globals {
+		if _, dup := c.globals[g.name]; dup {
+			return Error{g.line, "duplicate global " + g.name}
+		}
+		if _, dup := c.funcs[g.name]; dup {
+			return Error{g.line, g.name + " is already a function"}
+		}
+		c.globals[g.name] = g
+		if err := c.checkGlobal(g); err != nil {
+			return err
+		}
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return Error{1, "no main function"}
+	}
+	for _, fn := range prog.funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkGlobal(g *globalVar) error {
+	switch {
+	case g.init != nil:
+		if g.typ.kind == tArray {
+			return Error{g.line, "array global needs a {...} or string initializer"}
+		}
+		if _, err := constEval(g.init); err != nil {
+			return err
+		}
+	case len(g.inits) > 0:
+		if g.typ.kind != tArray {
+			return Error{g.line, "{...} initializer on non-array global"}
+		}
+		if len(g.inits) > g.typ.len {
+			return Error{g.line, "too many initializers"}
+		}
+		for _, e := range g.inits {
+			if _, err := constEval(e); err != nil {
+				return err
+			}
+		}
+	case g.hasStr:
+		if g.typ.kind != tArray || g.typ.elem.kind != tChar {
+			return Error{g.line, "string initializer on non-char-array global"}
+		}
+		if len(g.str)+1 > g.typ.len {
+			return Error{g.line, "string initializer too long"}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *funcDecl) error {
+	c.fn = fn
+	c.scopes = []map[string]*localVar{make(map[string]*localVar)}
+	c.loops = 0
+	for _, p := range fn.params {
+		v := &localVar{name: p.name, typ: p.typ}
+		if _, dup := c.scopes[0][p.name]; dup {
+			return Error{fn.line, "duplicate parameter " + p.name}
+		}
+		c.scopes[0][p.name] = v
+		fn.locals = append(fn.locals, v)
+	}
+	if len(fn.params) > 8 {
+		return Error{fn.line, "more than 8 parameters"}
+	}
+	return c.stmt(fn.body)
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*localVar)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *localVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func errf(line int, format string, args ...any) error {
+	return Error{line, fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) stmt(s stmt) error {
+	switch n := s.(type) {
+	case *block:
+		c.pushScope()
+		defer c.popScope()
+		for _, sub := range n.stmts {
+			if err := c.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *declStmt:
+		scope := c.scopes[len(c.scopes)-1]
+		if _, dup := scope[n.name]; dup {
+			return errf(n.line, "duplicate variable %s", n.name)
+		}
+		v := &localVar{name: n.name, typ: n.typ}
+		scope[n.name] = v
+		n.v = v
+		c.fn.locals = append(c.fn.locals, v)
+		if n.init != nil {
+			if err := c.expr(n.init); err != nil {
+				return err
+			}
+			decay(n.init)
+			if err := c.assignable(n.typ, n.init, n.line); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *exprStmt:
+		return c.expr(n.x)
+
+	case *ifStmt:
+		if err := c.condExpr(n.cond); err != nil {
+			return err
+		}
+		if err := c.stmt(n.then); err != nil {
+			return err
+		}
+		if n.els != nil {
+			return c.stmt(n.els)
+		}
+		return nil
+
+	case *whileStmt:
+		if err := c.condExpr(n.cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.stmt(n.body)
+
+	case *doWhileStmt:
+		c.loops++
+		err := c.stmt(n.body)
+		c.loops--
+		if err != nil {
+			return err
+		}
+		return c.condExpr(n.cond)
+
+	case *forStmt:
+		c.pushScope()
+		defer c.popScope()
+		if n.init != nil {
+			if err := c.stmt(n.init); err != nil {
+				return err
+			}
+		}
+		if n.cond != nil {
+			if err := c.condExpr(n.cond); err != nil {
+				return err
+			}
+		}
+		if n.post != nil {
+			if err := c.expr(n.post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.stmt(n.body)
+
+	case *returnStmt:
+		if n.x == nil {
+			if c.fn.ret.kind != tVoid {
+				return errf(n.line, "missing return value in %s", c.fn.name)
+			}
+			return nil
+		}
+		if c.fn.ret.kind == tVoid {
+			return errf(n.line, "return with value in void function %s", c.fn.name)
+		}
+		if err := c.expr(n.x); err != nil {
+			return err
+		}
+		decay(n.x)
+		return c.assignable(c.fn.ret, n.x, n.line)
+
+	case *breakStmt:
+		if c.loops == 0 {
+			return errf(n.line, "break outside loop")
+		}
+		return nil
+
+	case *continueStmt:
+		if c.loops == 0 {
+			return errf(n.line, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// condExpr checks an expression used as a condition (must be scalar).
+func (c *checker) condExpr(e expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	if !e.typeOf().isScalar() {
+		return errf(e.exprLine(), "condition is not scalar")
+	}
+	return nil
+}
+
+// assignable validates that e can be assigned to a variable of type t.
+func (c *checker) assignable(t *Type, e expr, line int) error {
+	et := e.typeOf()
+	switch {
+	case t.isInteger() && et.isInteger():
+		return nil
+	case t.kind == tPtr && et.kind == tPtr && sameType(t.elem, et.elem):
+		return nil
+	case t.kind == tPtr && et.isInteger():
+		// Allow p = 0 and integer/pointer conversions (used for address
+		// arithmetic in the workloads).
+		return nil
+	case t.isInteger() && et.kind == tPtr:
+		return nil
+	}
+	return errf(line, "cannot assign %s to %s", et, t)
+}
+
+// decay converts array-typed expressions to pointers in rvalue position.
+func decay(e expr) {
+	if t := e.typeOf(); t != nil && t.kind == tArray {
+		setType(e, ptrTo(t.elem))
+	}
+}
+
+func setType(e expr, t *Type) {
+	switch n := e.(type) {
+	case *numLit:
+		n.typ = t
+	case *strLit:
+		n.typ = t
+	case *varRef:
+		n.typ = t
+	case *unary:
+		n.typ = t
+	case *binary:
+		n.typ = t
+	case *assign:
+		n.typ = t
+	case *ternary:
+		n.typ = t
+	case *index:
+		n.typ = t
+	case *call:
+		n.typ = t
+	case *cast:
+		n.typ = t
+	}
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e expr) bool {
+	switch n := e.(type) {
+	case *varRef:
+		return n.typeOf().kind != tArray
+	case *unary:
+		return n.op == "*" && !n.postfix
+	case *index:
+		return n.typeOf().kind != tArray
+	}
+	return false
+}
+
+func (c *checker) expr(e expr) error {
+	switch n := e.(type) {
+	case *numLit:
+		if n.uintLit || n.val > 0x7FFF_FFFF {
+			n.typ = typeUint
+		} else {
+			n.typ = typeInt
+		}
+		return nil
+
+	case *strLit:
+		n.typ = ptrTo(typeChar)
+		return nil
+
+	case *varRef:
+		if v := c.lookup(n.name); v != nil {
+			n.local = v
+			n.typ = v.typ
+			return nil
+		}
+		if g, ok := c.globals[n.name]; ok {
+			n.global = g
+			n.typ = g.typ
+			return nil
+		}
+		return errf(n.line, "undefined variable %s", n.name)
+
+	case *unary:
+		if err := c.expr(n.x); err != nil {
+			return err
+		}
+		xt := n.x.typeOf()
+		switch n.op {
+		case "-", "~":
+			decay(n.x)
+			if !xt.isInteger() {
+				return errf(n.line, "unary %s on %s", n.op, xt)
+			}
+			n.typ = promote(xt)
+		case "!":
+			decay(n.x)
+			if !n.x.typeOf().isScalar() {
+				return errf(n.line, "! on %s", xt)
+			}
+			n.typ = typeInt
+		case "*":
+			decay(n.x)
+			pt := n.x.typeOf()
+			if pt.kind != tPtr {
+				return errf(n.line, "dereference of non-pointer %s", pt)
+			}
+			if pt.elem.kind == tVoid {
+				return errf(n.line, "dereference of void pointer")
+			}
+			n.typ = pt.elem
+		case "&":
+			if !isLvalue(n.x) && n.x.typeOf().kind != tArray {
+				return errf(n.line, "cannot take address of this expression")
+			}
+			if xt.kind == tArray {
+				n.typ = ptrTo(xt.elem)
+			} else {
+				n.typ = ptrTo(xt)
+			}
+		case "++", "--":
+			if !isLvalue(n.x) {
+				return errf(n.line, "%s on non-lvalue", n.op)
+			}
+			if !xt.isScalar() {
+				return errf(n.line, "%s on %s", n.op, xt)
+			}
+			n.typ = xt
+		default:
+			return errf(n.line, "unknown unary %s", n.op)
+		}
+		return nil
+
+	case *binary:
+		if err := c.expr(n.l); err != nil {
+			return err
+		}
+		if err := c.expr(n.r); err != nil {
+			return err
+		}
+		decay(n.l)
+		decay(n.r)
+		lt, rt := n.l.typeOf(), n.r.typeOf()
+		switch n.op {
+		case "+", "-":
+			switch {
+			case lt.kind == tPtr && rt.isInteger():
+				n.typ = lt
+			case rt.kind == tPtr && lt.isInteger() && n.op == "+":
+				n.typ = rt
+			case lt.kind == tPtr && rt.kind == tPtr && n.op == "-":
+				return errf(n.line, "pointer difference is not supported")
+			case lt.isInteger() && rt.isInteger():
+				n.typ = arith(lt, rt)
+			default:
+				return errf(n.line, "%s between %s and %s", n.op, lt, rt)
+			}
+		case "*", "/", "%", "&", "|", "^":
+			if !lt.isInteger() || !rt.isInteger() {
+				return errf(n.line, "%s between %s and %s", n.op, lt, rt)
+			}
+			n.typ = arith(lt, rt)
+		case "<<", ">>":
+			if !lt.isInteger() || !rt.isInteger() {
+				return errf(n.line, "%s between %s and %s", n.op, lt, rt)
+			}
+			n.typ = promote(lt)
+		case "==", "!=", "<", "<=", ">", ">=":
+			ok := lt.isInteger() && rt.isInteger() ||
+				lt.kind == tPtr && rt.kind == tPtr ||
+				lt.kind == tPtr && rt.isInteger() ||
+				rt.kind == tPtr && lt.isInteger()
+			if !ok {
+				return errf(n.line, "%s between %s and %s", n.op, lt, rt)
+			}
+			n.typ = typeInt
+		case "&&", "||":
+			if !lt.isScalar() || !rt.isScalar() {
+				return errf(n.line, "%s between %s and %s", n.op, lt, rt)
+			}
+			n.typ = typeInt
+		default:
+			return errf(n.line, "unknown operator %s", n.op)
+		}
+		return nil
+
+	case *assign:
+		if err := c.expr(n.l); err != nil {
+			return err
+		}
+		if err := c.expr(n.r); err != nil {
+			return err
+		}
+		if !isLvalue(n.l) {
+			return errf(n.line, "assignment to non-lvalue")
+		}
+		decay(n.r)
+		lt := n.l.typeOf()
+		if n.op != "=" {
+			rt := n.r.typeOf()
+			isArith := lt.isInteger() && rt.isInteger()
+			isPtrStep := lt.kind == tPtr && rt.isInteger() &&
+				(n.op == "+=" || n.op == "-=")
+			if !isArith && !isPtrStep {
+				return errf(n.line, "%s between %s and %s", n.op, lt, rt)
+			}
+		} else if err := c.assignable(lt, n.r, n.line); err != nil {
+			return err
+		}
+		n.typ = lt
+		return nil
+
+	case *ternary:
+		if err := c.condExpr(n.cond); err != nil {
+			return err
+		}
+		if err := c.expr(n.a); err != nil {
+			return err
+		}
+		if err := c.expr(n.b); err != nil {
+			return err
+		}
+		decay(n.a)
+		decay(n.b)
+		at, bt := n.a.typeOf(), n.b.typeOf()
+		switch {
+		case at.kind == tPtr:
+			n.typ = at
+		case bt.kind == tPtr:
+			n.typ = bt
+		case at.isInteger() && bt.isInteger():
+			n.typ = arith(at, bt)
+		default:
+			return errf(n.line, "incompatible ternary branches %s and %s", at, bt)
+		}
+		return nil
+
+	case *index:
+		if err := c.expr(n.base); err != nil {
+			return err
+		}
+		if err := c.expr(n.idx); err != nil {
+			return err
+		}
+		decay(n.base)
+		bt := n.base.typeOf()
+		if bt.kind != tPtr {
+			return errf(n.line, "indexing non-pointer %s", bt)
+		}
+		if !n.idx.typeOf().isInteger() {
+			return errf(n.line, "non-integer index")
+		}
+		n.typ = bt.elem
+		return nil
+
+	case *call:
+		for _, a := range n.args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+			decay(a)
+		}
+		if intr, ok := intrinsics[n.name]; ok {
+			if len(n.args) != intr.args {
+				return errf(n.line, "%s takes %d arguments", n.name, intr.args)
+			}
+			n.typ = intr.ret
+			return nil
+		}
+		fn, ok := c.funcs[n.name]
+		if !ok {
+			return errf(n.line, "undefined function %s", n.name)
+		}
+		if len(n.args) != len(fn.params) {
+			return errf(n.line, "%s takes %d arguments, got %d", n.name, len(fn.params), len(n.args))
+		}
+		for i, a := range n.args {
+			if err := c.assignable(fn.params[i].typ, a, n.line); err != nil {
+				return err
+			}
+		}
+		n.fn = fn
+		n.typ = fn.ret
+		if len(n.args) > c.fn.maxArgs {
+			c.fn.maxArgs = len(n.args)
+		}
+		return nil
+
+	case *cast:
+		if err := c.expr(n.x); err != nil {
+			return err
+		}
+		decay(n.x)
+		if !n.x.typeOf().isScalar() || !n.to.isScalar() {
+			return errf(n.line, "cast from %s to %s", n.x.typeOf(), n.to)
+		}
+		n.typ = n.to
+		return nil
+	}
+	return fmt.Errorf("minic: unknown expression %T", e)
+}
+
+// promote applies the integer promotion (char widens to int).
+func promote(t *Type) *Type {
+	if t.kind == tChar {
+		return typeInt
+	}
+	return t
+}
+
+// arith applies the usual arithmetic conversions: uint wins, char promotes.
+func arith(l, r *Type) *Type {
+	if l.kind == tUint || r.kind == tUint {
+		return typeUint
+	}
+	return typeInt
+}

@@ -1,0 +1,187 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"mbusim/internal/cpu"
+	"mbusim/internal/sim"
+)
+
+// TestDifferentialExpressions generates random expression trees over int
+// and uint variables, evaluates them natively with matching semantics, and
+// checks that the compiled program computes the same values on the
+// simulated CPU. This is the compiler's strongest correctness check: any
+// divergence in codegen, ISA execution semantics, or the pipeline shows up
+// as a mismatch.
+func TestDifferentialExpressions(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewPCG(uint64(round), 0xABCD))
+		g := &exprGen{rng: rng}
+		var (
+			decls strings.Builder
+			body  strings.Builder
+			want  []uint32
+		)
+		env := map[string]uint32{}
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("v%d", i)
+			val := rng.Uint32()
+			env[name] = val
+			// Mix signed and unsigned declarations.
+			if i%2 == 0 {
+				fmt.Fprintf(&decls, "    int %s = (int)0x%Xu;\n", name, val)
+				g.intVars = append(g.intVars, name)
+			} else {
+				fmt.Fprintf(&decls, "    uint %s = 0x%Xu;\n", name, val)
+				g.uintVars = append(g.uintVars, name)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			e, v := g.gen(env, 4, i%2 == 0)
+			fmt.Fprintf(&body, "    print_hex((uint)(%s)); print_nl();\n", e)
+			want = append(want, v)
+		}
+		src := "int main(void) {\n" + decls.String() + body.String() + "    return 0;\n}\n"
+
+		prog, err := CompileProgram(src)
+		if err != nil {
+			t.Fatalf("round %d: compile: %v\nsource:\n%s", round, err, src)
+		}
+		m := sim.New(sim.DefaultConfig())
+		if err := m.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		out := m.Run(20_000_000, 0, nil)
+		if out.Stop != cpu.StopExit || out.TimedOut {
+			t.Fatalf("round %d: stop=%v timeout=%v\nsource:\n%s", round, out.Stop, out.TimedOut, src)
+		}
+		var wantOut strings.Builder
+		for _, v := range want {
+			fmt.Fprintf(&wantOut, "%08x\n", v)
+		}
+		if got := string(out.Stdout); got != wantOut.String() {
+			t.Fatalf("round %d: output mismatch\n got: %q\nwant: %q\nsource:\n%s", round, got, wantOut.String(), src)
+		}
+	}
+}
+
+// exprGen builds a random expression string together with its expected
+// value under MiniC semantics.
+type exprGen struct {
+	rng      *rand.Rand
+	intVars  []string
+	uintVars []string
+}
+
+// gen returns an expression of the requested signedness and its value.
+// asInt selects int-typed expressions (arithmetic ops use signed division
+// etc.); otherwise the expression is uint-typed.
+func (g *exprGen) gen(env map[string]uint32, depth int, asInt bool) (string, uint32) {
+	if depth == 0 || g.rng.IntN(4) == 0 {
+		return g.leaf(env, asInt)
+	}
+	switch g.rng.IntN(9) {
+	case 0: // addition
+		l, lv := g.gen(env, depth-1, asInt)
+		r, rv := g.gen(env, depth-1, asInt)
+		return "(" + l + " + " + r + ")", lv + rv
+	case 1:
+		l, lv := g.gen(env, depth-1, asInt)
+		r, rv := g.gen(env, depth-1, asInt)
+		return "(" + l + " - " + r + ")", lv - rv
+	case 2:
+		l, lv := g.gen(env, depth-1, asInt)
+		r, rv := g.gen(env, depth-1, asInt)
+		return "(" + l + " * " + r + ")", lv * rv
+	case 3: // division with a guaranteed nonzero constant divisor
+		l, lv := g.gen(env, depth-1, asInt)
+		d := g.rng.Uint32()%1000 + 1
+		if asInt {
+			return fmt.Sprintf("(%s / %d)", l, d), uint32(int32(lv) / int32(d))
+		}
+		return fmt.Sprintf("(%s / %du)", l, d), lv / d
+	case 4:
+		l, lv := g.gen(env, depth-1, asInt)
+		d := g.rng.Uint32()%1000 + 1
+		if asInt {
+			return fmt.Sprintf("(%s %% %d)", l, d), uint32(int32(lv) % int32(d))
+		}
+		return fmt.Sprintf("(%s %% %du)", l, d), lv % d
+	case 5: // bitwise
+		ops := []string{"&", "|", "^"}
+		op := ops[g.rng.IntN(3)]
+		l, lv := g.gen(env, depth-1, asInt)
+		r, rv := g.gen(env, depth-1, asInt)
+		var v uint32
+		switch op {
+		case "&":
+			v = lv & rv
+		case "|":
+			v = lv | rv
+		case "^":
+			v = lv ^ rv
+		}
+		return "(" + l + " " + op + " " + r + ")", v
+	case 6: // shifts with constant amounts
+		l, lv := g.gen(env, depth-1, asInt)
+		s := g.rng.Uint32() % 31
+		if g.rng.IntN(2) == 0 {
+			return fmt.Sprintf("(%s << %d)", l, s), lv << s
+		}
+		if asInt {
+			return fmt.Sprintf("(%s >> %d)", l, s), uint32(int32(lv) >> s)
+		}
+		return fmt.Sprintf("(%s >> %d)", l, s), lv >> s
+	case 7: // comparison folded back to the arithmetic type
+		l, lv := g.gen(env, depth-1, asInt)
+		r, rv := g.gen(env, depth-1, asInt)
+		var b bool
+		if asInt {
+			b = int32(lv) < int32(rv)
+		} else {
+			b = lv < rv
+		}
+		v := uint32(0)
+		if b {
+			v = 1
+		}
+		cast := "(int)"
+		if !asInt {
+			cast = "(uint)"
+		}
+		return fmt.Sprintf("(%s(%s < %s))", cast, l, r), v
+	default: // ternary
+		c, cv := g.gen(env, depth-1, true)
+		l, lv := g.gen(env, depth-1, asInt)
+		r, rv := g.gen(env, depth-1, asInt)
+		v := rv
+		if cv != 0 {
+			v = lv
+		}
+		return fmt.Sprintf("((%s) ? (%s) : (%s))", c, l, r), v
+	}
+}
+
+func (g *exprGen) leaf(env map[string]uint32, asInt bool) (string, uint32) {
+	if asInt {
+		if g.rng.IntN(2) == 0 && len(g.intVars) > 0 {
+			n := g.intVars[g.rng.IntN(len(g.intVars))]
+			return n, env[n]
+		}
+		v := g.rng.Uint32() % 100000
+		return fmt.Sprintf("%d", v), v
+	}
+	if g.rng.IntN(2) == 0 && len(g.uintVars) > 0 {
+		n := g.uintVars[g.rng.IntN(len(g.uintVars))]
+		return n, env[n]
+	}
+	v := g.rng.Uint32()
+	return fmt.Sprintf("0x%Xu", v), v
+}

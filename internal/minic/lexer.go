@@ -1,0 +1,263 @@
+// Package minic implements a small C-like language and its compiler to AR32
+// assembly. The paper's workloads are MiBench C programs cross-compiled for
+// ARM; MiniC plays the role of that toolchain so the fifteen workload
+// analogs can be written at source level and executed by the simulated CPU.
+//
+// The language: types int, uint, char, pointers and arrays thereof;
+// functions; globals with constant initializers; if/else, while, for,
+// do-while, break, continue, return; the full C expression set over those
+// types (assignment and compound assignment, ternary, logical short
+// circuit, bitwise, shifts, comparisons, arithmetic, casts, ++/--, array
+// indexing, address-of and dereference). Signedness follows C: an operation
+// with a uint operand is unsigned. char is unsigned and promotes to int.
+//
+// Intrinsics lower directly to system calls: __write(p, n), __exit(code),
+// __brk(addr).
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind    tokKind
+	text    string
+	num     int64
+	line    int
+	uintLit bool // number carried a u/U suffix
+}
+
+// Error is a compile error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+var keywords = map[string]bool{
+	"int": true, "uint": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"break": true, "continue": true, "return": true,
+}
+
+// multi-character punctuators, longest first.
+var puncts = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	var toks []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+
+	case c >= '0' && c <= '9':
+		start := l.pos
+		base := int64(10)
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			base = 16
+			l.pos += 2
+		}
+		for l.pos < len(l.src) && isNumCont(l.src[l.pos], base) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		var v int64
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+			if digits == "" {
+				return token{}, l.errf("bad hex literal %q", text)
+			}
+		}
+		for i := 0; i < len(digits); i++ {
+			v = v*base + int64(hexVal(digits[i]))
+			if v > 0xFFFF_FFFF {
+				return token{}, l.errf("integer literal %q overflows 32 bits", text)
+			}
+		}
+		uintLit := false
+		if l.pos < len(l.src) && (l.src[l.pos] == 'u' || l.src[l.pos] == 'U') {
+			uintLit = true
+			l.pos++
+		}
+		return token{kind: tokNumber, text: text, num: v, line: l.line, uintLit: uintLit}, nil
+
+	case c == '"':
+		s, err := l.stringLit('"')
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, line: l.line}, nil
+
+	case c == '\'':
+		s, err := l.stringLit('\'')
+		if err != nil {
+			return token{}, err
+		}
+		if len(s) != 1 {
+			return token{}, l.errf("character literal must be one byte")
+		}
+		return token{kind: tokChar, num: int64(s[0]), text: s, line: l.line}, nil
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.pos += len(p)
+			return token{kind: tokPunct, text: p, line: l.line}, nil
+		}
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func (l *lexer) stringLit(quote byte) (string, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return sb.String(), nil
+		case '\n':
+			return "", l.errf("newline in literal")
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return "", l.errf("unterminated escape")
+			}
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '0':
+				sb.WriteByte(0)
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				return "", l.errf("unknown escape \\%c", e)
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", l.errf("unterminated literal")
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isNumCont(c byte, base int64) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	return base == 16 && (c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F')
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

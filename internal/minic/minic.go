@@ -1,0 +1,83 @@
+package minic
+
+import "mbusim/internal/asm"
+
+// Prelude is the MiniC runtime library prepended to every program. It
+// provides the formatted-output helpers the workloads use; everything is
+// MiniC itself, so the runtime executes on the simulated CPU and is subject
+// to injected faults like any other code (as libc was in the paper's
+// full-system runs).
+const Prelude = `
+void print_char(char c) {
+    char b[4];
+    b[0] = c;
+    __write(b, 1);
+}
+
+void print_str(char *s) {
+    int n = 0;
+    while (s[n]) n = n + 1;
+    __write(s, n);
+}
+
+void print_uint(uint v) {
+    char b[12];
+    int i = 11;
+    if (v == 0u) { print_char('0'); return; }
+    while (v != 0u) {
+        i = i - 1;
+        b[i] = (char)('0' + (int)(v % 10u));
+        v = v / 10u;
+    }
+    __write(&b[i], 11 - i);
+}
+
+void print_int(int v) {
+    if (v < 0) {
+        print_char('-');
+        print_uint((uint)0 - (uint)v);
+        return;
+    }
+    print_uint((uint)v);
+}
+
+void print_hex(uint v) {
+    char b[8];
+    int i = 8;
+    while (i > 0) {
+        i = i - 1;
+        int d = (int)(v & 15u);
+        if (d < 10) b[i] = (char)('0' + d);
+        else b[i] = (char)('a' + d - 10);
+        v = v >> 4;
+    }
+    __write(b, 8);
+}
+
+void print_nl(void) {
+    print_char(10);
+}
+`
+
+// Compile compiles MiniC source (with the runtime prelude) to AR32 assembly
+// text.
+func Compile(src string) (string, error) {
+	prog, err := parse(Prelude + src)
+	if err != nil {
+		return "", err
+	}
+	if err := check(prog); err != nil {
+		return "", err
+	}
+	return generate(prog)
+}
+
+// CompileProgram compiles MiniC source all the way to a loadable binary
+// image.
+func CompileProgram(src string) (*asm.Program, error) {
+	text, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(text)
+}

@@ -1,0 +1,337 @@
+package minic
+
+import (
+	"testing"
+
+	"mbusim/internal/cpu"
+	"mbusim/internal/sim"
+)
+
+// compileAndRun compiles src, runs it on the simulated machine, and returns
+// the outcome.
+func compileAndRun(t *testing.T, src string) sim.Outcome {
+	t.Helper()
+	prog, err := CompileProgram(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := sim.New(sim.DefaultConfig())
+	if err := m.Load(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	out := m.Run(50_000_000, 0, nil)
+	if out.TimedOut {
+		t.Fatalf("timed out after %d cycles", out.Cycles)
+	}
+	return out
+}
+
+// wantOutput runs src and checks both clean exit and exact stdout.
+func wantOutput(t *testing.T, src, want string) {
+	t.Helper()
+	out := compileAndRun(t, src)
+	if out.Stop != cpu.StopExit {
+		t.Fatalf("stopped with %v at pc=%#x (kill=%q panic=%q), want exit",
+			out.Stop, 0, out.KillMsg, out.PanicMsg)
+	}
+	if got := string(out.Stdout); got != want {
+		t.Fatalf("stdout = %q, want %q", got, want)
+	}
+}
+
+func TestPrintBasics(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    print_str("hi ");
+    print_int(-123);
+    print_char(' ');
+    print_uint(4000000000u);
+    print_char(' ');
+    print_hex(0xDEADBEEF);
+    print_nl();
+    return 0;
+}`, "hi -123 4000000000 deadbeef\n")
+}
+
+func TestArithmetic(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    int a = 17;
+    int b = -5;
+    print_int(a + b); print_char(',');
+    print_int(a - b); print_char(',');
+    print_int(a * b); print_char(',');
+    print_int(a / b); print_char(',');
+    print_int(a % b); print_char(',');
+    print_int(a << 2); print_char(',');
+    print_int(b >> 1); print_char(',');
+    print_int(a & b); print_char(',');
+    print_int(a | b); print_char(',');
+    print_int(a ^ b);
+    print_nl();
+    return 0;
+}`, "12,22,-85,-3,2,68,-3,17,-5,-22\n")
+}
+
+func TestUnsignedArithmetic(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    uint a = 0xF0000000u;
+    uint b = 3u;
+    print_uint(a / b); print_char(',');
+    print_uint(a % b); print_char(',');
+    print_uint(a >> 4); print_char(',');
+    print_uint((uint)(a < b)); print_char(',');
+    print_uint((uint)(a > b));
+    print_nl();
+    return 0;
+}`, "1342177280,0,251658240,0,1\n")
+}
+
+func TestControlFlow(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i % 2 == 0) continue;
+        total += i;
+        if (i == 7) break;
+    }
+    print_int(total);   // 1+3+5+7 = 16
+    print_char(' ');
+    int n = 3;
+    while (n > 0) { total = total * 2; n--; }
+    print_int(total);   // 128
+    print_char(' ');
+    do { total++; } while (total < 130);
+    print_int(total);   // 130
+    print_nl();
+    return 0;
+}`, "16 128 130\n")
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	wantOutput(t, `
+int table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int scale = 10;
+char msg[] = "sum=";
+int sum;
+
+int main(void) {
+    sum = 0;
+    for (int i = 0; i < 8; i++) sum += table[i] * scale;
+    print_str(msg);
+    print_int(sum);
+    print_nl();
+    return 0;
+}`, "sum=360\n")
+}
+
+func TestPointers(t *testing.T) {
+	wantOutput(t, `
+int swap(int *a, int *b) {
+    int tmp = *a;
+    *a = *b;
+    *b = tmp;
+    return 0;
+}
+int main(void) {
+    int x = 3;
+    int y = 9;
+    swap(&x, &y);
+    print_int(x); print_char(','); print_int(y);
+    print_char(' ');
+    int arr[5];
+    int *p = arr;
+    for (int i = 0; i < 5; i++) { *p = i * i; p++; }
+    int total = 0;
+    for (int i = 0; i < 5; i++) total += arr[i];
+    print_int(total);  // 0+1+4+9+16 = 30
+    print_nl();
+    return 0;
+}`, "9,3 30\n")
+}
+
+func TestCharsAndStrings(t *testing.T) {
+	wantOutput(t, `
+char buf[16];
+int copy(char *dst, char *src) {
+    int n = 0;
+    while (src[n]) { dst[n] = src[n]; n++; }
+    dst[n] = (char)0;
+    return n;
+}
+int main(void) {
+    int n = copy(buf, "abcDEF");
+    for (int i = 0; i < n; i++) {
+        char c = buf[i];
+        if (c >= 'a' && c <= 'z') c = (char)(c - 32);
+        print_char(c);
+    }
+    print_nl();
+    return 0;
+}`, "ABCDEF\n")
+}
+
+func TestRecursion(t *testing.T) {
+	wantOutput(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) {
+    print_int(fib(15));
+    print_nl();
+    return 0;
+}`, "610\n")
+}
+
+func TestManyArguments(t *testing.T) {
+	wantOutput(t, `
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + b*2 + c*3 + d*4 + e*5 + f*6 + g*7 + h*8;
+}
+int main(void) {
+    print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8));
+    print_nl();
+    return 0;
+}`, "204\n")
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	wantOutput(t, `
+int count = 0;
+int bump(void) { count++; return 1; }
+int main(void) {
+    int a = 5;
+    print_int(a > 3 ? 100 : 200); print_char(',');
+    print_int(a < 3 ? 100 : 200); print_char(',');
+    // Short circuit: bump must not run.
+    int r = (a < 3) && bump();
+    print_int(r); print_char(',');
+    print_int(count); print_char(',');
+    r = (a > 3) || bump();
+    print_int(r); print_char(',');
+    print_int(count);
+    print_nl();
+    return 0;
+}`, "100,200,0,0,1,0\n")
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	wantOutput(t, `
+int a[4] = {10, 20, 30, 40};
+int main(void) {
+    int i = 0;
+    print_int(a[i++]); print_char(',');  // 10, i=1
+    print_int(a[++i]); print_char(',');  // 30, i=2
+    print_int(i--); print_char(',');     // 2, i=1
+    print_int(--i); print_char(',');     // 0
+    int *p = a;
+    p++;
+    print_int(*p);                       // 20
+    print_nl();
+    return 0;
+}`, "10,30,2,0,20\n")
+}
+
+func TestCompoundAssign(t *testing.T) {
+	wantOutput(t, `
+int g = 100;
+int main(void) {
+    int x = 7;
+    x += 3; x *= 2; x -= 4; x /= 2; x %= 7;  // ((7+3)*2-4)/2 %7 = 8%7 = 1
+    print_int(x); print_char(',');
+    uint u = 0xFF;
+    u <<= 4; u |= 0xA; u &= 0xFFF; u ^= 0xF0F; u >>= 2;
+    print_hex(u); print_char(',');
+    g += 11;
+    print_int(g);
+    print_nl();
+    return 0;
+}`, "1,0000003d,111\n")
+}
+
+func TestBrkIntrinsic(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    uint base = __brk(0u);
+    uint end = __brk(base + 8192u);
+    if (end < base + 8192u) { print_str("brk failed\n"); return 1; }
+    int *heap = (int*)base;
+    for (int i = 0; i < 2048; i++) heap[i] = i;
+    int total = 0;
+    for (int i = 0; i < 2048; i++) total += heap[i];
+    print_int(total);
+    print_nl();
+    return 0;
+}`, "2096128\n")
+}
+
+func TestCasts(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    int big = 0x1234;
+    char low = (char)big;
+    print_int((int)low); print_char(',');        // 0x34 = 52
+    uint u = (uint)-1;
+    print_uint(u / 2u); print_char(',');
+    print_int((int)(u >> 16));                    // 65535
+    print_nl();
+    return 0;
+}`, "52,2147483647,65535\n")
+}
+
+func TestDeepExpression(t *testing.T) {
+	// Forces spilling beyond the seven temp registers.
+	wantOutput(t, `
+int main(void) {
+    int a = 1;
+    int b = 2;
+    int r = a + (b + (a + (b + (a + (b + (a + (b + (a + (b + (a + b))))))))));
+    print_int(r);
+    print_nl();
+    return 0;
+}`, "18\n")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"undefined var", `int main(void){ return x; }`},
+		{"undefined func", `int main(void){ return f(); }`},
+		{"bad arg count", `int f(int a){return a;} int main(void){ return f(); }`},
+		{"assign to rvalue", `int main(void){ 3 = 4; return 0; }`},
+		{"break outside loop", `int main(void){ break; return 0; }`},
+		{"void variable", `int main(void){ void x; return 0; }`},
+		{"no main", `int f(void){ return 0; }`},
+		{"duplicate local", `int main(void){ int a = 1; int a = 2; return a; }`},
+		{"deref non-pointer", `int main(void){ int a = 1; return *a; }`},
+		{"array assignment", `int a[3]; int b[3]; int main(void){ a = b; return 0; }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile(tc.src); err == nil {
+				t.Fatalf("expected a compile error")
+			}
+		})
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	wantOutput(t, `
+int a = 3 * 7 + 1;
+uint mask = ~0xFu;
+char c = 'A';
+int negs[3] = {-1, -2, -3};
+int main(void) {
+    print_int(a); print_char(',');
+    print_hex(mask); print_char(',');
+    print_char(c); print_char(',');
+    print_int(negs[0] + negs[1] + negs[2]);
+    print_nl();
+    return 0;
+}`, "22,fffffff0,A,-6\n")
+}

@@ -1,0 +1,724 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for !p.at(tokEOF) {
+		if err := p.topLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token        { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return Error{Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	return p.advance().text, nil
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return false
+	}
+	switch t.text {
+	case "int", "uint", "char", "void":
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (*Type, error) {
+	if !p.atType() {
+		return nil, p.errf("expected type, found %q", p.cur().text)
+	}
+	var t *Type
+	switch p.advance().text {
+	case "int":
+		t = typeInt
+	case "uint":
+		t = typeUint
+	case "char":
+		t = typeChar
+	case "void":
+		t = typeVoid
+	}
+	for p.atPunct("*") {
+		p.advance()
+		t = ptrTo(t)
+	}
+	return t, nil
+}
+
+// topLevel parses one global variable or function definition.
+func (p *parser) topLevel(prog *program) error {
+	line := p.cur().line
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.atPunct("(") {
+		fn, err := p.funcRest(typ, name, line)
+		if err != nil {
+			return err
+		}
+		prog.funcs = append(prog.funcs, fn)
+		return nil
+	}
+	g, err := p.globalRest(typ, name, line)
+	if err != nil {
+		return err
+	}
+	prog.globals = append(prog.globals, g)
+	return nil
+}
+
+func (p *parser) globalRest(typ *Type, name string, line int) (*globalVar, error) {
+	g := &globalVar{name: name, typ: typ, line: line}
+	if p.atPunct("[") {
+		p.advance()
+		n := -1 // inferred from initializer
+		if !p.atPunct("]") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			v, err := constEval(e)
+			if err != nil {
+				return nil, err
+			}
+			n = int(int32(v))
+			if n <= 0 {
+				return nil, Error{line, "array length must be positive"}
+			}
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		g.typ = arrayOf(typ, n) // len fixed below if inferred
+	}
+	if p.atPunct("=") {
+		p.advance()
+		switch {
+		case p.atPunct("{"):
+			p.advance()
+			for !p.atPunct("}") {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.inits = append(g.inits, e)
+				if p.atPunct(",") {
+					p.advance()
+				} else {
+					break
+				}
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+		case p.at(tokString):
+			g.str = p.advance().text
+			g.hasStr = true
+		default:
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.init = e
+		}
+	}
+	if g.typ.kind == tArray && g.typ.len < 0 {
+		switch {
+		case g.hasStr:
+			g.typ = arrayOf(g.typ.elem, len(g.str)+1)
+		case len(g.inits) > 0:
+			g.typ = arrayOf(g.typ.elem, len(g.inits))
+		default:
+			return nil, Error{line, "cannot infer array length without initializer"}
+		}
+	}
+	return g, p.expectPunct(";")
+}
+
+func (p *parser) funcRest(ret *Type, name string, line int) (*funcDecl, error) {
+	fn := &funcDecl{name: name, ret: ret, line: line}
+	p.advance() // "("
+	if p.atKeyword("void") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ")" {
+		p.advance()
+	}
+	for !p.atPunct(")") {
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tVoid {
+			return nil, p.errf("parameter %s has void type", pn)
+		}
+		fn.params = append(fn.params, param{name: pn, typ: t})
+		if p.atPunct(",") {
+			p.advance()
+		} else {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*block, error) {
+	b := &block{stmtBase: stmtBase{p.cur().line}}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	p.advance()
+	return b, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+
+	case p.atType():
+		return p.declStmt()
+
+	case p.atKeyword("if"):
+		p.advance()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{stmtBase{line}, cond, then, nil}
+		if p.atKeyword("else") {
+			p.advance()
+			if s.els, err = p.stmt(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case p.atKeyword("while"):
+		p.advance()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{stmtBase{line}, cond, body}, nil
+
+	case p.atKeyword("do"):
+		p.advance()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("while") {
+			return nil, p.errf("expected while after do body")
+		}
+		p.advance()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &doWhileStmt{stmtBase{line}, body, cond}, nil
+
+	case p.atKeyword("for"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		s := &forStmt{stmtBase: stmtBase{line}}
+		if !p.atPunct(";") {
+			if p.atType() {
+				d, err := p.declStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.init = d
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				s.init = &exprStmt{stmtBase{line}, e}
+				if err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.advance()
+		}
+		if !p.atPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.cond = e
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.post = e
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.body = body
+		return s, nil
+
+	case p.atKeyword("return"):
+		p.advance()
+		s := &returnStmt{stmtBase: stmtBase{line}}
+		if !p.atPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.x = e
+		}
+		return s, p.expectPunct(";")
+
+	case p.atKeyword("break"):
+		p.advance()
+		return &breakStmt{stmtBase{line}}, p.expectPunct(";")
+
+	case p.atKeyword("continue"):
+		p.advance()
+		return &continueStmt{stmtBase{line}}, p.expectPunct(";")
+
+	case p.atPunct(";"):
+		p.advance()
+		return &block{stmtBase: stmtBase{line}}, nil
+
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{stmtBase{line}, e}, p.expectPunct(";")
+	}
+}
+
+// declStmt parses "type name [N];" or "type name = expr;", consuming the
+// trailing semicolon.
+func (p *parser) declStmt() (stmt, error) {
+	line := p.cur().line
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ.kind == tVoid {
+		return nil, p.errf("variable of void type")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &declStmt{stmtBase: stmtBase{line}, name: name, typ: typ}
+	if p.atPunct("[") {
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := constEval(e)
+		if err != nil {
+			return nil, err
+		}
+		n := int(int32(v))
+		if n <= 0 {
+			return nil, Error{line, "array length must be positive"}
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		d.typ = arrayOf(typ, n)
+	}
+	if p.atPunct("=") {
+		if d.typ.kind == tArray {
+			return nil, p.errf("local array initializers are not supported")
+		}
+		p.advance()
+		e, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.init = e
+	}
+	return d, p.expectPunct(";")
+}
+
+func (p *parser) parenExpr() (expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return e, p.expectPunct(")")
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) expr() (expr, error) { return p.assignExpr() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) assignExpr() (expr, error) {
+	l, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct && assignOps[t.text] {
+		p.advance()
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &assign{exprBase{line: t.line}, t.text, l, r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) ternaryExpr() (expr, error) {
+	cond, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return cond, nil
+	}
+	line := p.advance().line
+	a, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	b, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ternary{exprBase{line: line}, cond, a, b}, nil
+}
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binaryExpr(minPrec int) (expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{exprBase{line: t.line}, t.text, l, r}
+	}
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~", "*", "&", "++", "--":
+			p.advance()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &unary{exprBase{line: t.line}, t.text, x, false}, nil
+		case "+":
+			p.advance()
+			return p.unaryExpr()
+		case "(":
+			// Cast if a type follows.
+			if p.toks[p.pos+1].kind == tokKeyword && keywordIsType(p.toks[p.pos+1].text) {
+				p.advance()
+				to, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.unaryExpr()
+				if err != nil {
+					return nil, err
+				}
+				return &cast{exprBase{line: t.line}, to, x}, nil
+			}
+		}
+	}
+	return p.postfixExpr()
+}
+
+func keywordIsType(s string) bool {
+	switch s {
+	case "int", "uint", "char", "void":
+		return true
+	}
+	return false
+}
+
+func (p *parser) postfixExpr() (expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.atPunct("["):
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &index{exprBase{line: t.line}, e, idx}
+		case p.atPunct("++"), p.atPunct("--"):
+			p.advance()
+			e = &unary{exprBase{line: t.line}, t.text, e, true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &numLit{exprBase{line: t.line}, uint32(t.num), t.uintLit}, nil
+	case tokChar:
+		p.advance()
+		return &numLit{exprBase{line: t.line}, uint32(t.num), false}, nil
+	case tokString:
+		p.advance()
+		return &strLit{exprBase{line: t.line}, t.text, ""}, nil
+	case tokIdent:
+		p.advance()
+		if p.atPunct("(") {
+			p.advance()
+			c := &call{exprBase{line: t.line}, t.text, nil, nil}
+			for !p.atPunct(")") {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.args = append(c.args, a)
+				if p.atPunct(",") {
+					p.advance()
+				} else {
+					break
+				}
+			}
+			return c, p.expectPunct(")")
+		}
+		return &varRef{exprBase: exprBase{line: t.line}, name: t.text}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectPunct(")")
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+// constEval folds a constant integer expression (used for array lengths and
+// global initializers).
+func constEval(e expr) (uint32, error) {
+	switch n := e.(type) {
+	case *numLit:
+		return n.val, nil
+	case *unary:
+		if n.postfix {
+			break
+		}
+		v, err := constEval(n.x)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "-":
+			return -v, nil
+		case "~":
+			return ^v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *binary:
+		l, err := constEval(n.l)
+		if err != nil {
+			return 0, err
+		}
+		r, err := constEval(n.r)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, Error{n.line, "division by zero in constant"}
+			}
+			return uint32(int32(l) / int32(r)), nil
+		case "%":
+			if r == 0 {
+				return 0, Error{n.line, "division by zero in constant"}
+			}
+			return uint32(int32(l) % int32(r)), nil
+		case "<<":
+			return l << (r & 31), nil
+		case ">>":
+			return uint32(int32(l) >> (r & 31)), nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		case "^":
+			return l ^ r, nil
+		}
+	case *cast:
+		v, err := constEval(n.x)
+		if err != nil {
+			return 0, err
+		}
+		if n.to.kind == tChar {
+			v &= 0xFF
+		}
+		return v, nil
+	}
+	return 0, Error{e.exprLine(), "expression is not constant"}
+}

@@ -1,0 +1,102 @@
+package minic
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"mbusim/internal/asm"
+)
+
+// TestCompilerNeverPanics feeds the compiler mangled variants of valid
+// programs: truncations, random token substitutions and byte noise. The
+// compiler must return an error or succeed — never panic.
+func TestCompilerNeverPanics(t *testing.T) {
+	base := `
+int table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int helper(int *p, int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) total += p[i];
+    return total;
+}
+int main(void) {
+    int x = helper(table, 8);
+    while (x > 0) { x = x - (x % 7) - 1; }
+    print_int(x);
+    return 0;
+}
+`
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("compiler panicked: %v", r)
+		}
+	}()
+
+	// Truncations at every rune boundary.
+	for i := 0; i < len(base); i += 3 {
+		Compile(base[:i])
+	}
+
+	// Random token-level mutations.
+	tokens := []string{"int", "uint", "char", "void", "{", "}", "(", ")",
+		"[", "]", ";", ",", "+", "-", "*", "/", "%", "=", "==", "<", ">",
+		"if", "else", "while", "for", "return", "break", "continue",
+		"x", "main", "0", "42", "0xFF", `"s"`, "'c'", "?", ":", "&", "|"}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for round := 0; round < 300; round++ {
+		var sb strings.Builder
+		n := 5 + rng.IntN(60)
+		for i := 0; i < n; i++ {
+			sb.WriteString(tokens[rng.IntN(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		Compile(sb.String())
+	}
+
+	// Byte noise spliced into the valid program.
+	for round := 0; round < 200; round++ {
+		b := []byte(base)
+		for k := 0; k < 5; k++ {
+			b[rng.IntN(len(b))] = byte(rng.IntN(128))
+		}
+		Compile(string(b))
+	}
+}
+
+// TestAssemblerNeverPanics does the same for the assembler layer.
+func TestAssemblerNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("assembler panicked: %v", r)
+		}
+	}()
+	text, err := Compile("int main(void) { print_int(1); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	lines := strings.Split(text, "\n")
+	for round := 0; round < 300; round++ {
+		mangled := make([]string, len(lines))
+		copy(mangled, lines)
+		for k := 0; k < 4; k++ {
+			i := rng.IntN(len(mangled))
+			line := mangled[i]
+			if line == "" {
+				continue
+			}
+			switch rng.IntN(3) {
+			case 0:
+				mangled[i] = line[:rng.IntN(len(line))]
+			case 1:
+				b := []byte(line)
+				b[rng.IntN(len(b))] = byte('!' + rng.IntN(90))
+				mangled[i] = string(b)
+			case 2:
+				mangled[i] = mangled[rng.IntN(len(mangled))]
+			}
+		}
+		// Errors are expected constantly; panics never.
+		_, _ = asm.Assemble(strings.Join(mangled, "\n"))
+	}
+}

@@ -1,0 +1,216 @@
+package minic
+
+import "testing"
+
+// Additional semantic corner cases beyond the basic feature tests.
+
+func TestPointerCompoundAssign(t *testing.T) {
+	wantOutput(t, `
+int a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int main(void) {
+    int *p = a;
+    p += 3;
+    print_int(*p); print_char(',');   // 4
+    p -= 2;
+    print_int(*p); print_char(',');   // 2
+    *p += 100;
+    print_int(a[1]);                  // 102
+    print_nl();
+    return 0;
+}`, "4,2,102\n")
+}
+
+func TestCharArithmeticPromotion(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    char a = (char)200;
+    char b = (char)100;
+    int sum = a + b;          // chars are unsigned: 300
+    print_int(sum); print_char(',');
+    char c = (char)(a + b);   // truncates to 44
+    print_int((int)c); print_char(',');
+    print_int((int)(char)-1); // 255
+    print_nl();
+    return 0;
+}`, "300,44,255\n")
+}
+
+func TestNestedCallsAndSpills(t *testing.T) {
+	// Deep call expressions with live temporaries across the calls.
+	wantOutput(t, `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int main(void) {
+    int r = add(mul(2, 3), add(mul(4, 5), add(mul(6, 7), add(1, 1))));
+    print_int(r);   // 6 + 20 + 42 + 2 = 70
+    print_nl();
+    return 0;
+}`, "70\n")
+}
+
+func TestGlobalCharArrayIndexing(t *testing.T) {
+	wantOutput(t, `
+char hex[] = "0123456789abcdef";
+int main(void) {
+    for (int i = 15; i >= 0; i -= 5) print_char(hex[i]);
+    print_nl();
+    return 0;
+}`, "fa50\n")
+}
+
+func TestWhileWithSideEffectCondition(t *testing.T) {
+	wantOutput(t, `
+int n = 0;
+int next(void) { n++; return n; }
+int main(void) {
+    int total = 0;
+    while (next() < 5) total += n;
+    print_int(total);   // 1+2+3+4 = 10
+    print_char(',');
+    print_int(n);       // 5
+    print_nl();
+    return 0;
+}`, "10,5\n")
+}
+
+func TestDoWhileRunsOnce(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    int n = 100;
+    int runs = 0;
+    do { runs++; } while (n < 10);
+    print_int(runs);
+    print_nl();
+    return 0;
+}`, "1\n")
+}
+
+func TestShadowingInBlocks(t *testing.T) {
+	wantOutput(t, `
+int x = 1;
+int main(void) {
+    int r = x;          // global 1
+    int x = 2;
+    r = r * 10 + x;     // 12
+    {
+        int x = 3;
+        r = r * 10 + x; // 123
+    }
+    r = r * 10 + x;     // 1232
+    print_int(r);
+    print_nl();
+    return 0;
+}`, "1232\n")
+}
+
+func TestUnsignedWraparound(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    uint u = 0xFFFFFFFFu;
+    u = u + 2u;
+    print_uint(u); print_char(',');        // 1
+    int i = -2147483647 - 1;               // INT_MIN
+    print_int(i); print_char(',');
+    print_int(i / -1);                     // ARM semantics: wraps to INT_MIN
+    print_nl();
+    return 0;
+}`, "1,-2147483648,-2147483648\n")
+}
+
+func TestDivModByZeroARMSemantics(t *testing.T) {
+	// No trap: x/0 == 0, x%0 == x (matching the modeled SDIV/SREM).
+	wantOutput(t, `
+int zero = 0;
+int main(void) {
+    int x = 42;
+    print_int(x / zero); print_char(',');
+    print_int(x % zero); print_char(',');
+    uint u = 7u;
+    print_uint(u / (uint)zero); print_char(',');
+    print_uint(u % (uint)zero);
+    print_nl();
+    return 0;
+}`, "0,42,0,7\n")
+}
+
+func TestAddressOfLocalAcrossCalls(t *testing.T) {
+	wantOutput(t, `
+void bump(int *p) { *p = *p + 1; }
+int main(void) {
+    int x = 41;
+    bump(&x);
+    print_int(x);
+    print_nl();
+    return 0;
+}`, "42\n")
+}
+
+func TestStringDeduplication(t *testing.T) {
+	// The same literal twice must still behave correctly (single label).
+	wantOutput(t, `
+int main(void) {
+    print_str("dup");
+    print_str("dup");
+    print_nl();
+    return 0;
+}`, "dupdup\n")
+}
+
+func TestTernaryNested(t *testing.T) {
+	wantOutput(t, `
+int classify(int v) {
+    return v < 0 ? -1 : v == 0 ? 0 : 1;
+}
+int main(void) {
+    print_int(classify(-5));
+    print_int(classify(0));
+    print_int(classify(9));
+    print_nl();
+    return 0;
+}`, "-101\n")
+}
+
+func TestRecursionDepth(t *testing.T) {
+	// Exercise deep stacks (512 frames within the 512 KB stack).
+	wantOutput(t, `
+int depth(int n) {
+    if (n == 0) return 0;
+    return 1 + depth(n - 1);
+}
+int main(void) {
+    print_int(depth(512));
+    print_nl();
+    return 0;
+}`, "512\n")
+}
+
+func TestLogicalOperatorsAsValues(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    int a = 5;
+    int b = 0;
+    print_int(a && b); print_int(a || b);
+    print_int(!a); print_int(!b);
+    print_int((a > 1) && (b == 0));
+    print_nl();
+    return 0;
+}`, "01011\n")
+}
+
+func TestBreakContinueNested(t *testing.T) {
+	wantOutput(t, `
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 5; i++) {
+        for (int j = 0; j < 5; j++) {
+            if (j == 3) break;
+            if (j == 1) continue;
+            total += i * 10 + j;
+        }
+    }
+    // j takes 0 and 2: sum over i of (10i+0 + 10i+2) = 20i+2 -> 0..4: 200+10
+    print_int(total);
+    print_nl();
+    return 0;
+}`, "210\n")
+}

@@ -1,0 +1,182 @@
+// Package report renders the paper's tables and figures as text from
+// campaign results: Table I (configuration), Table III (execution times),
+// Figures 1-6 (per-component AVF class breakdowns), Table IV (vulnerability
+// increases), Table V (weighted AVFs), Tables VI-VIII (technology inputs),
+// Figure 7 (per-node aggregate AVF) and Figure 8 (whole-CPU FIT).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"mbusim/internal/avf"
+	"mbusim/internal/core"
+	"mbusim/internal/fit"
+	"mbusim/internal/tech"
+	"mbusim/internal/workloads"
+)
+
+func table(render func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	render(w)
+	w.Flush()
+	return sb.String()
+}
+
+// Table1 renders the machine configuration (paper Table I).
+func Table1() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Microarchitectural attribute\tValue")
+		fmt.Fprintln(w, "ISA / Core\tAR32 (ARM-like) / Out-of-Order")
+		fmt.Fprintln(w, "Clock Frequency\t2 GHz (nominal)")
+		fmt.Fprintln(w, "L1 Data cache\t32KB 4-way")
+		fmt.Fprintln(w, "L1 Instruction cache\t32KB 4-way")
+		fmt.Fprintln(w, "L2 cache\t512KB 8-way")
+		fmt.Fprintln(w, "Data / Instruction TLB\t32 entries")
+		fmt.Fprintln(w, "Physical Register File\t56 registers")
+		fmt.Fprintln(w, "Instruction queue\t32")
+		fmt.Fprintln(w, "Reorder buffer\t40")
+		fmt.Fprintln(w, "Fetch / Execute / Writeback width\t2/4/4")
+	})
+}
+
+// Table3 renders the fault-free execution time of every workload
+// (paper Table III), sorted by descending cycles like the paper's listing.
+func Table3() (string, error) {
+	type row struct {
+		name   string
+		cycles uint64
+	}
+	var rows []row
+	for _, w := range workloads.All() {
+		g, err := w.Reference()
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, row{w.Name, g.Cycles})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cycles > rows[j].cycles })
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Benchmark\tExecution Time (clock cycles)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\n", r.name, r.cycles)
+		}
+	}), nil
+}
+
+// Figure renders one of Figs 1-6: for a component, the class breakdown of
+// every workload at each fault cardinality.
+func Figure(rs *core.ResultSet, component string) (string, error) {
+	out := table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "%s\tfaults\tMasked\tSDC\tCrash\tTimeout\tAssert\tAVF\t±margin(99%%)\n", component)
+		for _, wl := range workloads.Names() {
+			for k := 1; k <= 3; k++ {
+				r, err := rs.Get(component, wl, k)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.2f%%\n",
+					wl, k,
+					100*r.Fraction(core.EffectMasked),
+					100*r.Fraction(core.EffectSDC),
+					100*r.Fraction(core.EffectCrash),
+					100*r.Fraction(core.EffectTimeout),
+					100*r.Fraction(core.EffectAssert),
+					100*r.AVF(),
+					100*r.AdjustedMargin(0.99))
+			}
+		}
+	})
+	// Validate that at least one cell existed.
+	if strings.Count(out, "\n") <= 1 {
+		return "", fmt.Errorf("report: no results for component %s", component)
+	}
+	return out, nil
+}
+
+// Table4 renders the per-component vulnerability increase of 2-bit and
+// 3-bit faults over single-bit (paper Table IV).
+func Table4(cas []avf.ComponentAVF) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Component\t2-bit increase\t3-bit increase")
+		for _, ca := range cas {
+			fmt.Fprintf(w, "%s\t%.1fx\t%.1fx\n", ca.Component, ca.Increase(2), ca.Increase(3))
+		}
+	})
+}
+
+// Table5 renders the weighted AVF per component and cardinality with the
+// step-to-step percentage increases (paper Table V).
+func Table5(cas []avf.ComponentAVF) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Component\tInjected Faults\tAVF\tPercentage Increase")
+		for _, ca := range cas {
+			for k := 1; k <= 3; k++ {
+				inc := "-"
+				if k > 1 && ca.ByFaults[k-1] > 0 {
+					inc = fmt.Sprintf("%+.2f%%", 100*(ca.ByFaults[k]/ca.ByFaults[k-1]-1))
+				}
+				fmt.Fprintf(w, "%s\t%d\t%.2f%%\t%s\n", ca.Component, k, 100*ca.ByFaults[k], inc)
+			}
+		}
+	})
+}
+
+// Table6 renders the multi-bit upset rate per node (paper Table VI).
+func Table6() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Technology Node\tSingle-bit\tDouble-bit\tTriple-bit")
+		for _, n := range tech.Nodes {
+			fmt.Fprintf(w, "%s\t%.2f%%\t%.2f%%\t%.2f%%\n", n.Name, 100*n.Single, 100*n.Double, 100*n.Triple)
+		}
+	})
+}
+
+// Table7 renders the raw per-bit FIT rate per node (paper Table VII).
+func Table7() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Node\tRaw FIT per bit")
+		for _, n := range tech.Nodes {
+			fmt.Fprintf(w, "%s\t%.0f x 10^-8\n", n.Name, n.RawFIT*1e8)
+		}
+	})
+}
+
+// Table8 renders the component sizes in bits (paper Table VIII).
+func Table8() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Component\tSize (in bits)")
+		for _, c := range core.Components() {
+			bits, _ := tech.ComponentBits(c)
+			fmt.Fprintf(w, "%s\t%d\n", c, bits)
+		}
+	})
+}
+
+// Fig7 renders the aggregate multi-bit AVF per component per node with the
+// single-bit share and the assessment gap (paper Fig. 7).
+func Fig7(cas []avf.ComponentAVF) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Component\tNode\tSingle-bit AVF\tAggregate AVF\tGap")
+		for _, ca := range cas {
+			for _, e := range avf.NodeTable(ca) {
+				fmt.Fprintf(w, "%s\t%s\t%.2f%%\t%.2f%%\t%.1f%%\n",
+					ca.Component, e.Node.Name, 100*e.SingleOnly, 100*e.Aggregate, 100*e.Gap())
+			}
+		}
+	})
+}
+
+// Fig8 renders the whole-CPU FIT per node with the multi-bit contribution
+// (paper Fig. 8).
+func Fig8(entries []fit.CPUEntry) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Node\tCPU FIT\tSingle-bit-only FIT\tMBU share")
+		for _, e := range entries {
+			fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.1f%%\n", e.Node.Name, e.Total, e.SingleOnly, 100*e.MBUShare())
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mbusim/internal/avf"
+	"mbusim/internal/core"
+	"mbusim/internal/fit"
+	"mbusim/internal/workloads"
+)
+
+func TestTable1MatchesPaperAttributes(t *testing.T) {
+	got := Table1()
+	for _, want := range []string{
+		"32KB 4-way", "512KB 8-way", "32 entries", "56 registers",
+		"Reorder buffer", "40", "2/4/4",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table I missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTable3SortedByCycles(t *testing.T) {
+	got, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 16 { // header + 15 workloads
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The longest workload (CRC32) leads, the shortest trails.
+	if !strings.HasPrefix(lines[1], "CRC32") {
+		t.Fatalf("first row: %q", lines[1])
+	}
+	for _, w := range workloads.Names() {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing workload %s", w)
+		}
+	}
+}
+
+func syntheticResults() *core.ResultSet {
+	rs := core.NewResultSet()
+	for _, wn := range workloads.Names() {
+		for k := 1; k <= 3; k++ {
+			r := &core.Result{
+				Spec:         core.Spec{Workload: wn, Component: core.CompL1D, Faults: k, Samples: 100},
+				GoldenCycles: 1000,
+			}
+			r.Counts[core.EffectMasked] = 90 - 10*k
+			r.Counts[core.EffectSDC] = 10 * k
+			r.Counts[core.EffectCrash] = 5
+			r.Counts[core.EffectTimeout] = 3
+			r.Counts[core.EffectAssert] = 2
+			rs.Add(r)
+		}
+	}
+	return rs
+}
+
+func TestFigureRendersAllRows(t *testing.T) {
+	rs := syntheticResults()
+	got, err := Figure(rs, core.CompL1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 workloads x 3 cardinalities + header.
+	if lines := strings.Split(strings.TrimSpace(got), "\n"); len(lines) != 46 {
+		t.Fatalf("%d lines, want 46", len(lines))
+	}
+	if !strings.Contains(got, "Masked") || !strings.Contains(got, "Assert") {
+		t.Fatal("missing class columns")
+	}
+}
+
+func TestFigureMissingComponent(t *testing.T) {
+	if _, err := Figure(core.NewResultSet(), core.CompITLB); err == nil {
+		t.Fatal("expected error for empty result set")
+	}
+}
+
+func testCAs() []avf.ComponentAVF {
+	ca := avf.ComponentAVF{Component: core.CompL1D}
+	ca.ByFaults[1], ca.ByFaults[2], ca.ByFaults[3] = 0.2032, 0.297, 0.3628
+	cb := avf.ComponentAVF{Component: core.CompITLB}
+	cb.ByFaults[1], cb.ByFaults[2], cb.ByFaults[3] = 0.5031, 0.6291, 0.6667
+	return []avf.ComponentAVF{ca, cb}
+}
+
+func TestTable4(t *testing.T) {
+	got := Table4(testCAs())
+	if !strings.Contains(got, "1.5x") { // L1D 2-bit: 0.297/0.2032 = 1.46
+		t.Fatalf("Table IV:\n%s", got)
+	}
+	if !strings.Contains(got, "1.8x") { // L1D 3-bit: 0.3628/0.2032 = 1.79
+		t.Fatalf("Table IV:\n%s", got)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	got := Table5(testCAs())
+	if !strings.Contains(got, "20.32%") || !strings.Contains(got, "+46.16%") {
+		t.Fatalf("Table V must show the paper-style AVF and increase:\n%s", got)
+	}
+	if !strings.Contains(got, "50.31%") {
+		t.Fatalf("Table V missing ITLB row:\n%s", got)
+	}
+}
+
+func TestTechnologyTables(t *testing.T) {
+	if got := Table6(); !strings.Contains(got, "55.30%") || !strings.Contains(got, "250nm") {
+		t.Fatalf("Table VI:\n%s", got)
+	}
+	if got := Table7(); !strings.Contains(got, "106 x 10^-8") {
+		t.Fatalf("Table VII:\n%s", got)
+	}
+	if got := Table8(); !strings.Contains(got, "4194304") || !strings.Contains(got, "2112") {
+		t.Fatalf("Table VIII:\n%s", got)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	got := Fig7(testCAs())
+	// 2 components x 8 nodes + header.
+	if lines := strings.Split(strings.TrimSpace(got), "\n"); len(lines) != 17 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(got, "22nm") || !strings.Contains(got, "Gap") {
+		t.Fatalf("Fig 7:\n%s", got)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	// Fig 8 needs all six components.
+	var cas []avf.ComponentAVF
+	for _, comp := range core.Components() {
+		ca := avf.ComponentAVF{Component: comp}
+		ca.ByFaults[1], ca.ByFaults[2], ca.ByFaults[3] = 0.2, 0.3, 0.4
+		cas = append(cas, ca)
+	}
+	entries, err := fit.CPU(cas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Fig8(entries)
+	if lines := strings.Split(strings.TrimSpace(got), "\n"); len(lines) != 9 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(got, "MBU share") {
+		t.Fatalf("Fig 8:\n%s", got)
+	}
+	// 250nm row shows 0.0% MBU share.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "250nm") && !strings.Contains(line, "0.0%") {
+			t.Fatalf("250nm must have zero MBU share: %q", line)
+		}
+	}
+}
+
+// paperShapedResults builds a synthetic full grid exhibiting the paper's
+// shapes, to validate the verdict checker itself.
+func paperShapedResults() *core.ResultSet {
+	rs := core.NewResultSet()
+	// Per-component class templates: masked base at k=1 and per-k drop,
+	// with class mixes per the paper's Figures 1-6.
+	type tmpl struct {
+		masked1, drop       int
+		sdc, crash, timeout int // vulnerable shares out of 10
+		assert              int
+	}
+	shapes := map[string]tmpl{
+		core.CompL1D:  {80, 10, 8, 1, 1, 0},
+		core.CompL1I:  {88, 6, 2, 7, 1, 0},
+		core.CompL2:   {82, 8, 7, 2, 1, 0},
+		core.CompRF:   {89, 5, 5, 4, 1, 0},
+		core.CompDTLB: {50, 6, 2, 4, 3, 1},
+		core.CompITLB: {50, 6, 0, 5, 5, 0},
+	}
+	for comp, sh := range shapes {
+		for _, wn := range workloads.Names() {
+			for k := 1; k <= 3; k++ {
+				r := &core.Result{
+					Spec:         core.Spec{Workload: wn, Component: comp, Faults: k, Samples: 100},
+					GoldenCycles: 1000,
+				}
+				masked := sh.masked1 - sh.drop*(k-1)*2/(k) // shrinking steps
+				vul := 100 - masked
+				den := sh.sdc + sh.crash + sh.timeout + sh.assert
+				r.Counts[core.EffectMasked] = masked
+				r.Counts[core.EffectSDC] = vul * sh.sdc / den
+				r.Counts[core.EffectCrash] = vul * sh.crash / den
+				r.Counts[core.EffectTimeout] = vul * sh.timeout / den
+				r.Counts[core.EffectAssert] = vul - r.Counts[core.EffectSDC] -
+					r.Counts[core.EffectCrash] - r.Counts[core.EffectTimeout]
+				if sh.assert == 0 {
+					// Fold the remainder into the dominant class instead.
+					r.Counts[core.EffectCrash] += r.Counts[core.EffectAssert]
+					r.Counts[core.EffectAssert] = 0
+				}
+				rs.Add(r)
+			}
+		}
+	}
+	return rs
+}
+
+func TestVerdictsOnPaperShapedData(t *testing.T) {
+	rs := paperShapedResults()
+	vs, err := Verdicts(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if !v.Pass {
+			t.Errorf("verdict failed on paper-shaped data: %s (%s)", v.Name, v.Detail)
+		}
+	}
+	text := RenderVerdicts(vs)
+	if !strings.Contains(text, "shape targets reproduced") {
+		t.Fatal("render missing summary")
+	}
+}
+
+func TestVerdictsRequireFullGrid(t *testing.T) {
+	if _, err := Verdicts(core.NewResultSet()); err == nil {
+		t.Fatal("expected error on an empty result set")
+	}
+}

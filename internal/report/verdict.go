@@ -1,0 +1,180 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"mbusim/internal/avf"
+	"mbusim/internal/core"
+	"mbusim/internal/fit"
+	"mbusim/internal/workloads"
+)
+
+// Verdict is one mechanically checked reproduction claim (the shape targets
+// of DESIGN.md §4).
+type Verdict struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Verdicts evaluates every shape target against a full campaign grid.
+func Verdicts(rs *core.ResultSet) ([]Verdict, error) {
+	cas, err := avf.WeightedFromResults(rs, core.Components(), workloads.Names())
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]avf.ComponentAVF{}
+	for _, ca := range cas {
+		byName[ca.Component] = ca
+	}
+	var out []Verdict
+	add := func(name string, pass bool, format string, args ...any) {
+		out = append(out, Verdict{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// 1. AVF rises monotonically with fault cardinality for every component.
+	for _, ca := range cas {
+		mono := ca.ByFaults[1] <= ca.ByFaults[2] && ca.ByFaults[2] <= ca.ByFaults[3]
+		add("monotone 1<=2<=3-bit AVF: "+ca.Component, mono,
+			"%.2f%% -> %.2f%% -> %.2f%%",
+			100*ca.ByFaults[1], 100*ca.ByFaults[2], 100*ca.ByFaults[3])
+	}
+
+	// 2. The 1->2 bit increase exceeds the 2->3 bit increase (Table V).
+	firstLarger := 0
+	for _, ca := range cas {
+		if ca.ByFaults[1] == 0 || ca.ByFaults[2] == 0 {
+			continue
+		}
+		if ca.ByFaults[2]/ca.ByFaults[1] >= ca.ByFaults[3]/ca.ByFaults[2] {
+			firstLarger++
+		}
+	}
+	add("1->2 bit step exceeds 2->3 bit step (majority of components)",
+		firstLarger*2 > len(cas), "%d of %d components", firstLarger, len(cas))
+
+	// 3. Class mixes: L1D and L2 SDC-dominated, L1I crash-dominated among
+	// vulnerable outcomes (weighted across workloads and cardinalities).
+	classShare := func(comp string, e core.Effect) float64 {
+		var num, den float64
+		for _, wn := range workloads.Names() {
+			for k := 1; k <= 3; k++ {
+				r, err := rs.Get(comp, wn, k)
+				if err != nil {
+					continue
+				}
+				num += float64(r.Counts[e])
+				den += float64(r.Samples() - r.Counts[core.EffectMasked])
+			}
+		}
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	for _, comp := range []string{core.CompL1D, core.CompL2} {
+		sdc, crash := classShare(comp, core.EffectSDC), classShare(comp, core.EffectCrash)
+		add("SDC dominates vulnerable outcomes: "+comp, sdc > crash,
+			"SDC %.0f%% vs crash %.0f%% of vulnerable runs", 100*sdc, 100*crash)
+	}
+	{
+		sdc, crash := classShare(core.CompL1I, core.EffectSDC), classShare(core.CompL1I, core.EffectCrash)
+		add("crash dominates vulnerable outcomes: L1I", crash > sdc,
+			"crash %.0f%% vs SDC %.0f%% of vulnerable runs", 100*crash, 100*sdc)
+	}
+
+	// 4. ITLB produces (near) zero SDC; TLB failures are crashes/timeouts.
+	{
+		sdc := classShare(core.CompITLB, core.EffectSDC)
+		add("ITLB SDC share near zero", sdc < 0.10,
+			"SDC is %.1f%% of vulnerable ITLB runs", 100*sdc)
+		ct := classShare(core.CompDTLB, core.EffectCrash) +
+			classShare(core.CompDTLB, core.EffectTimeout) +
+			classShare(core.CompDTLB, core.EffectAssert)
+		add("DTLB failures are crash/timeout/assert dominated", ct > 0.5,
+			"crash+timeout+assert = %.0f%% of vulnerable DTLB runs", 100*ct)
+	}
+
+	// 5. Assert outcomes concentrate in the DTLB (physical addresses
+	// escaping the system map), as in the paper's Section IV.E.
+	{
+		asserts := func(comp string) int {
+			n := 0
+			for _, wn := range workloads.Names() {
+				for k := 1; k <= 3; k++ {
+					if r, err := rs.Get(comp, wn, k); err == nil {
+						n += r.Counts[core.EffectAssert]
+					}
+				}
+			}
+			return n
+		}
+		dtlb := asserts(core.CompDTLB)
+		max := 0
+		for _, comp := range []string{core.CompL1D, core.CompL1I, core.CompL2, core.CompRF} {
+			if a := asserts(comp); a > max {
+				max = a
+			}
+		}
+		add("asserts concentrate in the DTLB", dtlb >= max,
+			"DTLB %d vs max(other non-ITLB) %d", dtlb, max)
+	}
+
+	// 6. Fig. 7: the single-bit assessment gap grows toward 22nm.
+	for _, comp := range []string{core.CompL1D, core.CompRF} {
+		entries := avf.NodeTable(byName[comp])
+		grow := true
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Gap() < entries[i-1].Gap()-1e-9 {
+				grow = false
+			}
+		}
+		add("assessment gap grows toward 22nm: "+comp, grow,
+			"250nm %.1f%% -> 22nm %.1f%%", 100*entries[0].Gap(), 100*entries[len(entries)-1].Gap())
+	}
+
+	// 7. Fig. 8: CPU FIT peaks at 130nm, bottoms at 22nm; the MBU share
+	// rises monotonically from 0%.
+	entries, err := fit.CPU(cas)
+	if err != nil {
+		return nil, err
+	}
+	peak, low := 0, 0
+	monotone := true
+	for i := range entries {
+		if entries[i].Total > entries[peak].Total {
+			peak = i
+		}
+		if entries[i].Total < entries[low].Total {
+			low = i
+		}
+		if i > 0 && entries[i].MBUShare() < entries[i-1].MBUShare()-1e-9 {
+			monotone = false
+		}
+	}
+	add("CPU FIT peaks at 130nm", entries[peak].Node.Name == "130nm",
+		"peak at %s", entries[peak].Node.Name)
+	add("CPU FIT minimum at 22nm", entries[low].Node.Name == "22nm",
+		"minimum at %s", entries[low].Node.Name)
+	add("MBU FIT share rises monotonically", monotone && entries[0].MBUShare() == 0,
+		"0%% at 250nm rising to %.1f%% at 22nm", 100*entries[len(entries)-1].MBUShare())
+
+	return out, nil
+}
+
+// RenderVerdicts formats verdicts as a check list.
+func RenderVerdicts(vs []Verdict) string {
+	var sb strings.Builder
+	pass := 0
+	for _, v := range vs {
+		mark := "FAIL"
+		if v.Pass {
+			mark = "ok  "
+			pass++
+		}
+		fmt.Fprintf(&sb, "[%s] %-55s %s\n", mark, v.Name, v.Detail)
+	}
+	fmt.Fprintf(&sb, "%d/%d shape targets reproduced\n", pass, len(vs))
+	return sb.String()
+}

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mbusim/internal/asm"
+	"mbusim/internal/cpu"
+)
+
+// run assembles src, runs it to completion and returns the outcome.
+func run(t *testing.T, src string) Outcome {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(DefaultConfig())
+	if err := m.Load(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	out := m.Run(10_000_000, 0, nil)
+	if out.TimedOut {
+		t.Fatalf("timed out after %d cycles (%d committed)", out.Cycles, out.Committed)
+	}
+	return out
+}
+
+func wantExit(t *testing.T, out Outcome, code uint32) {
+	t.Helper()
+	if out.Stop != cpu.StopExit {
+		t.Fatalf("stopped with %v (kill=%q panic=%q), want exit", out.Stop, out.KillMsg, out.PanicMsg)
+	}
+	if out.ExitCode != code {
+		t.Fatalf("exit code = %d, want %d", out.ExitCode, code)
+	}
+}
+
+func TestHelloWorld(t *testing.T) {
+	out := run(t, `
+_start:
+    li r0, #1
+    la r1, msg
+    li r2, #6
+    li r7, #4
+    syscall
+    li r0, #0
+    li r7, #1
+    syscall
+.data
+msg: .ascii "hello\n"
+`)
+	wantExit(t, out, 0)
+	if string(out.Stdout) != "hello\n" {
+		t.Fatalf("stdout = %q, want %q", out.Stdout, "hello\n")
+	}
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..100 = 5050; exit with 5050 % 251 = 30.
+	out := run(t, `
+_start:
+    li r1, #0      ; sum
+    li r2, #1      ; i
+loop:
+    add r1, r1, r2
+    addi r2, r2, #1
+    cmp r2, #101
+    b.lt loop
+    li r3, #251
+    urem r0, r1, r3
+    li r7, #1
+    syscall
+`)
+	wantExit(t, out, 5050%251)
+}
+
+func TestRecursiveCalls(t *testing.T) {
+	// fib(10) = 55 via naive recursion with stack frames.
+	out := run(t, `
+_start:
+    li r0, #10
+    bl fib
+    li r7, #1
+    syscall
+
+fib:                       ; r0 = fib(r0)
+    cmp r0, #2
+    b.ge fib_rec
+    bx lr
+fib_rec:
+    subi sp, sp, #12
+    str lr, [sp, #0]
+    str r4, [sp, #4]
+    mov r4, r0
+    subi r0, r4, #1
+    bl fib
+    str r0, [sp, #8]
+    subi r0, r4, #2
+    bl fib
+    ldr r1, [sp, #8]
+    add r0, r0, r1
+    ldr lr, [sp, #0]
+    ldr r4, [sp, #4]
+    addi sp, sp, #12
+    bx lr
+`)
+	wantExit(t, out, 55)
+}
+
+func TestMemoryArrayReverse(t *testing.T) {
+	// Fill a 64-word array with i*3, reverse it in place, then checksum.
+	out := run(t, `
+_start:
+    la r1, buf
+    li r2, #0
+fill:
+    li r3, #3
+    mul r3, r2, r3
+    lsli r4, r2, #2
+    add r4, r1, r4
+    str r3, [r4, #0]
+    addi r2, r2, #1
+    cmp r2, #64
+    b.lt fill
+
+    li r2, #0          ; lo index
+    li r3, #63         ; hi index
+rev:
+    cmp r2, r3
+    b.ge revdone
+    lsli r4, r2, #2
+    add r4, r1, r4
+    lsli r5, r3, #2
+    add r5, r1, r5
+    ldr r6, [r4, #0]
+    ldr r8, [r5, #0]
+    str r8, [r4, #0]
+    str r6, [r5, #0]
+    addi r2, r2, #1
+    subi r3, r3, #1
+    b rev
+revdone:
+    li r2, #0
+    li r0, #0
+sum:
+    lsli r4, r2, #2
+    add r4, r1, r4
+    ldr r5, [r4, #0]
+    eor r0, r0, r5
+    add r0, r0, r2
+    addi r2, r2, #1
+    cmp r2, #64
+    b.lt sum
+    andi r0, r0, #0xFF
+    li r7, #1
+    syscall
+.data
+.align 4
+buf: .space 256
+`)
+	// Compute the expected checksum in Go.
+	buf := make([]uint32, 64)
+	for i := range buf {
+		buf[i] = uint32(i * 3)
+	}
+	for lo, hi := 0, 63; lo < hi; lo, hi = lo+1, hi-1 {
+		buf[lo], buf[hi] = buf[hi], buf[lo]
+	}
+	want := uint32(0)
+	for i, v := range buf {
+		want ^= v
+		want += uint32(i)
+	}
+	want &= 0xFF
+	wantExit(t, out, want)
+}
+
+func TestByteAndHalfAccess(t *testing.T) {
+	out := run(t, `
+_start:
+    la r1, buf
+    li r2, #0xAB
+    strb r2, [r1, #0]
+    li r2, #0xCDEF
+    strh r2, [r1, #2]
+    ldrb r3, [r1, #0]
+    ldrh r4, [r1, #2]
+    lsri r4, r4, #8
+    add r0, r3, r4     ; 0xAB + 0xCD = 0x178
+    andi r0, r0, #0xFF
+    li r7, #1
+    syscall
+.data
+.align 4
+buf: .space 16
+`)
+	wantExit(t, out, (0xAB+0xCD)&0xFF)
+}
+
+func TestConditionCodes(t *testing.T) {
+	// Exercise signed and unsigned comparisons.
+	out := run(t, `
+_start:
+    li r0, #0
+    li r1, #0xFFFFFFFF  ; -1 signed, big unsigned
+    li r2, #1
+    cmp r1, r2
+    b.lt signed_ok      ; -1 < 1 signed
+    li r0, #1
+    b fail
+signed_ok:
+    cmp r1, r2
+    b.hi unsigned_ok    ; 0xFFFFFFFF > 1 unsigned
+    li r0, #2
+    b fail
+unsigned_ok:
+    cmp r2, r2
+    b.eq eq_ok
+    li r0, #3
+    b fail
+eq_ok:
+    li r0, #42
+fail:
+    li r7, #1
+    syscall
+`)
+	wantExit(t, out, 42)
+}
+
+func TestDivisionSemantics(t *testing.T) {
+	out := run(t, `
+_start:
+    li r1, #-7
+    li r2, #2
+    sdiv r3, r1, r2      ; -3
+    li r4, #0
+    sdiv r5, r1, r4      ; ARM: x/0 == 0
+    li r6, #7
+    udiv r8, r6, r2      ; 3
+    srem r9, r1, r2      ; -1
+    add r0, r3, r5
+    add r0, r0, r8
+    add r0, r0, r9       ; -3+0+3-1 = -1
+    addi r0, r0, #2      ; 1
+    li r7, #1
+    syscall
+`)
+	wantExit(t, out, 1)
+}
+
+func TestBrkHeap(t *testing.T) {
+	out := run(t, `
+_start:
+    li r0, #0
+    li r7, #45
+    syscall            ; r0 = current brk
+    mov r4, r0
+    addi r0, r4, #4096
+    li r7, #45
+    syscall            ; grow heap by one page
+    li r1, #123
+    str r1, [r4, #0]   ; store to the new page
+    ldr r0, [r4, #0]
+    li r7, #1
+    syscall
+`)
+	wantExit(t, out, 123)
+}
+
+func TestSegfaultOnUnmapped(t *testing.T) {
+	prog, err := asm.Assemble(`
+_start:
+    li r1, #0x00D00000
+    ldr r0, [r1, #0]
+    li r7, #1
+    syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig())
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Run(1_000_000, 0, nil)
+	if out.Stop != cpu.StopSegv {
+		t.Fatalf("stop = %v, want segfault", out.Stop)
+	}
+}
+
+func TestUndefinedInstruction(t *testing.T) {
+	prog, err := asm.Assemble(`
+_start:
+    .word 0xFFFFFFFF
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig())
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Run(1_000_000, 0, nil)
+	if out.Stop != cpu.StopUndef {
+		t.Fatalf("stop = %v, want undefined-instruction", out.Stop)
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	// Immediately reload stored values so forwarding paths get exercised.
+	out := run(t, `
+_start:
+    la r1, buf
+    li r2, #7
+    li r0, #0
+    li r3, #0
+loop:
+    str r2, [r1, #0]
+    ldr r4, [r1, #0]    ; forwarded or cache hit
+    add r0, r0, r4
+    addi r2, r2, #1
+    addi r3, r3, #1
+    cmp r3, #10
+    b.lt loop
+    andi r0, r0, #0xFF  ; 7+8+...+16 = 115
+    li r7, #1
+    syscall
+.data
+.align 4
+buf: .space 8
+`)
+	wantExit(t, out, 115)
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `
+_start:
+    li r1, #0
+    li r2, #0
+loop:
+    add r1, r1, r2
+    addi r2, r2, #1
+    cmp r2, #1000
+    b.lt loop
+    andi r0, r1, #0xFF
+    li r7, #1
+    syscall
+`
+	var cycles []uint64
+	for i := 0; i < 3; i++ {
+		out := run(t, src)
+		wantExit(t, out, uint32(999*1000/2)&0xFF)
+		cycles = append(cycles, out.Cycles)
+	}
+	if cycles[0] != cycles[1] || cycles[1] != cycles[2] {
+		t.Fatalf("non-deterministic cycle counts: %v", cycles)
+	}
+}
+
+func TestStdoutMultipleWrites(t *testing.T) {
+	out := run(t, `
+_start:
+    li r4, #0
+wloop:
+    li r0, #1
+    la r1, msg
+    li r2, #3
+    li r7, #4
+    syscall
+    addi r4, r4, #1
+    cmp r4, #5
+    b.lt wloop
+    li r0, #0
+    li r7, #1
+    syscall
+.data
+msg: .ascii "ab\n"
+`)
+	wantExit(t, out, 0)
+	if got := string(out.Stdout); got != strings.Repeat("ab\n", 5) {
+		t.Fatalf("stdout = %q", got)
+	}
+}
+
+func TestPaperConfigGeometry(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.L1Size != 32<<10 || cfg.L2Size != 512<<10 {
+		t.Fatalf("paper config sizes: L1=%d L2=%d", cfg.L1Size, cfg.L2Size)
+	}
+	// A machine with the literal Table I geometry still runs programs.
+	prog, err := asm.Assemble(`
+_start:
+    li r0, #5
+    li r7, #1
+    syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(cfg)
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Run(100_000, 0, nil)
+	wantExit(t, out, 5)
+	if m.L1I.Rows() != 512 || m.L2.Rows() != 8192 {
+		t.Fatalf("paper geometry rows: L1I=%d L2=%d", m.L1I.Rows(), m.L2.Rows())
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperSampleSize(t *testing.T) {
+	// The paper: 2,000 samples give a 2.88% margin at 99% confidence with
+	// p = 0.5 for a very large population.
+	got := Margin(2000, 1e12, 0.5, 0.99)
+	if math.Abs(got-0.0288) > 0.0003 {
+		t.Fatalf("margin(2000) = %.4f, want ~0.0288", got)
+	}
+	n := SampleSize(1e12, 0.0288, 0.5, 0.99)
+	if n < 1900 || n > 2100 {
+		t.Fatalf("sample size = %d, want ~2000", n)
+	}
+}
+
+func TestMarginDecreasesWithN(t *testing.T) {
+	prev := 1.0
+	for _, n := range []int{10, 100, 1000, 10000} {
+		m := Margin(n, 1e12, 0.5, 0.99)
+		if m >= prev {
+			t.Fatalf("margin not decreasing at n=%d", n)
+		}
+		prev = m
+	}
+}
+
+func TestMarginWorstCaseAtHalf(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Abs(math.Mod(p, 1))
+		return Margin(500, 1e9, p, 0.99) <= Margin(500, 1e9, 0.5, 0.99)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinitePopulationCorrection(t *testing.T) {
+	// Sampling most of a small population shrinks the margin.
+	small := Margin(900, 1000, 0.5, 0.99)
+	large := Margin(900, 1e12, 0.5, 0.99)
+	if small >= large {
+		t.Fatalf("FPC missing: %f >= %f", small, large)
+	}
+}
+
+func TestReadjustTightensExtremes(t *testing.T) {
+	init := Margin(2000, 1e12, 0.5, 0.99)
+	adj := Readjust(2000, 1e12, 0.05, init, 0.99)
+	if adj >= init {
+		t.Fatalf("readjusted margin %f not tighter than %f", adj, init)
+	}
+	// The paper reports margins between 2.4% and 2.88% after adjustment.
+	if adj < 0.015 || adj > init {
+		t.Fatalf("adjusted margin %f outside plausible band", adj)
+	}
+	// A measurement near 0.5 cannot tighten.
+	adj = Readjust(2000, 1e12, 0.5, init, 0.99)
+	if math.Abs(adj-init) > 1e-12 {
+		t.Fatalf("p=0.5 readjustment changed the margin: %f vs %f", adj, init)
+	}
+}
+
+func TestZScorePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ZScore(0.42)
+}
+
+func TestMarginDegenerate(t *testing.T) {
+	if Margin(0, 1e9, 0.5, 0.99) != 1 {
+		t.Fatal("n=0 must give the trivial margin")
+	}
+}

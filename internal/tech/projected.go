@@ -1,0 +1,28 @@
+package tech
+
+// Projected post-22nm nodes. The paper's technology data (Ibe et al.) ends
+// at 22 nm; its conclusion states the methodology applies unchanged to
+// FinFET-era nodes where "the per-component AVF and the overall
+// microprocessor FIT rates assessment gaps between single-bit and
+// aggregate multi-bit faults [are expected] to be even larger because of
+// the higher rates of multi-bit faults".
+//
+// ProjectedNodes extends the Table VI/VII series with that expectation:
+// the single-bit share keeps falling along the measured trend, and the raw
+// per-bit FIT keeps falling per the FinFET reduction reported by Seifert
+// et al. (the paper's ref [22]). These are extrapolations for what-if
+// analysis, NOT measured data — they are kept out of Nodes so the paper's
+// tables and figures never mix them in.
+var ProjectedNodes = []Node{
+	{Name: "14nm*", Nm: 14, Single: 0.480, Double: 0.370, Triple: 0.150, RawFIT: 14e-8},
+	{Name: "10nm*", Nm: 10, Single: 0.420, Double: 0.390, Triple: 0.190, RawFIT: 10e-8},
+	{Name: "7nm*", Nm: 7, Single: 0.360, Double: 0.400, Triple: 0.240, RawFIT: 7e-8},
+}
+
+// AllNodes returns the measured nodes followed by the projections (starred
+// names mark extrapolated entries).
+func AllNodes() []Node {
+	out := make([]Node, 0, len(Nodes)+len(ProjectedNodes))
+	out = append(out, Nodes...)
+	return append(out, ProjectedNodes...)
+}

@@ -1,0 +1,71 @@
+// Package tech holds the technology-node data the paper's aggregate
+// analysis combines with the measured AVFs: the multi-bit upset rate per
+// node (Table VI, from Ibe et al.), the raw per-bit FIT rate per node
+// (Table VII) and the component sizes in bits (Table VIII).
+package tech
+
+import "fmt"
+
+// Node is one fabrication technology node.
+type Node struct {
+	Name string
+	Nm   int
+
+	// Fraction of particle-induced upsets of each cardinality. Rates for
+	// four bits and above are folded into Triple, as in the paper.
+	Single, Double, Triple float64
+
+	// RawFIT is the soft-error FIT rate of a single bit.
+	RawFIT float64
+}
+
+// Rate returns the upset-rate fraction for a fault cardinality (1-3).
+func (n Node) Rate(faults int) float64 {
+	switch faults {
+	case 1:
+		return n.Single
+	case 2:
+		return n.Double
+	case 3:
+		return n.Triple
+	}
+	panic(fmt.Sprintf("tech: no rate for %d-bit faults", faults))
+}
+
+// Nodes lists the eight nodes of Tables VI and VII, 250 nm down to 22 nm.
+var Nodes = []Node{
+	{Name: "250nm", Nm: 250, Single: 1.000, Double: 0.000, Triple: 0.000, RawFIT: 47e-8},
+	{Name: "180nm", Nm: 180, Single: 0.964, Double: 0.036, Triple: 0.000, RawFIT: 85e-8},
+	{Name: "130nm", Nm: 130, Single: 0.934, Double: 0.044, Triple: 0.022, RawFIT: 106e-8},
+	{Name: "90nm", Nm: 90, Single: 0.878, Double: 0.096, Triple: 0.026, RawFIT: 100e-8},
+	{Name: "65nm", Nm: 65, Single: 0.816, Double: 0.161, Triple: 0.023, RawFIT: 85e-8},
+	{Name: "45nm", Nm: 45, Single: 0.722, Double: 0.230, Triple: 0.048, RawFIT: 58e-8},
+	{Name: "32nm", Nm: 32, Single: 0.653, Double: 0.291, Triple: 0.056, RawFIT: 38e-8},
+	{Name: "22nm", Nm: 22, Single: 0.553, Double: 0.344, Triple: 0.103, RawFIT: 23e-8},
+}
+
+// ByName returns the named node.
+func ByName(name string) (Node, error) {
+	for _, n := range Nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("tech: unknown node %q", name)
+}
+
+// ComponentBits returns the size in bits of each studied structure
+// (Table VIII).
+func ComponentBits(component string) (int, error) {
+	switch component {
+	case "L1D", "L1I":
+		return 262144, nil
+	case "L2":
+		return 4194304, nil
+	case "RegFile":
+		return 2112, nil
+	case "ITLB", "DTLB":
+		return 1024, nil
+	}
+	return 0, fmt.Errorf("tech: unknown component %q", component)
+}

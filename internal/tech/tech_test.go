@@ -1,0 +1,134 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRatesSumToOne(t *testing.T) {
+	for _, n := range Nodes {
+		sum := n.Single + n.Double + n.Triple
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: rates sum to %f", n.Name, sum)
+		}
+	}
+}
+
+func TestEightNodesOrdered(t *testing.T) {
+	if len(Nodes) != 8 {
+		t.Fatalf("%d nodes, want 8", len(Nodes))
+	}
+	for i := 1; i < len(Nodes); i++ {
+		if Nodes[i].Nm >= Nodes[i-1].Nm {
+			t.Fatal("nodes must shrink monotonically")
+		}
+	}
+	if Nodes[0].Name != "250nm" || Nodes[7].Name != "22nm" {
+		t.Fatal("range must be 250nm..22nm")
+	}
+}
+
+func TestMultiBitRateGrowsWithDensity(t *testing.T) {
+	// Table VI: the single-bit share falls monotonically toward 22nm.
+	for i := 1; i < len(Nodes); i++ {
+		if Nodes[i].Single >= Nodes[i-1].Single {
+			t.Fatalf("single-bit rate not decreasing at %s", Nodes[i].Name)
+		}
+	}
+	if Nodes[7].Single != 0.553 || Nodes[7].Triple != 0.103 {
+		t.Fatal("22nm rates must match Table VI")
+	}
+}
+
+func TestRawFITPeaksAt130nm(t *testing.T) {
+	// Table VII: the per-bit rate rises to 130nm and then falls.
+	peak := 0
+	for i, n := range Nodes {
+		if n.RawFIT > Nodes[peak].RawFIT {
+			peak = i
+		}
+	}
+	if Nodes[peak].Name != "130nm" {
+		t.Fatalf("raw FIT peaks at %s, want 130nm", Nodes[peak].Name)
+	}
+}
+
+func TestRate(t *testing.T) {
+	n := Nodes[7]
+	if n.Rate(1) != n.Single || n.Rate(2) != n.Double || n.Rate(3) != n.Triple {
+		t.Fatal("Rate accessor mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for cardinality 4")
+		}
+	}()
+	n.Rate(4)
+}
+
+func TestByName(t *testing.T) {
+	n, err := ByName("65nm")
+	if err != nil || n.Nm != 65 {
+		t.Fatalf("ByName: %v %+v", err, n)
+	}
+	if _, err := ByName("7nm"); err == nil {
+		t.Fatal("expected error for unlisted node")
+	}
+}
+
+func TestComponentBits(t *testing.T) {
+	want := map[string]int{
+		"L1D": 262144, "L1I": 262144, "L2": 4194304,
+		"RegFile": 2112, "ITLB": 1024, "DTLB": 1024,
+	}
+	total := 0
+	for comp, bits := range want {
+		got, err := ComponentBits(comp)
+		if err != nil || got != bits {
+			t.Errorf("%s: %d (%v), want %d", comp, got, err, bits)
+		}
+		total += got
+	}
+	// The six structures cover >94% of the CPU's memory cells per the
+	// paper; sanity-check the total is the Table VIII sum.
+	if total != 262144*2+4194304+2112+1024*2 {
+		t.Fatalf("total bits %d", total)
+	}
+	if _, err := ComponentBits("BTB"); err == nil {
+		t.Fatal("expected error for unknown component")
+	}
+}
+
+func TestProjectedNodesContinueTrends(t *testing.T) {
+	prev := Nodes[len(Nodes)-1]
+	for _, n := range ProjectedNodes {
+		if n.Nm >= prev.Nm {
+			t.Fatalf("%s: projected nodes must shrink", n.Name)
+		}
+		if n.Single >= prev.Single {
+			t.Fatalf("%s: single-bit share must keep falling", n.Name)
+		}
+		if n.RawFIT >= prev.RawFIT {
+			t.Fatalf("%s: raw FIT must keep falling (FinFET trend)", n.Name)
+		}
+		sum := n.Single + n.Double + n.Triple
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: rates sum to %f", n.Name, sum)
+		}
+		prev = n
+	}
+	if len(AllNodes()) != len(Nodes)+len(ProjectedNodes) {
+		t.Fatal("AllNodes incomplete")
+	}
+	// Projections are visually marked and never leak into Nodes.
+	for _, n := range ProjectedNodes {
+		if n.Name[len(n.Name)-1] != '*' {
+			t.Fatalf("%s: projections must be starred", n.Name)
+		}
+	}
+	for _, n := range Nodes {
+		if n.Name[len(n.Name)-1] == '*' {
+			t.Fatalf("%s: measured nodes must not be starred", n.Name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package tlb
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	f := func(vpn, pfn uint32, w, u bool) bool {
+		vpn &= 0x3FFF
+		pfn &= 0x3FFF
+		tl := New("T", 4)
+		tl.Insert(vpn, pfn, w, u)
+		tr, ok := tl.Lookup(vpn)
+		return ok && tr.PFN == pfn && tr.Writable == w && tr.User == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissOnEmpty(t *testing.T) {
+	tl := New("T", 32)
+	if _, ok := tl.Lookup(5); ok {
+		t.Fatal("hit in empty TLB")
+	}
+	if tl.MissCount != 1 {
+		t.Fatalf("miss count = %d", tl.MissCount)
+	}
+}
+
+func TestRoundRobinReplacement(t *testing.T) {
+	tl := New("T", 4)
+	for vpn := uint32(0); vpn < 4; vpn++ {
+		tl.Insert(vpn, vpn+100, true, true)
+	}
+	// Fifth insert overwrites the first slot.
+	tl.Insert(4, 104, true, true)
+	if _, ok := tl.Lookup(0); ok {
+		t.Fatal("oldest entry should have been replaced")
+	}
+	for vpn := uint32(1); vpn <= 4; vpn++ {
+		if _, ok := tl.Lookup(vpn); !ok {
+			t.Fatalf("vpn %d missing", vpn)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tl := New("T", 8)
+	tl.Insert(1, 2, true, true)
+	tl.Invalidate()
+	if _, ok := tl.Lookup(1); ok {
+		t.Fatal("entry survived invalidate")
+	}
+	if tl.Occupancy() != 0 {
+		t.Fatal("occupancy nonzero after invalidate")
+	}
+}
+
+func TestFlipValidBitDropsEntry(t *testing.T) {
+	tl := New("T", 4)
+	tl.Insert(7, 9, true, true)
+	tl.FlipBit(0, 31)
+	if _, ok := tl.Lookup(7); ok {
+		t.Fatal("flipped-invalid entry still hits")
+	}
+}
+
+func TestFlipPFNBitCorruptsTranslation(t *testing.T) {
+	tl := New("T", 4)
+	tl.Insert(7, 0, true, true)
+	tl.FlipBit(0, 1) // lowest PFN bit
+	tr, ok := tl.Lookup(7)
+	if !ok || tr.PFN != 1 {
+		t.Fatalf("corrupted PFN lookup: ok=%v pfn=%d", ok, tr.PFN)
+	}
+	// High PFN bit: frame leaves the 8K-frame system map.
+	tl.FlipBit(0, 14)
+	tr, _ = tl.Lookup(7)
+	if tr.PFN < 8192 {
+		t.Fatalf("high PFN flip stayed in the system map: %d", tr.PFN)
+	}
+}
+
+func TestFlipVPNBitAliasesAnotherPage(t *testing.T) {
+	tl := New("T", 4)
+	tl.Insert(6, 50, true, true)
+	tl.FlipBit(0, 15) // lowest VPN bit: entry now claims vpn 7
+	if _, ok := tl.Lookup(6); ok {
+		t.Fatal("original vpn still matches")
+	}
+	tr, ok := tl.Lookup(7)
+	if !ok || tr.PFN != 50 {
+		t.Fatal("aliased vpn must hit with the old frame")
+	}
+}
+
+func TestFlipSpareBitIsMasked(t *testing.T) {
+	tl := New("T", 4)
+	tl.Insert(3, 4, true, false)
+	before, _ := tl.Lookup(3)
+	tl.FlipBit(0, 0) // spare bit
+	after, ok := tl.Lookup(3)
+	if !ok || before != after {
+		t.Fatal("spare bit flip changed the translation")
+	}
+}
+
+func TestOccupancyCountsValidEntries(t *testing.T) {
+	tl := New("T", 8)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 3; i++ {
+		tl.Insert(rng.Uint32()&0x3FFF, rng.Uint32()&0x3FFF, true, true)
+	}
+	if got := tl.Occupancy(); got != 3.0/8.0 {
+		t.Fatalf("occupancy = %f", got)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	tl := New("DTLB", 32)
+	if tl.Rows() != 32 || tl.Cols() != 32 {
+		t.Fatalf("geometry %dx%d, want 32x32 (Table VIII: 1024 bits)", tl.Rows(), tl.Cols())
+	}
+	if tl.Name() != "DTLB" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestFlipOutOfRangePanics(t *testing.T) {
+	tl := New("T", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tl.FlipBit(4, 0)
+}

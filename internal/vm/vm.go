@@ -1,0 +1,136 @@
+// Package vm implements the virtual-memory system: the two-level page-table
+// format kept in simulated RAM and the hardware page-table walker that
+// refills the TLBs through the L2 cache.
+//
+// The virtual address space is 16 MB (VA[23:0]); pages are 1 KB. A virtual
+// page number therefore has 14 bits, split 7/7 across the two levels:
+//
+//	level-1 table: 128 entries, indexed by VA[23:17], each pointing to a
+//	               level-2 table frame
+//	level-2 table: 128 entries, indexed by VA[16:10], each mapping one page
+//
+// Page-table entries are 32-bit words:
+//
+//	bit  31:    valid
+//	bit  30:    writable
+//	bit  29:    user accessible
+//	bits 13..0: physical frame number (one bit wider than RAM, so cache
+//	            faults in page-table lines can corrupt a PTE out of the
+//	            system map)
+//
+// Because the walker reads PTEs through the L2 cache, faults injected into
+// L2 lines that hold page tables corrupt translations; a PTE whose frame
+// number points outside physical memory is detected by the walker and
+// reported as a kernel panic, one of the paper's crash routes.
+package vm
+
+import (
+	"mbusim/internal/tlb"
+)
+
+// PTE field layout.
+const (
+	PTEValid     uint32 = 1 << 31
+	PTEWritable  uint32 = 1 << 30
+	PTEUser      uint32 = 1 << 29
+	PTEFrameMask uint32 = 0x3FFF
+
+	// L1Entries and L2Entries are the table sizes.
+	L1Entries = 128
+	L2Entries = 128
+	// TableBytes is the byte size of one table (both levels).
+	TableBytes = L1Entries * 4
+
+	// VASize is the size of the virtual address space.
+	VASize = 1 << 24
+)
+
+// PackPTE builds a page-table entry.
+func PackPTE(pfn uint32, writable, user bool) uint32 {
+	e := PTEValid | pfn&PTEFrameMask
+	if writable {
+		e |= PTEWritable
+	}
+	if user {
+		e |= PTEUser
+	}
+	return e
+}
+
+// WalkFault describes why a page walk failed.
+type WalkFault int
+
+const (
+	WalkOK       WalkFault = iota
+	WalkUnmapped           // no valid PTE: a page fault (segfault for user code)
+	WalkBadFrame           // valid PTE with a frame outside RAM: kernel panic
+)
+
+// WordReader is the memory port the walker reads page tables through:
+// normally the L2 cache (so cached page-table lines are injectable state),
+// or physical memory directly in the ablation configuration.
+type WordReader interface {
+	ReadWord(pa uint32) (uint32, int)
+}
+
+// Walker is the hardware page-table walker. It reads page tables through
+// its memory port and validates frame numbers against the size of RAM.
+type Walker struct {
+	l2        WordReader
+	root      uint32 // physical address of the level-1 table
+	numFrames uint32
+
+	Walks uint64
+}
+
+// NewWalker builds a walker. root is the physical address of the level-1
+// table; numFrames bounds valid physical frame numbers.
+func NewWalker(port WordReader, root, numFrames uint32) *Walker {
+	return &Walker{l2: port, root: root, numFrames: numFrames}
+}
+
+// SetRoot points the walker at a (new) level-1 table.
+func (w *Walker) SetRoot(root uint32) { w.root = root }
+
+// Walk translates vpn by walking the page tables. On success it returns the
+// mapped translation and the walk latency in cycles. The caller decides what
+// a fault means (the CPU raises a page fault; the kernel panics on
+// WalkBadFrame).
+func (w *Walker) Walk(vpn uint32) (tr tlb.Translation, lat int, fault WalkFault) {
+	w.Walks++
+	idx1 := vpn >> 7 & (L1Entries - 1)
+	idx2 := vpn & (L2Entries - 1)
+
+	l1e, lat1 := w.l2.ReadWord(w.root + idx1*4)
+	lat += lat1
+	if l1e&PTEValid == 0 {
+		return tr, lat, WalkUnmapped
+	}
+	l2frame := l1e & PTEFrameMask
+	if l2frame >= w.numFrames {
+		return tr, lat, WalkBadFrame
+	}
+	l2e, lat2 := w.l2.ReadWord(l2frame<<tlb.PageShift + idx2*4)
+	lat += lat2
+	if l2e&PTEValid == 0 {
+		return tr, lat, WalkUnmapped
+	}
+	pfn := l2e & PTEFrameMask
+	if pfn >= w.numFrames {
+		return tr, lat, WalkBadFrame
+	}
+	return tlb.Translation{
+		PFN:      pfn,
+		Writable: l2e&PTEWritable != 0,
+		User:     l2e&PTEUser != 0,
+	}, lat, WalkOK
+}
+
+// Refill walks vpn and, on success, installs the translation into t.
+func (w *Walker) Refill(t *tlb.TLB, vpn uint32) (tr tlb.Translation, lat int, fault WalkFault) {
+	tr, lat, fault = w.Walk(vpn)
+	if fault == WalkOK {
+		t.Insert(vpn, tr.PFN, tr.Writable, tr.User)
+	}
+	return tr, lat, fault
+}

@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"testing"
+
+	"mbusim/internal/cache"
+	"mbusim/internal/mem"
+	"mbusim/internal/tlb"
+)
+
+// buildTables writes a two-level page table into RAM mapping vpn -> pfn and
+// returns the root physical address.
+func buildTables(ram *mem.RAM, root uint32, mappings map[uint32]uint32) {
+	nextTable := root + 1024 // place level-2 tables after the root
+	l2base := map[uint32]uint32{}
+	for vpn, pfn := range mappings {
+		idx1 := vpn >> 7 & (L1Entries - 1)
+		idx2 := vpn & (L2Entries - 1)
+		base, ok := l2base[idx1]
+		if !ok {
+			base = nextTable
+			nextTable += 1024
+			l2base[idx1] = base
+			ram.WriteWord(root+idx1*4, PackPTE(base>>tlb.PageShift, true, false))
+		}
+		ram.WriteWord(base+idx2*4, PackPTE(pfn, true, true))
+	}
+}
+
+func newWalkerEnv() (*Walker, *mem.RAM, *cache.Cache) {
+	ram := mem.NewRAM(1 << 20)
+	l2 := cache.New(cache.Config{Name: "L2", Size: 8192, Ways: 4, LineSize: 64, Latency: 8, PABits: 20}, ram)
+	w := NewWalker(l2, 0x8000, 1024)
+	return w, ram, l2
+}
+
+func TestWalkSuccess(t *testing.T) {
+	w, ram, _ := newWalkerEnv()
+	buildTables(ram, 0x8000, map[uint32]uint32{5: 77, 0x3FFF: 99})
+	tr, lat, fault := w.Walk(5)
+	if fault != WalkOK || tr.PFN != 77 || !tr.Writable || !tr.User {
+		t.Fatalf("walk: %+v fault=%v", tr, fault)
+	}
+	if lat <= 0 {
+		t.Fatal("walk must cost cycles")
+	}
+	tr, _, fault = w.Walk(0x3FFF)
+	if fault != WalkOK || tr.PFN != 99 {
+		t.Fatalf("walk high vpn: %+v fault=%v", tr, fault)
+	}
+}
+
+func TestWalkUnmapped(t *testing.T) {
+	w, ram, _ := newWalkerEnv()
+	buildTables(ram, 0x8000, map[uint32]uint32{5: 77})
+	if _, _, fault := w.Walk(6); fault != WalkUnmapped {
+		t.Fatalf("fault = %v, want unmapped (missing level-2 entry)", fault)
+	}
+	if _, _, fault := w.Walk(0x2000); fault != WalkUnmapped {
+		t.Fatalf("fault = %v, want unmapped (missing level-1 entry)", fault)
+	}
+}
+
+func TestWalkBadFrame(t *testing.T) {
+	w, ram, _ := newWalkerEnv()
+	buildTables(ram, 0x8000, map[uint32]uint32{5: 77})
+	// Corrupt the level-2 PTE so its frame leaves the 1024-frame map.
+	idx1 := uint32(5) >> 7 & (L1Entries - 1)
+	l1e := ram.ReadWord(0x8000 + idx1*4)
+	l2pa := (l1e & PTEFrameMask) << tlb.PageShift
+	ram.WriteWord(l2pa+5*4, PackPTE(2000, true, true))
+	if _, _, fault := w.Walk(5); fault != WalkBadFrame {
+		t.Fatalf("fault = %v, want bad frame", fault)
+	}
+}
+
+func TestRefillInsertsIntoTLB(t *testing.T) {
+	w, ram, _ := newWalkerEnv()
+	buildTables(ram, 0x8000, map[uint32]uint32{9: 33})
+	tl := tlb.New("D", 8)
+	if _, _, fault := w.Refill(tl, 9); fault != WalkOK {
+		t.Fatalf("refill fault %v", fault)
+	}
+	tr, ok := tl.Lookup(9)
+	if !ok || tr.PFN != 33 {
+		t.Fatal("refill did not install the translation")
+	}
+	// A failing walk must not install anything.
+	w.Refill(tl, 10)
+	if _, ok := tl.Lookup(10); ok {
+		t.Fatal("failed walk installed an entry")
+	}
+}
+
+func TestWalkerReadsThroughCache(t *testing.T) {
+	w, ram, l2 := newWalkerEnv()
+	buildTables(ram, 0x8000, map[uint32]uint32{5: 77})
+	w.Walk(5)
+	// Corrupt the PTE in RAM only: the cached copy must win, proving the
+	// walker reads page tables through L2 (the paper's kernel-panic route
+	// goes through cache faults for exactly this reason).
+	idx1 := uint32(5) >> 7 & (L1Entries - 1)
+	l1e := ram.ReadWord(0x8000 + idx1*4)
+	l2pa := (l1e & PTEFrameMask) << tlb.PageShift
+	ram.WriteWord(l2pa+5*4, PackPTE(123, true, true))
+	tr, _, fault := w.Walk(5)
+	if fault != WalkOK || tr.PFN != 77 {
+		t.Fatalf("walker bypassed the cache: %+v", tr)
+	}
+	_ = l2
+}
+
+func TestPackPTE(t *testing.T) {
+	e := PackPTE(0x3FF, true, false)
+	if e&PTEValid == 0 || e&PTEWritable == 0 || e&PTEUser != 0 {
+		t.Fatalf("flags wrong: %#x", e)
+	}
+	if e&PTEFrameMask != 0x3FF {
+		t.Fatalf("frame wrong: %#x", e)
+	}
+}

@@ -1,0 +1,261 @@
+package workloads
+
+// Automotive-suite analogs: basicmath, qsort, and the three susan image
+// kernels (smoothing, edges, corners).
+
+func init() {
+	register("basicmath", lcgHelpers+basicmathSource)
+	register("qsort", lcgHelpers+qsortSource)
+	register("susan_s", lcgHelpers+susanCommon+susanSSource)
+	register("susan_e", lcgHelpers+susanCommon+susanESource)
+	register("susan_c", lcgHelpers+susanCommon+susanCSource)
+}
+
+// basicmath: integer square roots, cube roots (Newton), and angle
+// conversions in fixed point, mirroring the MiBench basicmath kernels.
+const basicmathSource = `
+uint isqrt(uint x) {
+    uint op = x;
+    uint res = 0u;
+    uint one = 1u << 30;
+    while (one > op) one = one >> 2;
+    while (one != 0u) {
+        if (op >= res + one) {
+            op = op - (res + one);
+            res = (res >> 1) + one;
+        } else {
+            res = res >> 1;
+        }
+        one = one >> 2;
+    }
+    return res;
+}
+
+int icbrt(uint x) {
+    // Bit-at-a-time integer cube root (Hacker's Delight): terminates in
+    // exactly 11 steps, unlike integer Newton which can oscillate.
+    uint y = 0u;
+    for (int s = 30; s >= 0; s -= 3) {
+        y = y + y;
+        uint b = (3u * y * (y + 1u) + 1u) << s;
+        if (x >= b) {
+            x = x - b;
+            y = y + 1u;
+        }
+    }
+    return (int)y;
+}
+
+int deg_to_rad_q10(int deg) {
+    // pi/180 in Q16 is 1144; result in Q10.
+    return (deg * 1144) >> 6;
+}
+
+int rad_q10_to_deg(int radq) {
+    // 180/pi in Q10 is 58671/1024.
+    return (radq * 57) >> 10;
+}
+
+int main(void) {
+    // Square roots over a dense range.
+    for (uint i = 0u; i < 3000u; i++) {
+        dig_add(isqrt(i * i + i));
+    }
+    // Cube roots of pseudo-random values.
+    rng_seed(31u);
+    for (int i = 0; i < 600; i++) {
+        uint v = rng_next() & 0xFFFFFu;
+        dig_add((uint)icbrt(v));
+    }
+    // Angle conversions round trip.
+    int err = 0;
+    for (int d = -180; d <= 180; d++) {
+        int r = deg_to_rad_q10(d);
+        int back = rad_q10_to_deg(r);
+        err += back - d;
+        dig_add((uint)r);
+    }
+    print_str("basicmath err=");
+    print_int(err);
+    print_char(' ');
+    dig_print();
+    return 0;
+}
+`
+
+// qsort: recursive quicksort over pseudo-random ints with verification,
+// like the MiBench large qsort run.
+const qsortSource = `
+int arr[1000];
+
+void quicksort(int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = arr[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (arr[i] < pivot) i++;
+        while (arr[j] > pivot) j--;
+        if (i <= j) {
+            int t = arr[i];
+            arr[i] = arr[j];
+            arr[j] = t;
+            i++;
+            j--;
+        }
+    }
+    quicksort(lo, j);
+    quicksort(i, hi);
+}
+
+int main(void) {
+    int n = 1000;
+    rng_seed(6502u);
+    for (int i = 0; i < n; i++) arr[i] = (int)(rng_next() & 0xFFFFu);
+    quicksort(0, n - 1);
+    int sorted = 1;
+    for (int i = 1; i < n; i++) {
+        if (arr[i-1] > arr[i]) sorted = 0;
+        dig_add((uint)arr[i]);
+    }
+    print_str("qsort sorted=");
+    print_int(sorted);
+    print_char(' ');
+    dig_print();
+    return 0;
+}
+`
+
+// susanCommon synthesizes the input image shared by the three susan
+// kernels: smooth gradients plus pseudo-random speckle, so thresholding
+// finds real structure.
+const susanCommon = `
+char img[1024];
+int img_w;
+int img_h;
+
+void make_image(int w, int h) {
+    img_w = w;
+    img_h = h;
+    rng_seed(7u);
+    for (int y = 0; y < img_h; y++) {
+        for (int x = 0; x < img_w; x++) {
+            int v = (x * 5 + y * 3) & 0xFF;
+            if (((x / 8) + (y / 8)) % 2 == 0) v = (v + 96) & 0xFF;
+            v = (v + (int)(rng_next() & 7u)) & 0xFF;
+            img[y * img_w + x] = (char)v;
+        }
+    }
+}
+`
+
+// susan_s: 5x5 weighted smoothing (the susan smoothing path).
+const susanSSource = `
+char smoothed[1024];
+
+int main(void) {
+    make_image(16, 16);
+    for (int y = 2; y < img_h - 2; y++) {
+        for (int x = 2; x < img_w - 2; x++) {
+            int c = (int)img[y * img_w + x];
+            int total = 0;
+            int weight = 0;
+            for (int dy = -2; dy <= 2; dy++) {
+                for (int dx = -2; dx <= 2; dx++) {
+                    int p = (int)img[(y + dy) * img_w + x + dx];
+                    int diff = p - c;
+                    if (diff < 0) diff = -diff;
+                    // Brightness weight falls off with difference.
+                    int w = 16 - (diff >> 3);
+                    if (w < 0) w = 0;
+                    total += p * w;
+                    weight += w;
+                }
+            }
+            if (weight == 0) weight = 1;
+            smoothed[y * img_w + x] = (char)(total / weight);
+        }
+    }
+    for (int i = 0; i < img_w * img_h; i += 4) {
+        dig_add(((uint)smoothed[i] << 16) | (uint)smoothed[i+1]);
+    }
+    print_str("susan_s ");
+    dig_print();
+    return 0;
+}
+`
+
+// susan_e: USAN edge response — count similar neighbours in a 3x3 area and
+// flag pixels whose area is below the geometric threshold.
+const susanESource = `
+char edges[1024];
+
+int main(void) {
+    make_image(12, 12);
+    int nedges = 0;
+    for (int y = 1; y < img_h - 1; y++) {
+        for (int x = 1; x < img_w - 1; x++) {
+            int c = (int)img[y * img_w + x];
+            int usan = 0;
+            for (int dy = -1; dy <= 1; dy++) {
+                for (int dx = -1; dx <= 1; dx++) {
+                    int p = (int)img[(y + dy) * img_w + x + dx];
+                    int diff = p - c;
+                    if (diff < 0) diff = -diff;
+                    if (diff < 24) usan++;
+                }
+            }
+            // Edge when fewer than 3/4 of the neighbourhood is similar.
+            if (usan < 7) {
+                edges[y * img_w + x] = (char)1;
+                nedges++;
+            }
+            dig_add((uint)usan);
+        }
+    }
+    print_str("susan_e n=");
+    print_int(nedges);
+    print_char(' ');
+    dig_print();
+    return 0;
+}
+`
+
+// susan_c: corner response — USAN area below the corner threshold with a
+// centroid test, on a sparser grid than the edge kernel.
+const susanCSource = `
+int main(void) {
+    make_image(12, 12);
+    int ncorners = 0;
+    for (int y = 2; y < img_h - 2; y += 2) {
+        for (int x = 2; x < img_w - 2; x += 2) {
+            int c = (int)img[y * img_w + x];
+            int usan = 0;
+            int cx = 0;
+            int cy = 0;
+            for (int dy = -1; dy <= 1; dy++) {
+                for (int dx = -1; dx <= 1; dx++) {
+                    int p = (int)img[(y + dy) * img_w + x + dx];
+                    int diff = p - c;
+                    if (diff < 0) diff = -diff;
+                    if (diff < 24) {
+                        usan++;
+                        cx += dx;
+                        cy += dy;
+                    }
+                }
+            }
+            dig_add((uint)usan);
+            if (usan < 6 && (cx != 0 || cy != 0)) {
+                ncorners++;
+                dig_add((uint)(y * img_w + x));
+            }
+        }
+    }
+    print_str("susan_c n=");
+    print_int(ncorners);
+    print_char(' ');
+    dig_print();
+    return 0;
+}
+`

@@ -1,0 +1,291 @@
+package workloads
+
+// Consumer and telecom DSP analogs: cjpeg (JPEG-style compression), djpeg
+// (decompression) and a fixed-point radix-2 FFT.
+
+func init() {
+	register("cjpeg", lcgHelpers+jpegCommon+cjpegSource)
+	register("djpeg", lcgHelpers+jpegCommon+djpegSource)
+	register("FFT", lcgHelpers+fftSource)
+}
+
+// jpegCommon holds the pieces both JPEG kernels share: the Q10 DCT basis,
+// the quantization table and the zigzag order.
+const jpegCommon = `
+int dct_cos[64] = {
+    1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024,
+    1004, 851, 569, 200, -200, -569, -851, -1004,
+    946, 392, -392, -946, -946, -392, 392, 946,
+    851, -200, -1004, -569, 569, 1004, 200, -851,
+    724, -724, -724, 724, 724, -724, -724, 724,
+    569, -1004, 200, 851, -851, -200, 1004, -569,
+    392, -946, 946, -392, -392, 946, -946, 392,
+    200, -569, 851, -1004, 1004, -851, 569, -200};
+
+int quant[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+int zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10,
+    17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63};
+
+int block[64];
+int coeffs[64];
+
+// fdct runs a naive 2-D DCT-II on block into coeffs. The C(0) = 1/sqrt(2)
+// normalisation (724 in Q10) is applied to the zero rows/columns after the
+// two passes, followed by the overall 1/4 scale.
+void fdct(void) {
+    int tmp[64];
+    for (int y = 0; y < 8; y++) {
+        for (int u = 0; u < 8; u++) {
+            int acc = 0;
+            for (int x = 0; x < 8; x++) {
+                acc += dct_cos[u * 8 + x] * block[y * 8 + x];
+            }
+            tmp[y * 8 + u] = acc >> 10;
+        }
+    }
+    for (int u = 0; u < 8; u++) {
+        for (int v = 0; v < 8; v++) {
+            int acc = 0;
+            for (int y = 0; y < 8; y++) {
+                acc += dct_cos[v * 8 + y] * tmp[y * 8 + u];
+            }
+            acc = acc >> 10;
+            if (u == 0) acc = (acc * 724) >> 10;
+            if (v == 0) acc = (acc * 724) >> 10;
+            coeffs[v * 8 + u] = acc >> 2;
+        }
+    }
+}
+
+// idct is the matching inverse (DCT-III): pre-scale by the C(u)C(v)
+// factors, then two accumulation passes.
+void idct(void) {
+    int tmp[64];
+    int sc[64];
+    for (int v = 0; v < 8; v++) {
+        for (int u = 0; u < 8; u++) {
+            int s = coeffs[v * 8 + u];
+            if (u == 0) s = (s * 724) >> 10;
+            if (v == 0) s = (s * 724) >> 10;
+            sc[v * 8 + u] = s;
+        }
+    }
+    for (int v = 0; v < 8; v++) {
+        for (int x = 0; x < 8; x++) {
+            int acc = 0;
+            for (int u = 0; u < 8; u++) {
+                acc += dct_cos[u * 8 + x] * sc[v * 8 + u];
+            }
+            tmp[v * 8 + x] = acc >> 10;
+        }
+    }
+    for (int x = 0; x < 8; x++) {
+        for (int y = 0; y < 8; y++) {
+            int acc = 0;
+            for (int v = 0; v < 8; v++) {
+                acc += dct_cos[v * 8 + y] * tmp[v * 8 + x];
+            }
+            block[y * 8 + x] = acc >> 12; // >>10 basis scale, >>2 for 1/4
+        }
+    }
+}
+`
+
+// cjpeg: synthesize an image, transform/quantize/zigzag/run-length encode
+// each 8x8 block, and digest the code stream.
+const cjpegSource = `
+char image[512];
+
+int main(void) {
+    rng_seed(88u);
+    for (int y = 0; y < 16; y++) {
+        for (int x = 0; x < 32; x++) {
+            int v = ((x * x + y * 3) & 0x7F) + (int)(rng_next() & 15u);
+            image[y * 32 + x] = (char)(v & 0xFF);
+        }
+    }
+    int codes = 0;
+    for (int by = 0; by < 2; by++) {
+        for (int bx = 0; bx < 4; bx++) {
+            for (int y = 0; y < 8; y++) {
+                for (int x = 0; x < 8; x++) {
+                    block[y * 8 + x] = (int)image[(by * 8 + y) * 32 + bx * 8 + x] - 128;
+                }
+            }
+            fdct();
+            // Quantize and run-length encode in zigzag order.
+            int run = 0;
+            for (int k = 0; k < 64; k++) {
+                int idx = zigzag[k];
+                int q = coeffs[idx] / quant[idx];
+                if (q == 0) {
+                    run++;
+                } else {
+                    dig_add((uint)(run * 65536 + (q & 0xFFFF)));
+                    codes++;
+                    run = 0;
+                }
+            }
+            dig_add(0xE0Bu); // end-of-block marker
+        }
+    }
+    print_str("cjpeg codes=");
+    print_int(codes);
+    print_char(' ');
+    dig_print();
+    return 0;
+}
+`
+
+// djpeg: synthesize plausible quantized coefficient blocks (energy decaying
+// along the zigzag), dequantize, inverse transform, and digest the pixels.
+const djpegSource = `
+int main(void) {
+    rng_seed(333u);
+    int nblocks = 2;
+    for (int b = 0; b < nblocks; b++) {
+        for (int k = 0; k < 64; k++) {
+            int idx = zigzag[k];
+            int mag = 64 >> (k / 8);          // decaying magnitude budget
+            int q = 0;
+            if (mag > 0) {
+                q = (int)(rng_next() % (uint)(2 * mag + 1)) - mag;
+            }
+            coeffs[idx] = q * quant[idx];     // dequantize
+        }
+        idct();
+        for (int i = 0; i < 64; i++) {
+            int p = block[i] + 128;
+            if (p < 0) p = 0;
+            if (p > 255) p = 255;
+            dig_add((uint)p);
+        }
+    }
+    print_str("djpeg ");
+    dig_print();
+    return 0;
+}
+`
+
+// FFT: 256-point radix-2 decimation-in-time fixed-point FFT with Q12
+// twiddles from a quarter sine table, forward plus inverse with round-trip
+// error reporting (the MiBench fft runs forward and inverse transforms).
+const fftSource = `
+int sine_q[65] = {
+    0, 101, 201, 301, 401, 501, 601, 700, 799, 897,
+    995, 1092, 1189, 1285, 1380, 1474, 1567, 1660, 1751, 1842,
+    1931, 2019, 2106, 2191, 2276, 2359, 2440, 2520, 2598, 2675,
+    2751, 2824, 2896, 2967, 3035, 3102, 3166, 3229, 3290, 3349,
+    3406, 3461, 3513, 3564, 3612, 3659, 3703, 3745, 3784, 3822,
+    3857, 3889, 3920, 3948, 3973, 3996, 4017, 4036, 4052, 4065,
+    4076, 4085, 4091, 4095, 4096};
+
+int re[256];
+int im[256];
+int orig[256];
+
+int fsin(int k) {
+    // sin(2*pi*k/256) in Q12 via quarter-wave symmetry.
+    k = k & 255;
+    if (k < 64) return sine_q[k];
+    if (k < 128) return sine_q[128 - k];
+    if (k < 192) return -sine_q[k - 128];
+    return -sine_q[256 - k];
+}
+
+int fcos(int k) {
+    return fsin(k + 64);
+}
+
+void fft(int inverse) {
+    int n = 256;
+    // Bit-reversal permutation.
+    int j = 0;
+    for (int i = 0; i < n - 1; i++) {
+        if (i < j) {
+            int t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+        int m = n >> 1;
+        while (m >= 1 && j >= m) {
+            j -= m;
+            m = m >> 1;
+        }
+        j += m;
+    }
+    for (int span = 1; span < n; span = span << 1) {
+        int step = span << 1;
+        int tw = 128 / span;      // twiddle index stride
+        for (int k = 0; k < span; k++) {
+            int c = fcos(k * tw);
+            int s = fsin(k * tw);
+            if (inverse == 0) s = -s;
+            for (int i = k; i < n; i += step) {
+                int l = i + span;
+                int tr = (re[l] * c - im[l] * s) >> 12;
+                int ti = (re[l] * s + im[l] * c) >> 12;
+                re[l] = re[i] - tr;
+                im[l] = im[i] - ti;
+                re[i] = re[i] + tr;
+                im[i] = im[i] + ti;
+            }
+        }
+        // Forward pass scales by 1/2 per stage (1/N total) to avoid
+        // overflow; the inverse leaves growth in place so the round trip
+        // recovers the original amplitude.
+        if (inverse == 0) {
+            for (int i = 0; i < n; i++) {
+                re[i] = re[i] >> 1;
+                im[i] = im[i] >> 1;
+            }
+        }
+    }
+}
+
+int main(void) {
+    rng_seed(1967u);
+    int maxerr = 0;
+    for (int round = 0; round < 2; round++) {
+        for (int i = 0; i < 256; i++) {
+            int v = (int)(rng_next() & 0x3FFFu) - 8192;
+            re[i] = v;
+            im[i] = 0;
+            orig[i] = v;
+        }
+        fft(0);
+        for (int i = 0; i < 256; i += 8) {
+            dig_add((uint)re[i]);
+            dig_add((uint)im[i]);
+        }
+        fft(1);
+        // Forward scaled by 1/N, inverse unscaled: the round trip should
+        // land back on the input up to fixed-point error.
+        for (int i = 0; i < 256; i++) {
+            int err = re[i] - orig[i];
+            if (err < 0) err = -err;
+            if (err > maxerr) maxerr = err;
+        }
+    }
+    print_str("fft maxerr=");
+    print_int(maxerr);
+    print_char(' ');
+    dig_print();
+    return 0;
+}
+`

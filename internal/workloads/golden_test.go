@@ -1,0 +1,94 @@
+package workloads
+
+import "testing"
+
+// pinnedOutputs locks the golden outputs of every workload. Any change to
+// the compiler, ISA semantics, pipeline architectural behaviour or the
+// workloads themselves that alters program results shows up here — and
+// silently shifting goldens would silently re-baseline every AVF number in
+// the repository.
+var pinnedOutputs = map[string]string{
+	"CRC32":        "crc32=1a280466\n",
+	"FFT":          "fft maxerr=136 digest=bbe6a5ab\n",
+	"adpcm_dec":    "adpcm digest=613f5302\n",
+	"basicmath":    "basicmath err=-187 digest=7357d61e\n",
+	"cjpeg":        "cjpeg codes=87 digest=2962029d\n",
+	"dijkstra":     "dijkstra digest=f39ff09d\n",
+	"djpeg":        "djpeg digest=0c4c7242\n",
+	"gsm_dec":      "gsm digest=3c769f04\n",
+	"qsort":        "qsort sorted=1 digest=7f0acf13\n",
+	"rijndael_dec": "rijndael digest=aab5ec6e\n",
+	"sha":          "sha1=fb73c1de6861c7f7cf324f89a460283de17f30ab\n",
+	"stringSearch": "stringsearch total=1 digest=eb741d64\n",
+	"susan_c":      "susan_c n=1 digest=5db6990f\n",
+	"susan_e":      "susan_e n=36 digest=c3fbd0a1\n",
+	"susan_s":      "susan_s digest=f9257dc5\n",
+}
+
+func TestPinnedGoldenOutputs(t *testing.T) {
+	for name, want := range pinnedOutputs {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := w.Reference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(g.Stdout); got != want {
+			t.Errorf("%s: golden output changed:\n got %q\nwant %q", name, got, want)
+		}
+	}
+}
+
+func TestTableIIIOrderingMatchesPaper(t *testing.T) {
+	// The paper's Table III ordering (by execution time) that the scaled
+	// workloads reproduce: CRC32 longest, stringsearch/susan_c shortest.
+	cyclesOf := func(name string) uint64 {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := w.Reference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Cycles
+	}
+	order := []string{
+		"CRC32", "basicmath", "adpcm_dec", "FFT", "dijkstra",
+		"rijndael_dec", "qsort", "cjpeg", "susan_s", "gsm_dec",
+		"sha", "djpeg", "susan_e",
+	}
+	for i := 1; i < len(order); i++ {
+		if cyclesOf(order[i-1]) <= cyclesOf(order[i]) {
+			t.Errorf("ordering violated: %s (%d) should exceed %s (%d)",
+				order[i-1], cyclesOf(order[i-1]), order[i], cyclesOf(order[i]))
+		}
+	}
+	// The two shortest sit at the bottom, in either order.
+	if cyclesOf("susan_c") >= cyclesOf("susan_e") || cyclesOf("stringSearch") >= cyclesOf("susan_e") {
+		t.Error("susan_c and stringSearch must be the shortest workloads")
+	}
+}
+
+func TestWorkloadFootprintsDiffer(t *testing.T) {
+	// The suite must mix long and short workloads (the paper's Eq. 2
+	// weighting exists because of this spread).
+	var min, max uint64
+	for _, w := range All() {
+		g, err := w.Reference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min == 0 || g.Cycles < min {
+			min = g.Cycles
+		}
+		if g.Cycles > max {
+			max = g.Cycles
+		}
+	}
+	if max/min < 20 {
+		t.Fatalf("cycle spread %dx too small (paper's Table III spans >100x)", max/min)
+	}
+}

@@ -1,0 +1,107 @@
+package workloads
+
+// Network and office analogs: dijkstra shortest paths and stringsearch
+// (Boyer-Moore-Horspool).
+
+func init() {
+	register("dijkstra", lcgHelpers+dijkstraSource)
+	register("stringSearch", lcgHelpers+stringsearchSource)
+}
+
+// dijkstra: single-source shortest paths with an O(V^2) scan over an
+// adjacency matrix, run from several sources (the MiBench program runs many
+// source/destination pairs over a 100-node matrix).
+const dijkstraSource = `
+int adj[2304];
+int dist[48];
+int done[48];
+int nv = 48;
+
+int main(void) {
+    rng_seed(1313u);
+    for (int i = 0; i < nv; i++) {
+        for (int j = 0; j < nv; j++) {
+            int w = (int)(rng_next() & 63u) + 1;
+            if ((rng_next() & 3u) == 0u) w = 1000000; // sparse: most edges absent
+            if (i == j) w = 0;
+            adj[i * nv + j] = w;
+        }
+    }
+    for (int src = 0; src < 4; src++) {
+        for (int i = 0; i < nv; i++) {
+            dist[i] = 1000000;
+            done[i] = 0;
+        }
+        dist[src] = 0;
+        for (int round = 0; round < nv; round++) {
+            int best = -1;
+            int bestd = 1000001;
+            for (int i = 0; i < nv; i++) {
+                if (!done[i] && dist[i] < bestd) {
+                    bestd = dist[i];
+                    best = i;
+                }
+            }
+            if (best < 0) break;
+            done[best] = 1;
+            for (int j = 0; j < nv; j++) {
+                int nd = dist[best] + adj[best * nv + j];
+                if (nd < dist[j]) dist[j] = nd;
+            }
+        }
+        for (int i = 0; i < nv; i++) dig_add((uint)dist[i]);
+    }
+    print_str("dijkstra ");
+    dig_print();
+    return 0;
+}
+`
+
+// stringSearch: Boyer-Moore-Horspool over synthetic text, several patterns
+// (the shortest workload in Table III).
+const stringsearchSource = `
+char text[256];
+char pat[8];
+int skip[256];
+
+int search(int patlen) {
+    for (int i = 0; i < 256; i++) skip[i] = patlen;
+    for (int i = 0; i < patlen - 1; i++) skip[(int)pat[i]] = patlen - 1 - i;
+    int n = 256;
+    int found = 0;
+    int pos = 0;
+    while (pos <= n - patlen) {
+        int j = patlen - 1;
+        while (j >= 0 && text[pos + j] == pat[j]) j--;
+        if (j < 0) {
+            found++;
+            pos += patlen;
+        } else {
+            pos += skip[(int)text[pos + patlen - 1]];
+        }
+    }
+    return found;
+}
+
+int main(void) {
+    rng_seed(2121u);
+    for (int i = 0; i < 256; i++) {
+        text[i] = (char)('a' + (int)(rng_next() & 7u));
+    }
+    int total = 0;
+    for (int p = 0; p < 2; p++) {
+        int patlen = 3 + p;
+        for (int i = 0; i < patlen; i++) {
+            pat[i] = (char)('a' + (int)(rng_next() & 7u));
+        }
+        int found = search(patlen);
+        total += found;
+        dig_add((uint)found);
+    }
+    print_str("stringsearch total=");
+    print_int(total);
+    print_char(' ');
+    dig_print();
+    return 0;
+}
+`

@@ -1,0 +1,156 @@
+// Package workloads provides the fifteen MiBench-analog benchmarks of the
+// paper's Table III, written in MiniC and compiled to AR32 for the simulated
+// machine. Each workload synthesizes its own deterministic input (a seeded
+// LCG replaces MiBench's input files) and writes a result digest to stdout;
+// the fault-free run's output is the golden reference for SDC detection,
+// and its cycle count sets both the Table III analog and the 4x timeout
+// limit used by the injection campaigns.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mbusim/internal/asm"
+	"mbusim/internal/minic"
+	"mbusim/internal/sim"
+)
+
+// Workload is one benchmark: a name (matching the paper's Table III) and
+// its MiniC source.
+type Workload struct {
+	Name   string
+	Source string
+
+	once   sync.Once
+	prog   *asm.Program
+	golden *Golden
+	err    error
+}
+
+// Golden holds the fault-free reference run of a workload.
+type Golden struct {
+	Cycles    uint64
+	Committed uint64
+	Stdout    []byte
+	ExitCode  uint32
+}
+
+var registry = map[string]*Workload{}
+
+func register(name, source string) {
+	if _, dup := registry[name]; dup {
+		panic("workloads: duplicate " + name)
+	}
+	registry[name] = &Workload{Name: name, Source: source}
+}
+
+// Names returns all workload names sorted alphabetically.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// All returns every workload, sorted by name.
+func All() []*Workload {
+	ws := make([]*Workload, 0, len(registry))
+	for _, n := range Names() {
+		ws = append(ws, registry[n])
+	}
+	return ws
+}
+
+// prepare compiles the workload and captures its golden run, once.
+func (w *Workload) prepare() {
+	w.once.Do(func() {
+		prog, err := minic.CompileProgram(w.Source)
+		if err != nil {
+			w.err = fmt.Errorf("workloads: compile %s: %w", w.Name, err)
+			return
+		}
+		w.prog = prog
+		m := sim.New(sim.DefaultConfig())
+		if err := m.Load(prog); err != nil {
+			w.err = fmt.Errorf("workloads: load %s: %w", w.Name, err)
+			return
+		}
+		out := m.Run(500_000_000, 0, nil)
+		if out.Stop.String() != "exit" || out.ExitCode != 0 || out.TimedOut {
+			w.err = fmt.Errorf("workloads: golden run of %s failed: stop=%v exit=%d timeout=%v kill=%q panic=%q",
+				w.Name, out.Stop, out.ExitCode, out.TimedOut, out.KillMsg, out.PanicMsg)
+			return
+		}
+		w.golden = &Golden{
+			Cycles:    out.Cycles,
+			Committed: out.Committed,
+			Stdout:    out.Stdout,
+			ExitCode:  out.ExitCode,
+		}
+	})
+}
+
+// Program returns the compiled binary image (compiled once, cached).
+func (w *Workload) Program() (*asm.Program, error) {
+	w.prepare()
+	return w.prog, w.err
+}
+
+// Reference returns the golden fault-free run (computed once, cached).
+func (w *Workload) Reference() (*Golden, error) {
+	w.prepare()
+	return w.golden, w.err
+}
+
+// NewMachine builds a fresh machine with the workload loaded, ready to run.
+func (w *Workload) NewMachine() (*sim.Machine, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	m := sim.New(sim.DefaultConfig())
+	if err := m.Load(prog); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// lcgHelpers is shared MiniC source implementing the deterministic input
+// generator and digest helpers used by every workload.
+const lcgHelpers = `
+uint rng_state = 12345u;
+
+uint rng_next(void) {
+    rng_state = rng_state * 1103515245u + 12345u;
+    return (rng_state >> 8) & 0xFFFFFFu;
+}
+
+void rng_seed(uint s) {
+    rng_state = s;
+}
+
+uint dig_state = 2166136261u;
+
+void dig_add(uint v) {
+    dig_state = (dig_state ^ v) * 16777619u;
+}
+
+void dig_print(void) {
+    print_str("digest=");
+    print_hex(dig_state);
+    print_nl();
+}
+`

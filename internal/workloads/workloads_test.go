@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFifteenWorkloads(t *testing.T) {
+	if n := len(All()); n != 15 {
+		t.Fatalf("registered %d workloads, want 15 (Table III)", n)
+	}
+}
+
+func TestGoldenRuns(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			g, err := w.Reference()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Cycles == 0 || g.Committed == 0 {
+				t.Fatalf("golden run reports no work: %+v", g)
+			}
+			if len(g.Stdout) == 0 {
+				t.Fatalf("golden run produced no output")
+			}
+			t.Logf("cycles=%d committed=%d IPC=%.2f out=%q",
+				g.Cycles, g.Committed, float64(g.Committed)/float64(g.Cycles), g.Stdout)
+		})
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	w, err := ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.Reference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Run(0, 0, nil)
+	if out.Cycles != g.Cycles {
+		t.Fatalf("cycle count differs between runs: %d vs %d", out.Cycles, g.Cycles)
+	}
+	if !bytes.Equal(out.Stdout, g.Stdout) {
+		t.Fatalf("stdout differs between runs")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+// TestMidRunOccupancies logs the structure occupancies of each workload at
+// its half-way point. These numbers are the first-order explanation of the
+// per-component AVFs (see EXPERIMENTS.md); the test asserts only the broad
+// invariants so tuning does not break it.
+func TestMidRunOccupancies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("occupancy survey is slow")
+	}
+	for _, w := range All() {
+		g, err := w.Reference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := w.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := g.Cycles / 2
+		for m.Core.Cycles() < half && m.Core.Stopped() == 0 {
+			m.Core.Cycle()
+		}
+		occ := m.Occupancy()
+		t.Logf("%-13s L1I=%.2f L1D=%.2f(d%.2f) L2=%.2f(d%.2f) ITLB=%.2f DTLB=%.2f",
+			w.Name, occ["L1I"], occ["L1D"], occ["L1D.dirty"],
+			occ["L2"], occ["L2.dirty"], occ["ITLB"], occ["DTLB"])
+		if occ["L1I"] == 0 || occ["DTLB"] == 0 {
+			t.Errorf("%s: implausible zero occupancy: %v", w.Name, occ)
+		}
+	}
+}
