@@ -339,6 +339,40 @@ func BenchmarkAblationWalkerPath(b *testing.B) {
 	}
 }
 
+// --- Campaign hot path: checkpointed fast-forward vs from-scratch replay ---
+
+// benchCampaign runs one full campaign cell per iteration. The two
+// variants share the spec; only the machine-construction path differs:
+// Scratch rebuilds every machine and replays the golden prefix from cycle
+// 0, Checkpointed restores the nearest golden checkpoint at or before the
+// injection cycle. Both paths produce identical outcomes (enforced by
+// TestCheckpointEquivalence); the difference is pure prefix-replay cost.
+func benchCampaign(b *testing.B, noCheckpoints bool) {
+	spec := core.Spec{
+		Workload: "sha", Component: core.CompL1D, Faults: 2,
+		Samples: benchSamples * 2, Seed: 7,
+		NoCheckpoints: noCheckpoints,
+	}
+	// Warm the one-time per-process state (compile, golden run, checkpoint
+	// set) outside the timed region for both variants alike.
+	if _, err := core.Run(spec, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Samples() != spec.Samples {
+			b.Fatalf("campaign classified %d runs, want %d", res.Samples(), spec.Samples)
+		}
+	}
+}
+
+func BenchmarkCampaignScratch(b *testing.B)      { benchCampaign(b, true) }
+func BenchmarkCampaignCheckpointed(b *testing.B) { benchCampaign(b, false) }
+
 // --- Microbenchmarks of the substrate itself ---
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

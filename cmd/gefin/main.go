@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,16 +27,37 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "workload name (empty with -all means every workload)")
-		comp     = flag.String("comp", "", "component: L1D, L1I, L2, RegFile, DTLB, ITLB (empty with -all means every component)")
-		faults   = flag.Int("faults", 1, "fault cardinality 1-3 (ignored with -all: all three run)")
-		samples  = flag.Int("samples", 100, "injections per cell")
-		seed     = flag.Uint64("seed", 1, "campaign seed")
-		all      = flag.Bool("all", false, "run the full component x workload x cardinality grid")
-		outPath  = flag.String("out", "", "write results JSON to this file")
-		quiet    = flag.Bool("q", false, "suppress per-cell progress")
+		workload   = flag.String("workload", "", "workload name (empty with -all means every workload)")
+		comp       = flag.String("comp", "", "component: L1D, L1I, L2, RegFile, DTLB, ITLB (empty with -all means every component)")
+		faults     = flag.Int("faults", 1, "fault cardinality 1-3 (ignored with -all: all three run)")
+		samples    = flag.Int("samples", 100, "injections per cell")
+		seed       = flag.Uint64("seed", 1, "campaign seed")
+		all        = flag.Bool("all", false, "run the full component x workload x cardinality grid")
+		outPath    = flag.String("out", "", "write results JSON to this file")
+		quiet      = flag.Bool("q", false, "suppress per-cell progress")
+		nockpt     = flag.Bool("nockpt", false, "replay every run from cycle 0 instead of fast-forwarding from golden checkpoints")
+		ckpts      = flag.Int("checkpoints", workloads.CheckpointCount, "golden checkpoints per workload (K)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 	)
 	flag.Parse()
+	workloads.CheckpointCount = *ckpts
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	rs := core.NewResultSet()
 	var specs []core.Spec
@@ -53,6 +76,7 @@ func main() {
 					specs = append(specs, core.Spec{
 						Workload: w, Component: c, Faults: k,
 						Samples: *samples, Seed: *seed,
+						NoCheckpoints: *nockpt,
 					})
 				}
 			}
@@ -65,6 +89,7 @@ func main() {
 		specs = append(specs, core.Spec{
 			Workload: *workload, Component: *comp, Faults: *faults,
 			Samples: *samples, Seed: *seed,
+			NoCheckpoints: *nockpt,
 		})
 	}
 
@@ -105,5 +130,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
 	}
 }

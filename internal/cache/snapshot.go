@@ -1,0 +1,64 @@
+package cache
+
+// Snapshot is a deep copy of a cache's mutable state: every line's tag,
+// state bits, LRU stamp and data, plus the use clock and access counters.
+// It is immutable once taken and can be restored into any cache with the
+// same geometry any number of times.
+type Snapshot struct {
+	tags     []uint32
+	flags    []uint8 // bit 0 valid, bit 1 dirty
+	lastUse  []uint64
+	data     []byte // all lines concatenated, line order
+	useClock uint64
+
+	hits, misses, writebacks uint64
+}
+
+// Snapshot captures the full cache state.
+func (c *Cache) Snapshot() *Snapshot {
+	n := len(c.lines)
+	s := &Snapshot{
+		tags:       make([]uint32, n),
+		flags:      make([]uint8, n),
+		lastUse:    make([]uint64, n),
+		data:       make([]byte, n*c.cfg.LineSize),
+		useClock:   c.useClock,
+		hits:       c.Hits,
+		misses:     c.Misses,
+		writebacks: c.Writebacks,
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		s.tags[i] = ln.tag
+		if ln.valid {
+			s.flags[i] |= 1
+		}
+		if ln.dirty {
+			s.flags[i] |= 2
+		}
+		s.lastUse[i] = ln.lastUse
+		copy(s.data[i*c.cfg.LineSize:], ln.data)
+	}
+	return s
+}
+
+// Restore overwrites the cache state with the snapshot's. The cache must
+// have the geometry the snapshot was taken from; a mismatch is a
+// programming error and panics.
+func (c *Cache) Restore(s *Snapshot) {
+	if len(s.tags) != len(c.lines) || len(s.data) != len(c.lines)*c.cfg.LineSize {
+		panic("cache: restore into mismatched geometry")
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		ln.tag = s.tags[i]
+		ln.valid = s.flags[i]&1 != 0
+		ln.dirty = s.flags[i]&2 != 0
+		ln.lastUse = s.lastUse[i]
+		copy(ln.data, s.data[i*c.cfg.LineSize:])
+	}
+	c.useClock = s.useClock
+	c.Hits = s.hits
+	c.Misses = s.misses
+	c.Writebacks = s.writebacks
+}

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"mbusim/internal/mem"
+)
+
+func snapTestCache() (*Cache, *mem.RAM) {
+	ram := mem.NewRAM(1 << 20)
+	c := New(Config{Name: "L1D", Size: 4 << 10, Ways: 4, LineSize: 64, Latency: 2, PABits: 20}, ram)
+	return c, ram
+}
+
+// fill drives a deterministic access pattern that leaves a mix of valid,
+// dirty and invalid lines behind.
+func fillCache(c *Cache) {
+	rng := rand.New(rand.NewPCG(42, 42))
+	for i := 0; i < 200; i++ {
+		pa := rng.Uint32N(1 << 18 & ^uint32(3))
+		pa &^= 3
+		if i%3 == 0 {
+			c.WriteWord(pa, rng.Uint32())
+		} else {
+			c.ReadWord(pa)
+		}
+	}
+}
+
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	c, _ := snapTestCache()
+	fillCache(c)
+	s := c.Snapshot()
+	want := make([]line, len(c.lines))
+	copy(want, c.lines)
+	for i := range want {
+		want[i].data = append([]byte(nil), c.lines[i].data...)
+	}
+	wantClock, wantHits, wantMisses, wantWB := c.useClock, c.Hits, c.Misses, c.Writebacks
+
+	// Dirty the cache, then restore.
+	fillCache(c)
+	c.FlipBit(0, 0)
+	c.Restore(s)
+
+	if c.useClock != wantClock || c.Hits != wantHits || c.Misses != wantMisses || c.Writebacks != wantWB {
+		t.Fatal("restored counters differ")
+	}
+	for i := range want {
+		ln := &c.lines[i]
+		if ln.tag != want[i].tag || ln.valid != want[i].valid ||
+			ln.dirty != want[i].dirty || ln.lastUse != want[i].lastUse ||
+			!reflect.DeepEqual(ln.data, want[i].data) {
+			t.Fatalf("line %d differs after restore", i)
+		}
+	}
+}
+
+func TestCacheSnapshotNoAliasing(t *testing.T) {
+	c, _ := snapTestCache()
+	fillCache(c)
+	s := c.Snapshot()
+
+	// Mutating a restored cache must not reach back into the snapshot.
+	c2, _ := snapTestCache()
+	c2.Restore(s)
+	for col := 0; col < c2.Cols(); col++ {
+		c2.FlipBit(0, col)
+	}
+	c2.useClock += 1000
+
+	c3, _ := snapTestCache()
+	c3.Restore(s)
+	tag2, v2, d2, data2 := c2.LineState(0)
+	tag3, v3, d3, data3 := c3.LineState(0)
+	if tag2 == tag3 && v2 == v3 && d2 == d3 && reflect.DeepEqual(data2, data3) {
+		t.Fatal("mutation of restored cache did not change its own line 0")
+	}
+	// c3 must match the original snapshotted state.
+	tag0, v0, d0, data0 := c.LineState(0)
+	if tag3 != tag0 || v3 != v0 || d3 != d0 || !reflect.DeepEqual(data3, data0) {
+		t.Fatal("snapshot mutated through a restored cache")
+	}
+}
+
+func TestCacheSnapshotGeometryMismatchPanics(t *testing.T) {
+	c, _ := snapTestCache()
+	s := c.Snapshot()
+	other := New(Config{Name: "L2", Size: 8 << 10, Ways: 4, LineSize: 64, Latency: 8, PABits: 20}, mem.NewRAM(1<<20))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched geometry")
+		}
+	}()
+	other.Restore(s)
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mbusim/internal/sim"
 	"mbusim/internal/stats"
@@ -29,6 +30,13 @@ type Spec struct {
 	// in some dimension (ablation of the paper's sub-cluster inclusion).
 	ForceSpanning bool
 
+	// NoCheckpoints forces every run to rebuild its machine and replay the
+	// golden prefix from cycle 0 instead of fast-forwarding from the
+	// workload's golden checkpoint set. The two paths produce identical
+	// outcomes; this knob exists for cross-checking and for bounding
+	// memory on very large configurations.
+	NoCheckpoints bool
+
 	// Protect evaluates an error-protection scheme on the target structure
 	// (extension; see Protection). The zero value is no protection, the
 	// paper's configuration.
@@ -50,6 +58,10 @@ type Result struct {
 	Spec         Spec
 	Counts       [NumEffects]int
 	GoldenCycles uint64
+
+	// TargetBits is the bit count (rows x cols) of the injected structure,
+	// the spatial extent of the Leveugle fault population.
+	TargetBits int
 }
 
 // Samples returns the number of classified runs.
@@ -93,11 +105,19 @@ func (r *Result) AdjustedMargin(confidence float64) float64 {
 }
 
 func (r *Result) population() float64 {
-	// Fault population = bits x cycles of exposure.
-	return float64(r.GoldenCycles) * 1e6
+	// Fault population = bits x cycles of exposure, using the target
+	// structure's real bit count. Results deserialized from files written
+	// before TargetBits existed fall back to the old 1e6 approximation.
+	bits := float64(r.TargetBits)
+	if bits == 0 {
+		bits = 1e6
+	}
+	return float64(r.GoldenCycles) * bits
 }
 
-// Progress receives completed-run counts during a campaign (optional).
+// Progress receives completed-run counts during a campaign (optional). It
+// may be invoked concurrently from multiple workers; done values are each
+// reported exactly once but not necessarily in ascending order.
 type Progress func(done, total int)
 
 // Run executes a campaign cell: Samples independent machine runs, each with
@@ -118,11 +138,16 @@ func Run(spec Spec, progress Progress) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := TargetFor(probe, spec.Component); err != nil {
+	probeTarget, err := TargetFor(probe, spec.Component)
+	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Spec: spec, GoldenCycles: golden.Cycles}
+	res := &Result{
+		Spec:         spec,
+		GoldenCycles: golden.Cycles,
+		TargetBits:   probeTarget.Rows() * probeTarget.Cols(),
+	}
 	limit := uint64(spec.TimeoutFactor * float64(golden.Cycles))
 
 	// Pre-draw per-run randomness deterministically so results do not
@@ -140,57 +165,84 @@ func Run(spec Spec, progress Progress) (*Result, error) {
 		}
 	}
 
+	// Build the workload's checkpoint set before the workers start so the
+	// one-time construction cost is not paid under the first worker's run.
+	if !spec.NoCheckpoints {
+		if _, err := w.CheckpointCycles(); err != nil {
+			return nil, err
+		}
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > spec.Samples {
 		workers = spec.Samples
 	}
+	// Lock-free job dispatch: workers claim jobs off an atomic counter and
+	// accumulate effect counts locally, merged after the pool drains, so
+	// neither dispatch, counting nor the progress callback serializes the
+	// workers on a shared mutex.
 	var (
-		mu     sync.Mutex
-		wg     sync.WaitGroup
-		next   int
-		done   int
-		runErr error
+		wg        sync.WaitGroup
+		next      atomic.Int64
+		completed atomic.Int64
+		failed    atomic.Bool
 	)
+	workerCounts := make([][NumEffects]int, workers)
+	workerErrs := make([]error, workers)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(wk int) {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				if runErr != nil || next >= len(jobs) {
-					mu.Unlock()
+			local := &workerCounts[wk]
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
 					return
 				}
-				i := next
-				next++
-				mu.Unlock()
-
 				effect, err := runOne(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed)
-				mu.Lock()
-				if err != nil && runErr == nil {
-					runErr = err
+				if err != nil {
+					workerErrs[wk] = err
+					failed.Store(true)
+					return
 				}
-				if err == nil {
-					res.Counts[effect]++
-					done++
-					if progress != nil {
-						progress(done, len(jobs))
-					}
+				local[effect]++
+				if progress != nil {
+					progress(int(completed.Add(1)), len(jobs))
 				}
-				mu.Unlock()
 			}
-		}()
+		}(wk)
 	}
 	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
+	for _, err := range workerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range workerCounts {
+		for e, n := range workerCounts[i] {
+			res.Counts[e] += n
+		}
 	}
 	return res, nil
 }
 
-// runOne performs a single fault-injection simulation.
+// maxSpanningTries bounds the rejection sampling of ForceSpanning masks.
+const maxSpanningTries = 1000
+
+// runOne performs a single fault-injection simulation. Unless the spec
+// forbids it, the machine is fast-forwarded from the workload's nearest
+// golden checkpoint at or before the injection cycle instead of replaying
+// the whole golden prefix from cycle 0; the two paths are bit-identical
+// because checkpoints capture the complete machine state and execution is
+// deterministic.
 func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64) (Effect, error) {
-	m, err := w.NewMachine()
+	var m *sim.Machine
+	var err error
+	if spec.NoCheckpoints {
+		m, err = w.NewMachine()
+	} else {
+		m, _, err = w.MachineAt(injectAt)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -201,8 +253,15 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 	rng := rand.New(rand.NewPCG(maskSeed, 0xDEADBEEFCAFEF00D))
 	mask := GenerateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster)
 	if spec.ForceSpanning {
-		for tries := 0; !mask.Spanning(spec.Cluster) && tries < 1000; tries++ {
+		for tries := 0; !mask.Spanning(spec.Cluster) && tries < maxSpanningTries; tries++ {
 			mask = GenerateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster)
+		}
+		if !mask.Spanning(spec.Cluster) {
+			// Silently running a non-spanning mask would violate the
+			// ablation's contract; fail loudly instead (e.g. a single-bit
+			// fault can never span a multi-row, multi-column cluster).
+			return 0, fmt.Errorf("core: no spanning %d-bit mask in a %dx%d cluster after %d draws",
+				spec.Faults, spec.Cluster.Rows, spec.Cluster.Cols, maxSpanningTries)
 		}
 	}
 	if spec.Protect.Kind != ProtectNone {

@@ -1,0 +1,121 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"mbusim/internal/asm"
+)
+
+// snapProg is a loop long enough to populate the ROB, queues and predictor
+// with in-flight state at any snapshot point.
+const snapProg = `
+_start:
+    li r1, #0
+    li r2, #0
+    la r5, buf
+loop:
+    add r1, r1, r2
+    str r1, [r5, #0]
+    ldr r3, [r5, #0]
+    add r1, r1, r3
+    addi r2, r2, #1
+    cmp r2, #200
+    b.lt loop
+    li r0, #0
+    li r7, #1
+    syscall
+.data
+.align 4
+buf: .space 4
+`
+
+func TestCoreSnapshotRoundTrip(t *testing.T) {
+	prog, err := asm.Assemble(snapProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildRig(t, prog)
+	for i := 0; i < 500 && r.core.Stopped() == StopNone; i++ {
+		r.core.Cycle()
+	}
+	if r.core.Stopped() != StopNone {
+		t.Fatal("program finished before the snapshot point")
+	}
+
+	s1 := r.core.Snapshot()
+	// Mutate the core, then restore; the re-snapshot must deep-equal the
+	// original snapshot (Snapshot/Restore are both deep copies, so this
+	// compares the complete mutable state field by field).
+	for i := 0; i < 100 && r.core.Stopped() == StopNone; i++ {
+		r.core.Cycle()
+	}
+	r.core.Restore(s1)
+	s2 := r.core.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("core state after Restore(Snapshot()) differs from the snapshot")
+	}
+
+	// No aliasing: running the restored core further must not change the
+	// snapshots taken earlier.
+	for i := 0; i < 100 && r.core.Stopped() == StopNone; i++ {
+		r.core.Cycle()
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("snapshot mutated by running the restored core")
+	}
+	if reflect.DeepEqual(s1, r.core.Snapshot()) {
+		t.Fatal("core did not advance after restore")
+	}
+}
+
+func TestRegFileSnapshotRoundTrip(t *testing.T) {
+	rf := NewRegFile(8)
+	rf.Write(3, 0xABCD)
+	rf.Alloc(5)
+	s := rf.Snapshot()
+
+	rf.Write(3, 1)
+	rf.Write(5, 2)
+	rf.Restore(s)
+	if rf.Val(3) != 0xABCD || rf.Ready(5) {
+		t.Fatalf("restored regfile state differs: val(3)=%#x ready(5)=%v", rf.Val(3), rf.Ready(5))
+	}
+
+	// Mutating the restored file must not touch the snapshot.
+	rf.Write(3, 0)
+	rf2 := NewRegFile(8)
+	rf2.Restore(s)
+	if rf2.Val(3) != 0xABCD {
+		t.Fatal("snapshot mutated through a restored regfile")
+	}
+}
+
+func TestRegFileSnapshotSizeMismatchPanics(t *testing.T) {
+	s := NewRegFile(4).Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched regfile size")
+		}
+	}()
+	NewRegFile(8).Restore(s)
+}
+
+func TestCoreSnapshotROBMismatchPanics(t *testing.T) {
+	prog, err := asm.Assemble(snapProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buildRig(t, prog)
+	s := r.core.Snapshot()
+
+	cfg := DefaultConfig()
+	cfg.ROBSize = 16
+	r2 := buildRigWithConfig(t, prog, cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched ROB size")
+		}
+	}()
+	r2.core.Restore(s)
+}

@@ -1,0 +1,50 @@
+package kernel
+
+// Snapshot is a deep copy of the kernel's mutable state. The memory-system
+// handles (ram, l2, dcache) are wiring, not state: a restored kernel keeps
+// the handles of the machine it is restored into. Snapshots are immutable
+// once taken and can be restored any number of times.
+type Snapshot struct {
+	ptRoot    uint32
+	nextFrame uint32
+	booted    bool
+	heapStart uint32
+	brk       uint32
+
+	stdout    []byte
+	truncated bool
+	exitCode  uint32
+	killMsg   string
+	panicMsg  string
+}
+
+// Snapshot captures the full kernel state.
+func (k *Kernel) Snapshot() *Snapshot {
+	return &Snapshot{
+		ptRoot:    k.ptRoot,
+		nextFrame: k.nextFrame,
+		booted:    k.booted,
+		heapStart: k.heapStart,
+		brk:       k.brk,
+		stdout:    append([]byte(nil), k.Stdout...),
+		truncated: k.Truncated,
+		exitCode:  k.ExitCode,
+		killMsg:   k.KillMsg,
+		panicMsg:  k.PanicMsg,
+	}
+}
+
+// Restore overwrites the kernel state with the snapshot's, deep-copying so
+// later kernel activity never reaches back into the snapshot.
+func (k *Kernel) Restore(s *Snapshot) {
+	k.ptRoot = s.ptRoot
+	k.nextFrame = s.nextFrame
+	k.booted = s.booted
+	k.heapStart = s.heapStart
+	k.brk = s.brk
+	k.Stdout = append(k.Stdout[:0], s.stdout...)
+	k.Truncated = s.truncated
+	k.ExitCode = s.exitCode
+	k.KillMsg = s.killMsg
+	k.PanicMsg = s.panicMsg
+}

@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"mbusim/internal/tlb"
+)
+
+func TestKernelSnapshotRoundTrip(t *testing.T) {
+	k, _, _ := newKernelEnv()
+	prog := mustProg(t, `
+_start:
+    nop
+.data
+val: .word 42
+`)
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	k.Stdout = append(k.Stdout, []byte("hello")...)
+	k.sysBrk(k.HeapStart() + 3*tlb.PageSize)
+
+	s1 := k.Snapshot()
+	// Mutate everything the snapshot covers, then restore.
+	k.Stdout = append(k.Stdout, []byte(" world")...)
+	k.sysBrk(k.HeapStart() + 6*tlb.PageSize)
+	k.ExitCode = 9
+	k.KillMsg = "killed"
+	k.PanicMsg = "panicked"
+	k.Truncated = true
+	k.Restore(s1)
+
+	s2 := k.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("kernel state after Restore(Snapshot()) differs from the snapshot")
+	}
+	if string(k.Stdout) != "hello" || k.Brk() != k.HeapStart()+3*tlb.PageSize {
+		t.Fatalf("restored kernel state wrong: stdout=%q brk=%#x", k.Stdout, k.Brk())
+	}
+}
+
+func TestKernelSnapshotNoAliasing(t *testing.T) {
+	k, _, _ := newKernelEnv()
+	prog := mustProg(t, `
+_start:
+    nop
+`)
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	k.Stdout = []byte("golden")
+	s := k.Snapshot()
+
+	// Mutating the restored kernel's stdout must not reach the snapshot.
+	k.Restore(s)
+	k.Stdout = append(k.Stdout, []byte("-dirty")...)
+	copy(k.Stdout, "XXXXXX")
+
+	k2, _, _ := newKernelEnv()
+	k2.Restore(s)
+	if string(k2.Stdout) != "golden" {
+		t.Fatalf("snapshot mutated through a restored kernel: stdout=%q", k2.Stdout)
+	}
+}

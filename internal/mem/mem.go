@@ -31,6 +31,10 @@ func Assertf(cond bool, format string, args ...any) {
 type RAM struct {
 	bytes   []byte
 	latency int // access latency in cycles, charged by the cache hierarchy
+
+	// highWater is the exclusive upper bound of bytes ever written, used
+	// by the snapshot layer to bound its scan and restore work.
+	highWater uint32
 }
 
 // DefaultLatency is the DRAM access latency in CPU cycles.
@@ -57,6 +61,13 @@ func (r *RAM) check(pa uint32, n int) {
 	}
 }
 
+// touch records a write to [pa, pa+n). Must follow a successful check.
+func (r *RAM) touch(pa uint32, n int) {
+	if end := pa + uint32(n); end > r.highWater {
+		r.highWater = end
+	}
+}
+
 // ReadLine copies the cache line at pa into dst and returns the latency.
 // pa must be aligned to len(dst).
 func (r *RAM) ReadLine(pa uint32, dst []byte) int {
@@ -68,6 +79,7 @@ func (r *RAM) ReadLine(pa uint32, dst []byte) int {
 // WriteLine writes a full cache line at pa and returns the latency.
 func (r *RAM) WriteLine(pa uint32, src []byte) int {
 	r.check(pa, len(src))
+	r.touch(pa, len(src))
 	copy(r.bytes[pa:], src)
 	return r.latency
 }
@@ -83,6 +95,7 @@ func (r *RAM) ReadWord(pa uint32) uint32 {
 // WriteWord writes an aligned 32-bit word directly to RAM.
 func (r *RAM) WriteWord(pa uint32, v uint32) {
 	r.check(pa, 4)
+	r.touch(pa, 4)
 	b := r.bytes[pa:]
 	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 }
@@ -90,6 +103,7 @@ func (r *RAM) WriteWord(pa uint32, v uint32) {
 // WriteBytes copies buf into RAM at pa (loader use).
 func (r *RAM) WriteBytes(pa uint32, buf []byte) {
 	r.check(pa, len(buf))
+	r.touch(pa, len(buf))
 	copy(r.bytes[pa:], buf)
 }
 

@@ -1,0 +1,90 @@
+package mem
+
+// Snapshot support: RAM is by far the largest piece of machine state
+// (8 MB), but a workload only ever writes a small, mostly-contiguous
+// prefix of it (frames are allocated sequentially and the stack pages are
+// largely untouched zeros). Snapshots therefore store only the non-zero
+// chunks below the write high-water mark, which keeps a full checkpoint
+// set per workload in the hundreds of kilobytes instead of tens of
+// megabytes.
+
+// snapChunk is the granularity of sparse RAM snapshots.
+const snapChunk = 4096
+
+// Snapshot is a deep, sparse copy of RAM contents. It is immutable once
+// taken and safe to restore into any RAM of the same size any number of
+// times, including concurrently.
+type Snapshot struct {
+	size      uint32
+	latency   int
+	highWater uint32
+	chunks    []uint32 // start offsets of stored chunks, ascending
+	data      []byte   // concatenated chunk payloads
+}
+
+// Snapshot captures the current RAM contents.
+func (r *RAM) Snapshot() *Snapshot {
+	s := &Snapshot{
+		size:      uint32(len(r.bytes)),
+		latency:   r.latency,
+		highWater: r.highWater,
+	}
+	for start := uint32(0); start < r.highWater; start += snapChunk {
+		end := start + snapChunk
+		if end > s.size {
+			end = s.size
+		}
+		chunk := r.bytes[start:end]
+		if allZero(chunk) {
+			continue
+		}
+		s.chunks = append(s.chunks, start)
+		s.data = append(s.data, chunk...)
+	}
+	return s
+}
+
+// Restore overwrites the RAM contents with the snapshot's. The RAM must
+// have the same size as the snapshotted one (a programming error
+// otherwise). Bytes the snapshot recorded as zero are zeroed, so restoring
+// into a dirty RAM is exact; restoring into a freshly allocated RAM only
+// pays for the non-zero chunks plus the previously written span.
+func (r *RAM) Restore(s *Snapshot) {
+	if uint32(len(r.bytes)) != s.size {
+		Assertf(false, "mem: restore of %d-byte snapshot into %d-byte RAM", s.size, len(r.bytes))
+	}
+	// Clear everything this RAM may have written, then lay the snapshot's
+	// non-zero chunks back down.
+	clearTo := r.highWater
+	if s.highWater > clearTo {
+		clearTo = s.highWater
+	}
+	zero(r.bytes[:clearTo])
+	off := 0
+	for _, start := range s.chunks {
+		end := int(start) + snapChunk
+		if end > int(s.size) {
+			end = int(s.size)
+		}
+		n := end - int(start)
+		copy(r.bytes[start:end], s.data[off:off+n])
+		off += n
+	}
+	r.latency = s.latency
+	r.highWater = s.highWater
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

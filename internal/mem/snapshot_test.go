@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRAMSnapshotRoundTrip(t *testing.T) {
+	r := NewRAM(64 << 10)
+	r.WriteWord(0, 0x11223344)
+	r.WriteWord(4096, 0xA5A5A5A5)
+	r.WriteBytes(9000, []byte{1, 2, 3, 4, 5})
+	want := append([]byte(nil), r.bytes...)
+
+	s := r.Snapshot()
+
+	// Restoring into a dirty RAM reproduces the snapshotted contents
+	// exactly, including bytes the snapshot recorded as zero.
+	r.WriteWord(0, 0xFFFFFFFF)
+	r.WriteWord(2048, 0xDEADBEEF) // a chunk that was all-zero at snapshot time
+	r.WriteWord(60000, 7)         // above the snapshot's high-water mark
+	r.Restore(s)
+	if !bytes.Equal(r.bytes, want) {
+		t.Fatal("restored RAM contents differ from snapshotted contents")
+	}
+
+	// Restoring into a fresh RAM reproduces them too.
+	r2 := NewRAM(64 << 10)
+	r2.Restore(s)
+	if !bytes.Equal(r2.bytes, want) {
+		t.Fatal("restore into fresh RAM differs from snapshotted contents")
+	}
+}
+
+func TestRAMSnapshotNoAliasing(t *testing.T) {
+	r := NewRAM(16 << 10)
+	r.WriteWord(128, 0x01020304)
+	s := r.Snapshot()
+
+	r2 := NewRAM(16 << 10)
+	r2.Restore(s)
+	r2.WriteWord(128, 0xFFFFFFFF)
+	r2.WriteWord(132, 0xEEEEEEEE)
+
+	r3 := NewRAM(16 << 10)
+	r3.Restore(s)
+	if got := r3.ReadWord(128); got != 0x01020304 {
+		t.Fatalf("snapshot mutated through a restored RAM: word = %#x", got)
+	}
+	if got := r3.ReadWord(132); got != 0 {
+		t.Fatalf("snapshot mutated through a restored RAM: word = %#x", got)
+	}
+}
+
+func TestRAMSnapshotSizeMismatchAsserts(t *testing.T) {
+	s := NewRAM(4 << 10).Snapshot()
+	defer func() {
+		if _, ok := recover().(AssertError); !ok {
+			t.Fatal("expected AssertError for mismatched restore size")
+		}
+	}()
+	NewRAM(8 << 10).Restore(s)
+}
+
+func TestRAMHighWaterTracksWrites(t *testing.T) {
+	r := NewRAM(8 << 10)
+	if r.highWater != 0 {
+		t.Fatalf("fresh RAM highWater = %d", r.highWater)
+	}
+	r.WriteBytes(100, []byte{1, 2, 3})
+	if r.highWater != 103 {
+		t.Fatalf("highWater after WriteBytes = %d, want 103", r.highWater)
+	}
+	line := make([]byte, 64)
+	r.WriteLine(512, line)
+	if r.highWater != 576 {
+		t.Fatalf("highWater after WriteLine = %d, want 576", r.highWater)
+	}
+	r.ReadWord(4096) // reads must not move the mark
+	if r.highWater != 576 {
+		t.Fatalf("highWater after read = %d, want 576", r.highWater)
+	}
+}

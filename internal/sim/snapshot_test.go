@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mbusim/internal/asm"
+)
+
+// snapshotProg exercises memory, the heap and stdout so a mid-run snapshot
+// carries non-trivial state in every component.
+const snapshotProg = `
+_start:
+    li r4, #0
+    la r5, buf
+sloop:
+    add r6, r4, r4
+    str r6, [r5, #0]
+    ldr r6, [r5, #0]
+    addi r4, r4, #1
+    cmp r4, #400
+    b.lt sloop
+    li r0, #1
+    la r1, msg
+    li r2, #5
+    li r7, #4
+    syscall
+    li r0, #7
+    li r7, #1
+    syscall
+.data
+msg: .ascii "done\n"
+.align 4
+buf: .space 4
+`
+
+func loadSnapshotProg(t *testing.T) *Machine {
+	t.Helper()
+	prog, err := asm.Assemble(snapshotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(DefaultConfig())
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSnapshotContinuesBitIdentically is the machine-level contract: a
+// machine restored from a mid-run snapshot finishes with the exact outcome
+// of the machine it was forked from.
+func TestSnapshotContinuesBitIdentically(t *testing.T) {
+	m := loadSnapshotProg(t)
+	mid := m.Run(1000, 0, nil)
+	if !mid.TimedOut {
+		t.Fatalf("program finished before the snapshot point: %+v", mid)
+	}
+	snap := m.Snapshot()
+
+	want := m.Run(0, 0, nil)
+	if want.Stop.String() != "exit" || want.ExitCode != 7 {
+		t.Fatalf("original run failed: %+v", want)
+	}
+
+	for i := 0; i < 2; i++ { // restore twice: snapshots are reusable
+		r := RestoreMachine(snap)
+		if r.Core.Cycles() != 1000 {
+			t.Fatalf("restored machine at cycle %d, want 1000", r.Core.Cycles())
+		}
+		got := r.Run(0, 0, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("restored run diverged:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// TestSnapshotMidRunMatchesScratch checks the fast-forward identity used
+// by the campaign: restoring a cycle-N snapshot and running with an
+// injection callback at cycle >= N is bit-identical to a from-scratch run
+// with the same callback.
+func TestSnapshotMidRunMatchesScratch(t *testing.T) {
+	m := loadSnapshotProg(t)
+	m.Run(750, 0, nil)
+	snap := m.Snapshot()
+
+	inject := func(mm *Machine) {
+		// A visible fault: flip data bits in an L1D line and corrupt a TLB
+		// entry so the continuation genuinely depends on restored state.
+		mm.L1D.FlipBit(3, 40)
+		mm.DTLB.FlipBit(1, 31)
+		mm.Core.RegFile().FlipBit(9, 5)
+	}
+
+	scratch := loadSnapshotProg(t)
+	want := scratch.Run(200_000, 900, inject)
+
+	r := RestoreMachine(snap)
+	got := r.Run(200_000, 900, inject)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fast-forwarded faulted run diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotIsolation: machines restored from one snapshot are fully
+// independent of each other and of the snapshot.
+func TestSnapshotIsolation(t *testing.T) {
+	m := loadSnapshotProg(t)
+	m.Run(500, 0, nil)
+	snap := m.Snapshot()
+
+	a := RestoreMachine(snap)
+	b := RestoreMachine(snap)
+	// Corrupt a heavily, then run b to completion untouched.
+	for row := 0; row < 8; row++ {
+		a.L1D.FlipBit(row, 0)
+		a.L2.FlipBit(row, 0)
+		a.ITLB.FlipBit(row%a.ITLB.Rows(), 31)
+	}
+	a.Run(5000, 0, nil)
+
+	got := b.Run(0, 0, nil)
+	m2 := loadSnapshotProg(t)
+	want := m2.Run(0, 0, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sibling restore was corrupted:\n got %+v\nwant %+v", got, want)
+	}
+}

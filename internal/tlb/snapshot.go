@@ -1,0 +1,37 @@
+package tlb
+
+// Snapshot is a deep copy of a TLB's mutable state. It is immutable once
+// taken and can be restored into any TLB with the same entry count any
+// number of times.
+type Snapshot struct {
+	entries []uint32
+	nextRR  int
+	mru     int
+
+	hits, missCount uint64
+}
+
+// Snapshot captures the full TLB state.
+func (t *TLB) Snapshot() *Snapshot {
+	return &Snapshot{
+		entries:   append([]uint32(nil), t.entries...),
+		nextRR:    t.nextRR,
+		mru:       t.mru,
+		hits:      t.Hits,
+		missCount: t.MissCount,
+	}
+}
+
+// Restore overwrites the TLB state with the snapshot's. The TLB must have
+// the entry count the snapshot was taken from; a mismatch is a programming
+// error and panics.
+func (t *TLB) Restore(s *Snapshot) {
+	if len(s.entries) != len(t.entries) {
+		panic("tlb: restore into mismatched entry count")
+	}
+	copy(t.entries, s.entries)
+	t.nextRR = s.nextRR
+	t.mru = s.mru
+	t.Hits = s.hits
+	t.MissCount = s.missCount
+}

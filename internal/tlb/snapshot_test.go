@@ -1,0 +1,60 @@
+package tlb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTLBSnapshotRoundTrip(t *testing.T) {
+	tl := New("DTLB", 8)
+	for i := uint32(0); i < 10; i++ { // wraps the round-robin pointer
+		tl.Insert(i, i+100, i%2 == 0, true)
+	}
+	tl.Lookup(5) // sets mru and the hit counter
+	tl.Lookup(9999)
+
+	s := tl.Snapshot()
+	want := append([]uint32(nil), tl.entries...)
+	wantRR, wantMRU, wantHits, wantMiss := tl.nextRR, tl.mru, tl.Hits, tl.MissCount
+
+	tl.Invalidate()
+	tl.Lookup(1)
+	tl.Restore(s)
+
+	if !reflect.DeepEqual(tl.entries, want) {
+		t.Fatal("restored entries differ")
+	}
+	if tl.nextRR != wantRR || tl.mru != wantMRU || tl.Hits != wantHits || tl.MissCount != wantMiss {
+		t.Fatal("restored bookkeeping differs")
+	}
+}
+
+func TestTLBSnapshotNoAliasing(t *testing.T) {
+	tl := New("ITLB", 4)
+	tl.Insert(1, 11, true, true)
+	s := tl.Snapshot()
+
+	t2 := New("ITLB", 4)
+	t2.Restore(s)
+	t2.FlipBit(0, 31)
+	t2.Insert(3, 33, false, false)
+
+	t3 := New("ITLB", 4)
+	t3.Restore(s)
+	if t3.Entry(0) != tl.Entry(0) {
+		t.Fatal("snapshot mutated through a restored TLB")
+	}
+	if _, hit := t3.Lookup(3); hit {
+		t.Fatal("insert into restored TLB leaked into the snapshot")
+	}
+}
+
+func TestTLBSnapshotSizeMismatchPanics(t *testing.T) {
+	s := New("DTLB", 4).Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched entry count")
+		}
+	}()
+	New("DTLB", 8).Restore(s)
+}

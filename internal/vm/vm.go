@@ -126,6 +126,24 @@ func (w *Walker) Walk(vpn uint32) (tr tlb.Translation, lat int, fault WalkFault)
 	}, lat, WalkOK
 }
 
+// WalkerSnapshot is a copy of a walker's mutable state (the table root and
+// the walk counter; the memory port and frame bound are wiring, not state).
+type WalkerSnapshot struct {
+	root  uint32
+	walks uint64
+}
+
+// Snapshot captures the walker state.
+func (w *Walker) Snapshot() *WalkerSnapshot {
+	return &WalkerSnapshot{root: w.root, walks: w.Walks}
+}
+
+// Restore overwrites the walker state with the snapshot's.
+func (w *Walker) Restore(s *WalkerSnapshot) {
+	w.root = s.root
+	w.Walks = s.walks
+}
+
 // Refill walks vpn and, on success, installs the translation into t.
 func (w *Walker) Refill(t *tlb.TLB, vpn uint32) (tr tlb.Translation, lat int, fault WalkFault) {
 	tr, lat, fault = w.Walk(vpn)

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"mbusim/internal/sim"
+)
+
+// Golden checkpoints: every fault-injection run replays the deterministic
+// fault-free prefix of its workload up to the injection cycle, so on
+// average half of each run is redundant work. A checkpoint set records K
+// evenly spaced machine snapshots during a single instrumented golden run;
+// MachineAt then fast-forwards a fresh machine to the nearest checkpoint
+// at or before the injection cycle, cutting the average replayed prefix
+// from G/2 to G/(2K) cycles. Because snapshots capture the complete
+// machine state, the fast-forwarded run is bit-identical to a from-scratch
+// run (enforced by TestCheckpointEquivalence in internal/core).
+
+// CheckpointCount is K, the number of evenly spaced golden checkpoints
+// recorded per workload (including one at cycle 0). It is read when a
+// workload's checkpoint set is first built — once per workload per
+// process — so set it before any campaign runs. Values below 1 behave
+// like 1.
+var CheckpointCount = 8
+
+// checkpoint is one golden snapshot and the cycle it was taken at.
+type checkpoint struct {
+	cycle uint64
+	snap  *sim.Snapshot
+}
+
+// buildCheckpoints records the checkpoint set during one golden run.
+func (w *Workload) buildCheckpoints() {
+	w.ckptOnce.Do(func() {
+		g, err := w.Reference()
+		if err != nil {
+			w.ckptErr = err
+			return
+		}
+		m, err := w.NewMachine()
+		if err != nil {
+			w.ckptErr = err
+			return
+		}
+		k := CheckpointCount
+		if k < 1 {
+			k = 1
+		}
+		for i := 0; i < k; i++ {
+			target := g.Cycles * uint64(i) / uint64(k)
+			if target > m.Core.Cycles() {
+				out := m.Run(target, 0, nil)
+				if !out.TimedOut {
+					// The golden run completes at g.Cycles and every target
+					// is below that, so stopping early means the golden
+					// reference and this replay diverged.
+					w.ckptErr = fmt.Errorf("workloads: %s: checkpoint replay stopped at cycle %d (%v) before target %d",
+						w.Name, out.Cycles, out.Stop, target)
+					return
+				}
+			}
+			if n := len(w.ckpts); n > 0 && w.ckpts[n-1].cycle == m.Core.Cycles() {
+				continue // tiny workload: targets collapsed onto one cycle
+			}
+			w.ckpts = append(w.ckpts, checkpoint{cycle: m.Core.Cycles(), snap: m.Snapshot()})
+		}
+	})
+}
+
+// CheckpointCycles returns the cycles of the workload's golden checkpoint
+// set, building it on first use (diagnostics and tests).
+func (w *Workload) CheckpointCycles() ([]uint64, error) {
+	w.buildCheckpoints()
+	if w.ckptErr != nil {
+		return nil, w.ckptErr
+	}
+	cycles := make([]uint64, len(w.ckpts))
+	for i, c := range w.ckpts {
+		cycles[i] = c.cycle
+	}
+	return cycles, nil
+}
+
+// MachineAt returns a fresh machine fast-forwarded to the latest golden
+// checkpoint at or before cycle, and the cycle the machine is at. The
+// checkpoint set always includes cycle 0, so any cycle within the golden
+// run resolves. The returned machine is independent of the checkpoint set
+// and of every other machine returned from it.
+func (w *Workload) MachineAt(cycle uint64) (*sim.Machine, uint64, error) {
+	w.buildCheckpoints()
+	if w.ckptErr != nil {
+		return nil, 0, w.ckptErr
+	}
+	// Latest checkpoint with ckpts[i].cycle <= cycle; index 0 is cycle 0.
+	i := sort.Search(len(w.ckpts), func(i int) bool { return w.ckpts[i].cycle > cycle }) - 1
+	if i < 0 {
+		i = 0
+	}
+	ck := w.ckpts[i]
+	return sim.RestoreMachine(ck.snap), ck.cycle, nil
+}

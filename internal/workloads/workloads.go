@@ -27,6 +27,10 @@ type Workload struct {
 	prog   *asm.Program
 	golden *Golden
 	err    error
+
+	ckptOnce sync.Once
+	ckpts    []checkpoint
+	ckptErr  error
 }
 
 // Golden holds the fault-free reference run of a workload.
