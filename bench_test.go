@@ -7,6 +7,7 @@
 package mbusim_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -44,7 +45,7 @@ func runGrid(b *testing.B, comps, wls []string) *core.ResultSet {
 	for _, c := range comps {
 		for _, w := range wls {
 			for k := 1; k <= 3; k++ {
-				res, err := core.Run(core.Spec{
+				res, err := core.Run(context.Background(), core.Spec{
 					Workload: w, Component: c, Faults: k,
 					Samples: benchSamples, Seed: 1,
 				}, nil)
@@ -214,7 +215,7 @@ func BenchmarkFig8FIT(b *testing.B) {
 // configuration and returns its AVF.
 func ablationCell(b *testing.B, cluster core.ClusterSpec, spanning bool) float64 {
 	b.Helper()
-	res, err := core.Run(core.Spec{
+	res, err := core.Run(context.Background(), core.Spec{
 		Workload: "sha", Component: core.CompL1D, Faults: 2,
 		Samples: benchSamples * 2, Seed: 3,
 		Cluster: cluster, ForceSpanning: spanning,
@@ -255,7 +256,7 @@ func BenchmarkAblationWeighting(b *testing.B) {
 		var avfs []float64
 		var cycles []uint64
 		for _, wn := range benchWorkloads {
-			res, err := core.Run(core.Spec{
+			res, err := core.Run(context.Background(), core.Spec{
 				Workload: wn, Component: core.CompL1D, Faults: 1,
 				Samples: benchSamples, Seed: 4,
 			}, nil)
@@ -355,12 +356,12 @@ func benchCampaign(b *testing.B, noCheckpoints bool) {
 	}
 	// Warm the one-time per-process state (compile, golden run, checkpoint
 	// set) outside the timed region for both variants alike.
-	if _, err := core.Run(spec, nil); err != nil {
+	if _, err := core.Run(context.Background(), spec, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Run(spec, nil)
+		res, err := core.Run(context.Background(), spec, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -434,7 +435,7 @@ func BenchmarkExtensionProjectedNodes(b *testing.B) {
 // 4-way bit interleaving (the defence of the paper's refs [39]/[46]).
 func BenchmarkExtensionProtection(b *testing.B) {
 	cell := func(p core.Protection) *core.Result {
-		res, err := core.Run(core.Spec{
+		res, err := core.Run(context.Background(), core.Spec{
 			Workload: "sha", Component: core.CompL1D, Faults: 2,
 			Samples: benchSamples * 2, Seed: 6, Protect: p,
 		}, nil)

@@ -9,16 +9,33 @@
 // save the results for avfreport:
 //
 //	gefin -all -samples 100 -out results.json
+//
+// Campaigns are crash-safe and resumable. Cells are dispatched across a
+// bounded worker pool (-parallel) and the results file is rewritten
+// atomically after every completed cell, so a SIGINT/SIGTERM (trapped: the
+// first signal cancels the workers, flushes, and exits 130), an OOM kill,
+// or a failing cell never discards finished work. Re-running with -resume
+// loads the existing -out file and skips every cell whose component,
+// workload, cardinality, sample count and seed already match; seeded
+// determinism makes the resumed grid bit-identical to an uninterrupted one.
+//
+// Exit status: 0 on success, 1 on runtime errors, 2 on bad configuration
+// (unknown component/workload, impossible cardinality), 130 when
+// interrupted by a signal.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"mbusim/internal/core"
@@ -26,32 +43,53 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind an exit code, so tests can drive it
+// in-process with fake arg lists and capture both streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gefin", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload   = flag.String("workload", "", "workload name (empty with -all means every workload)")
-		comp       = flag.String("comp", "", "component: L1D, L1I, L2, RegFile, DTLB, ITLB (empty with -all means every component)")
-		faults     = flag.Int("faults", 1, "fault cardinality 1-3 (ignored with -all: all three run)")
-		samples    = flag.Int("samples", 100, "injections per cell")
-		seed       = flag.Uint64("seed", 1, "campaign seed")
-		all        = flag.Bool("all", false, "run the full component x workload x cardinality grid")
-		outPath    = flag.String("out", "", "write results JSON to this file")
-		quiet      = flag.Bool("q", false, "suppress per-cell progress")
-		nockpt     = flag.Bool("nockpt", false, "replay every run from cycle 0 instead of fast-forwarding from golden checkpoints")
-		ckpts      = flag.Int("checkpoints", workloads.CheckpointCount, "golden checkpoints per workload (K)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
+		workload   = fs.String("workload", "", "workload name, or comma-separated list with -all (empty with -all means every workload)")
+		comp       = fs.String("comp", "", "component: L1D, L1I, L2, RegFile, DTLB, ITLB; comma-separated list with -all (empty with -all means every component)")
+		faults     = fs.Int("faults", 1, "fault cardinality 1-3 (ignored with -all: all three run)")
+		samples    = fs.Int("samples", 100, "injections per cell")
+		seed       = fs.Uint64("seed", 1, "campaign seed")
+		all        = fs.Bool("all", false, "run the full component x workload x cardinality grid")
+		outPath    = fs.String("out", "", "write results JSON to this file (atomically, after every completed cell)")
+		resume     = fs.Bool("resume", false, "load an existing -out file and run only the cells it does not already cover")
+		parallel   = fs.Int("parallel", 0, "cells dispatched concurrently (0 = GOMAXPROCS; sample workers share the cores)")
+		quiet      = fs.Bool("q", false, "suppress per-cell progress")
+		nockpt     = fs.Bool("nockpt", false, "replay every run from cycle 0 instead of fast-forwarding from golden checkpoints")
+		ckpts      = fs.Int("checkpoints", workloads.CheckpointCount, "golden checkpoints per workload (K)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile after the campaign to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	workloads.CheckpointCount = *ckpts
+
+	specs, code := buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt)
+	if code != 0 {
+		return code
+	}
+	if *resume && *outPath == "" {
+		fmt.Fprintln(stderr, "-resume needs -out: resuming loads and extends the results file")
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -59,52 +97,59 @@ func main() {
 		}()
 	}
 
+	// Resume: skip every cell the existing results file already covers.
 	rs := core.NewResultSet()
-	var specs []core.Spec
-	if *all {
-		comps := core.Components()
-		if *comp != "" {
-			comps = strings.Split(*comp, ",")
-		}
-		names := workloads.Names()
-		if *workload != "" {
-			names = strings.Split(*workload, ",")
-		}
-		for _, c := range comps {
-			for _, w := range names {
-				for k := 1; k <= 3; k++ {
-					specs = append(specs, core.Spec{
-						Workload: w, Component: c, Faults: k,
-						Samples: *samples, Seed: *seed,
-						NoCheckpoints: *nockpt,
-					})
-				}
+	pending := specs
+	if *resume {
+		loaded, err := core.LoadResultSet(*outPath)
+		switch {
+		case err == nil:
+			rs = loaded
+			pending = rs.Pending(specs)
+			fmt.Fprintf(stderr, "resume: %d of %d cells already complete in %s\n",
+				len(specs)-len(pending), len(specs), *outPath)
+			if len(pending) == 0 {
+				fmt.Fprintln(stderr, "resume: nothing to do")
+				return 0
 			}
+		case os.IsNotExist(err):
+			fmt.Fprintf(stderr, "resume: %s does not exist yet, starting fresh\n", *outPath)
+		default:
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-	} else {
-		if *workload == "" || *comp == "" {
-			fmt.Fprintln(os.Stderr, "need -workload and -comp (or -all)")
-			os.Exit(2)
-		}
-		specs = append(specs, core.Spec{
-			Workload: *workload, Component: *comp, Faults: *faults,
-			Samples: *samples, Seed: *seed,
-			NoCheckpoints: *nockpt,
-		})
 	}
 
-	start := time.Now()
-	for i, spec := range specs {
-		t0 := time.Now()
-		res, err := core.Run(spec, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	// The first SIGINT/SIGTERM cancels the campaign context: workers stop
+	// between samples, the partial grid is already on disk (flushed after
+	// every cell), and a second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// A failed flush also cancels: running on while losing results would
+	// re-create the very bug this flag exists to fix.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		start    = time.Now()
+		done     = 0
+		flushErr error
+	)
+	err := core.RunGrid(ctx, pending, *parallel, func(i int, res *core.Result) {
 		rs.Add(res)
+		done++
+		if *outPath != "" {
+			if err := rs.Save(*outPath); err != nil && flushErr == nil {
+				flushErr = err
+				cancel()
+			}
+		}
 		if !*quiet {
-			fmt.Printf("[%3d/%3d] %-8s %-13s %d-bit: AVF=%6.2f%% masked=%5.1f%% sdc=%5.1f%% crash=%5.1f%% timeout=%5.1f%% assert=%5.1f%% ±%.2f%% (%v)\n",
-				i+1, len(specs), spec.Component, spec.Workload, spec.Faults,
+			spec := pending[i]
+			elapsed := time.Since(start)
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(len(pending)-done))
+			fmt.Fprintf(stdout, "[%3d/%3d] %-8s %-13s %d-bit: AVF=%6.2f%% masked=%5.1f%% sdc=%5.1f%% crash=%5.1f%% timeout=%5.1f%% assert=%5.1f%% ±%.2f%% (%v elapsed, eta %v)\n",
+				done, len(pending), spec.Component, spec.Workload, spec.Faults,
 				100*res.AVF(),
 				100*res.Fraction(core.EffectMasked),
 				100*res.Fraction(core.EffectSDC),
@@ -112,38 +157,105 @@ func main() {
 				100*res.Fraction(core.EffectTimeout),
 				100*res.Fraction(core.EffectAssert),
 				100*res.AdjustedMargin(0.99),
-				time.Since(t0).Round(time.Millisecond))
+				elapsed.Round(time.Millisecond), eta.Round(time.Second))
 		}
+	})
+	switch {
+	case flushErr != nil:
+		fmt.Fprintf(stderr, "flush failed after %d cells: %v\n", done, flushErr)
+		return 1
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(stderr, "interrupted: %d/%d cells complete", done, len(pending))
+		if *outPath != "" && done > 0 {
+			fmt.Fprintf(stderr, ", partial results saved to %s (finish with -resume)", *outPath)
+		}
+		fmt.Fprintln(stderr)
+		return 130
+	case err != nil:
+		fmt.Fprintf(stderr, "%v (%d/%d cells complete", err, done, len(pending))
+		if *outPath != "" && done > 0 {
+			fmt.Fprintf(stderr, ", saved to %s; fix and re-run with -resume", *outPath)
+		}
+		fmt.Fprintln(stderr, ")")
+		return 1
 	}
 	if !*quiet {
-		fmt.Printf("campaign complete: %d cells in %v\n", len(specs), time.Since(start).Round(time.Second))
+		fmt.Fprintf(stdout, "campaign complete: %d cells in %v\n", done, time.Since(start).Round(time.Second))
 	}
-
 	if *outPath != "" {
-		data, err := json.MarshalIndent(rs, "", " ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+		fmt.Fprintf(stderr, "wrote %s\n", *outPath)
 	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		runtime.GC() // materialize up-to-date allocation statistics
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
+		fmt.Fprintf(stderr, "wrote %s\n", *memProfile)
 	}
+	return 0
+}
+
+// buildSpecs expands the flag set into the campaign grid, validating
+// component and workload lists up front — a typo must fail before the
+// first golden run is built, not hours into the grid.
+func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, samples int, seed uint64, nockpt bool) ([]core.Spec, int) {
+	var specs []core.Spec
+	if all {
+		comps := core.Components()
+		if comp != "" {
+			comps = strings.Split(comp, ",")
+			for _, c := range comps {
+				if err := core.ValidComponent(c); err != nil {
+					fmt.Fprintln(stderr, err)
+					return nil, 2
+				}
+			}
+		}
+		names := workloads.Names()
+		if workload != "" {
+			names = strings.Split(workload, ",")
+			for _, w := range names {
+				if err := core.ValidWorkload(w); err != nil {
+					fmt.Fprintln(stderr, err)
+					return nil, 2
+				}
+			}
+		}
+		for _, c := range comps {
+			for _, w := range names {
+				for k := 1; k <= 3; k++ {
+					specs = append(specs, core.Spec{
+						Workload: w, Component: c, Faults: k,
+						Samples: samples, Seed: seed,
+						NoCheckpoints: nockpt,
+					})
+				}
+			}
+		}
+	} else {
+		if workload == "" || comp == "" {
+			fmt.Fprintln(stderr, "need -workload and -comp (or -all)")
+			return nil, 2
+		}
+		specs = append(specs, core.Spec{
+			Workload: workload, Component: comp, Faults: faults,
+			Samples: samples, Seed: seed,
+			NoCheckpoints: nockpt,
+		})
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return nil, 2
+		}
+	}
+	return specs, 0
 }

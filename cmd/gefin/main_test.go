@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mbusim/internal/core"
+)
+
+// gefin runs in-process through run(), so tests exercise the real flag
+// parsing, validation, resume and flush paths without exec'ing a binary.
+func runGefin(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code = run(args, &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+// tinyGrid is the arg list for a fast 3-cell grid (one component, one
+// workload, cardinalities 1..3).
+func tinyGrid(extra ...string) []string {
+	return append([]string{"-all", "-comp", "L1D", "-workload", "stringSearch", "-samples", "3", "-q"}, extra...)
+}
+
+func TestBadCardinalityExitsCleanly(t *testing.T) {
+	// Regression: -faults 0 used to panic in GenerateMask inside a worker
+	// goroutine with a raw stack trace.
+	code, _, stderr := runGefin(t, "-workload", "CRC32", "-comp", "L1D", "-faults", "0", "-samples", "1")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "cardinality") || strings.Contains(stderr, "goroutine") {
+		t.Fatalf("want a one-line cardinality error, got: %s", stderr)
+	}
+}
+
+func TestTypoInAllListsExitsUpFront(t *testing.T) {
+	code, _, stderr := runGefin(t, "-all", "-comp", "L1d", "-samples", "1")
+	if code != 2 || !strings.Contains(stderr, "unknown component") {
+		t.Fatalf("component typo: exit=%d stderr=%s", code, stderr)
+	}
+	code, _, stderr = runGefin(t, "-all", "-comp", "L1D", "-workload", "CRC32,bogus", "-samples", "1")
+	if code != 2 || !strings.Contains(stderr, "unknown workload") {
+		t.Fatalf("workload typo: exit=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestMissingCellFlags(t *testing.T) {
+	code, _, stderr := runGefin(t, "-samples", "1")
+	if code != 2 || !strings.Contains(stderr, "-workload and -comp") {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestResumeRequiresOut(t *testing.T) {
+	code, _, stderr := runGefin(t, append(tinyGrid(), "-resume")...)
+	if code != 2 || !strings.Contains(stderr, "-resume needs -out") {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestGridRunsAndResumeIsNoOp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	code, _, stderr := runGefin(t, tinyGrid("-out", path)...)
+	if code != 0 {
+		t.Fatalf("grid run failed: %d (%s)", code, stderr)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := core.LoadResultSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Cells) != 3 {
+		t.Fatalf("grid wrote %d cells, want 3", len(rs.Cells))
+	}
+
+	// Re-running with -resume must take the no-op fast path: every cell is
+	// covered, nothing runs, the file is untouched.
+	code, _, stderr = runGefin(t, tinyGrid("-out", path, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume no-op failed: %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "3 of 3 cells already complete") || !strings.Contains(stderr, "nothing to do") {
+		t.Fatalf("no-op fast path not reported: %s", stderr)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("no-op resume rewrote the results file")
+	}
+}
+
+// TestResumeCompletesPartialFile: a results file holding a strict subset of
+// the grid (as an interrupted campaign leaves behind) is completed by
+// -resume into exactly what an uninterrupted gefin run produces.
+func TestResumeCompletesPartialFile(t *testing.T) {
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.json")
+	partPath := filepath.Join(dir, "partial.json")
+
+	code, _, stderr := runGefin(t, tinyGrid("-out", fullPath)...)
+	if code != 0 {
+		t.Fatalf("reference run failed: %d (%s)", code, stderr)
+	}
+	full, err := core.LoadResultSet(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the interrupted state: only the 1-bit cell is on disk.
+	partial := core.NewResultSet()
+	r, err := full.Get("L1D", "stringSearch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial.Add(r)
+	if err := partial.Save(partPath); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr = runGefin(t, tinyGrid("-out", partPath, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume failed: %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "1 of 3 cells already complete") {
+		t.Fatalf("skip accounting wrong: %s", stderr)
+	}
+	want, _ := os.ReadFile(fullPath)
+	got, _ := os.ReadFile(partPath)
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed results file not byte-identical to uninterrupted run")
+	}
+}
+
+func TestResumeMissingFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	code, _, stderr := runGefin(t, tinyGrid("-out", path, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume-from-nothing failed: %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "starting fresh") {
+		t.Fatalf("missing-file path not reported: %s", stderr)
+	}
+	if _, err := core.LoadResultSet(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeCorruptFileFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runGefin(t, tinyGrid("-out", path, "-resume")...)
+	if code != 1 {
+		t.Fatalf("corrupt resume file: exit=%d stderr=%s", code, stderr)
+	}
+}

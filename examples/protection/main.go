@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	for _, comp := range components {
 		for _, wn := range workloadNames {
 			for k := 1; k <= 3; k++ {
-				res, err := core.Run(core.Spec{
+				res, err := core.Run(context.Background(), core.Spec{
 					Workload: wn, Component: comp, Faults: k,
 					Samples: samples, Seed: 11,
 				}, nil)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	// A small campaign over the same cell gives the AVF with its margin.
-	res, err := core.Run(core.Spec{
+	res, err := core.Run(context.Background(), core.Spec{
 		Workload:  "sha",
 		Component: core.CompL1D,
 		Faults:    3,

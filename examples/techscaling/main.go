@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -19,7 +20,7 @@ func main() {
 	const workload = "gsm_dec"
 	ca := avf.ComponentAVF{Component: core.CompRF}
 	for k := 1; k <= 3; k++ {
-		res, err := core.Run(core.Spec{
+		res, err := core.Run(context.Background(), core.Spec{
 			Workload:  workload,
 			Component: core.CompRF,
 			Faults:    k,

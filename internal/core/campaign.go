@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -122,9 +123,27 @@ type Progress func(done, total int)
 
 // Run executes a campaign cell: Samples independent machine runs, each with
 // a fresh mask at a fresh random injection cycle, classified against the
-// workload's golden run.
-func Run(spec Spec, progress Progress) (*Result, error) {
+// workload's golden run. The spec is validated before any worker starts, so
+// configuration errors surface as clean errors rather than worker panics.
+//
+// Cancelling ctx stops the workers promptly (between samples); Run then
+// returns ctx.Err() and the partial counts are discarded — a cancelled cell
+// is simply re-run on resume, keeping every persisted Result complete.
+func Run(ctx context.Context, spec Spec, progress Progress) (*Result, error) {
+	return run(ctx, spec, progress, 0)
+}
+
+// run is Run with an explicit sample-worker bound; workers <= 0 means
+// GOMAXPROCS. RunGrid uses the bound to share cores fairly across cells
+// running in parallel.
+func run(ctx context.Context, spec Spec, progress Progress, workers int) (*Result, error) {
 	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	w, err := workloads.ByName(spec.Workload)
 	if err != nil {
 		return nil, err
@@ -173,14 +192,18 @@ func Run(spec Spec, progress Progress) (*Result, error) {
 		}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > spec.Samples {
 		workers = spec.Samples
 	}
 	// Lock-free job dispatch: workers claim jobs off an atomic counter and
 	// accumulate effect counts locally, merged after the pool drains, so
 	// neither dispatch, counting nor the progress callback serializes the
-	// workers on a shared mutex.
+	// workers on a shared mutex. Cancellation is checked between samples:
+	// individual runs are short (milliseconds at the scaled geometry), so a
+	// cancelled campaign stops promptly without instrumenting the simulator.
 	var (
 		wg        sync.WaitGroup
 		next      atomic.Int64
@@ -194,7 +217,7 @@ func Run(spec Spec, progress Progress) (*Result, error) {
 		go func(wk int) {
 			defer wg.Done()
 			local := &workerCounts[wk]
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
@@ -217,6 +240,9 @@ func Run(spec Spec, progress Progress) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for i := range workerCounts {
 		for e, n := range workerCounts[i] {

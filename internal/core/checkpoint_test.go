@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"reflect"
 	"testing"
@@ -85,13 +86,13 @@ func TestRunCheckpointedMatchesScratch(t *testing.T) {
 		Workload: "stringSearch", Component: CompL1D, Faults: 2,
 		Samples: 24, Seed: 11,
 	}
-	ck, err := Run(base, nil)
+	ck, err := Run(context.Background(), base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	scratchSpec := base
 	scratchSpec.NoCheckpoints = true
-	sc, err := Run(scratchSpec, nil)
+	sc, err := Run(context.Background(), scratchSpec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRunCheckpointedMatchesScratch(t *testing.T) {
 // cluster; the campaign must fail loudly instead of silently running
 // non-spanning masks.
 func TestForceSpanningImpossibleErrors(t *testing.T) {
-	_, err := Run(Spec{
+	_, err := Run(context.Background(), Spec{
 		Workload: "stringSearch", Component: CompL1D, Faults: 1,
 		Samples: 2, Seed: 1, ForceSpanning: true,
 	}, nil)
@@ -119,7 +120,7 @@ func TestForceSpanningImpossibleErrors(t *testing.T) {
 // TestTargetBitsPopulation: the Leveugle margin must use the target
 // structure's real bit count, not a hardcoded approximation.
 func TestTargetBitsPopulation(t *testing.T) {
-	res, err := Run(Spec{
+	res, err := Run(context.Background(), Spec{
 		Workload: "stringSearch", Component: CompDTLB, Faults: 1,
 		Samples: 4, Seed: 2,
 	}, nil)

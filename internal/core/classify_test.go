@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -136,11 +137,11 @@ func TestTargetFor(t *testing.T) {
 
 func TestCampaignSmallDeterministic(t *testing.T) {
 	spec := Spec{Workload: "stringSearch", Component: CompDTLB, Faults: 3, Samples: 12, Seed: 7}
-	r1, err := Run(spec, nil)
+	r1, err := Run(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(spec, nil)
+	r2, err := Run(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestCampaignSmallDeterministic(t *testing.T) {
 }
 
 func TestCampaignSeedChangesDraws(t *testing.T) {
-	a, err := Run(Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 30, Seed: 1}, nil)
+	a, err := Run(context.Background(), Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 30, Seed: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 30, Seed: 2}, nil)
+	b, err := Run(context.Background(), Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 30, Seed: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestCampaignSeedChangesDraws(t *testing.T) {
 
 func TestCampaignProgress(t *testing.T) {
 	var last int
-	_, err := Run(Spec{Workload: "stringSearch", Component: CompITLB, Faults: 1, Samples: 5, Seed: 3},
+	_, err := Run(context.Background(), Spec{Workload: "stringSearch", Component: CompITLB, Faults: 1, Samples: 5, Seed: 3},
 		func(done, total int) {
 			if total != 5 {
 				t.Errorf("total = %d", total)
@@ -191,10 +192,10 @@ func TestCampaignProgress(t *testing.T) {
 }
 
 func TestCampaignUnknownInputs(t *testing.T) {
-	if _, err := Run(Spec{Workload: "nope", Component: CompL1D, Faults: 1, Samples: 1}, nil); err == nil {
+	if _, err := Run(context.Background(), Spec{Workload: "nope", Component: CompL1D, Faults: 1, Samples: 1}, nil); err == nil {
 		t.Fatal("unknown workload must error")
 	}
-	if _, err := Run(Spec{Workload: "sha", Component: "nope", Faults: 1, Samples: 1}, nil); err == nil {
+	if _, err := Run(context.Background(), Spec{Workload: "sha", Component: "nope", Faults: 1, Samples: 1}, nil); err == nil {
 		t.Fatal("unknown component must error")
 	}
 }

@@ -1,6 +1,11 @@
 package core
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
 
 // resultSetJSON is the serialised form of a ResultSet: a flat list of cell
 // results (map keys are structs, which JSON cannot encode directly).
@@ -28,6 +33,82 @@ func (rs *ResultSet) UnmarshalJSON(data []byte) error {
 		rs.Add(r)
 	}
 	return nil
+}
+
+// Encode returns the canonical serialized form of the result set: indented
+// JSON with cells in sorted key order. Two result sets holding the same
+// cells encode byte-identically regardless of insertion order — the
+// property the resume-equivalence guarantee is stated in.
+func (rs *ResultSet) Encode() ([]byte, error) {
+	return json.MarshalIndent(rs, "", " ")
+}
+
+// Save writes the canonical encoding to path atomically: the bytes go to a
+// temporary file in the same directory which is then renamed over path, so
+// a crash mid-write leaves either the previous complete file or the new
+// one, never a truncated hybrid. Campaign runners call it after every
+// completed cell.
+func (rs *ResultSet) Save(path string) error {
+	data, err := rs.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadResultSet reads a results file written by Save (or any marshalled
+// ResultSet).
+func LoadResultSet(path string) (*ResultSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rs := NewResultSet()
+	if err := json.Unmarshal(data, rs); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// Covers reports whether the set already holds a result for the spec's cell
+// produced by an equivalent campaign: same component, workload and
+// cardinality, with matching Samples and Seed. Seeded determinism then
+// guarantees re-running the cell would reproduce the stored counts exactly,
+// so a resumed campaign may skip it.
+func (rs *ResultSet) Covers(spec Spec) bool {
+	r, ok := rs.Cells[CellKey{spec.Component, spec.Workload, spec.Faults}]
+	return ok && r.Spec.Samples == spec.Samples && r.Spec.Seed == spec.Seed
+}
+
+// Pending filters a grid down to the cells the set does not cover — the
+// work remaining for a resumed campaign. The relative order of specs is
+// preserved.
+func (rs *ResultSet) Pending(specs []Spec) []Spec {
+	var out []Spec
+	for _, s := range specs {
+		if !rs.Covers(s) {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func (rs *ResultSet) sortedKeys() []CellKey {

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Grid orchestration: a campaign grid (components x workloads x
+// cardinalities) is a list of independent cells, so the scheduler dispatches
+// whole cells across a bounded worker pool. Sample-level parallelism alone
+// underutilizes cores on small cells (a 4-sample cell leaves most of a
+// machine idle); cell-level dispatch keeps every core busy for the whole
+// grid while per-run seeding keeps results independent of scheduling.
+
+// CellFunc receives each completed cell: its index into the spec slice and
+// its result. RunGrid serializes invocations, so the callback may flush
+// shared state (progress lines, a partial results file) without locking.
+type CellFunc func(index int, res *Result)
+
+// RunGrid runs every spec as one campaign cell, dispatching cells across a
+// pool of at most parallel workers (parallel < 1 means GOMAXPROCS). Each
+// cell's sample workers are bounded so the whole grid uses ~GOMAXPROCS
+// goroutines regardless of the split. onCell, if non-nil, is called after
+// every completed cell — the crash-safety hook: callers persist the partial
+// grid there, so an interrupt or a later cell's failure cannot lose
+// finished cells.
+//
+// The first cell error cancels the remaining cells and is returned; if ctx
+// is cancelled, RunGrid drains its in-flight cells and returns ctx.Err().
+// Either way, every onCell invocation made before the return describes a
+// complete, valid cell.
+func RunGrid(ctx context.Context, specs []Spec, parallel int, onCell CellFunc) error {
+	// Validate the whole grid before spending anything: a typo in cell 200
+	// must not surface hours in.
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	if parallel == 0 {
+		return nil
+	}
+	// Split cores between cell-level and sample-level parallelism.
+	sampleWorkers := runtime.GOMAXPROCS(0) / parallel
+	if sampleWorkers < 1 {
+		sampleWorkers = 1
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // serializes onCell and firstErr
+		firstErr error
+		next     = make(chan int)
+	)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				res, err := run(runCtx, specs[idx], nil, sampleWorkers)
+				mu.Lock()
+				switch {
+				case err != nil:
+					if firstErr == nil && err != context.Canceled {
+						firstErr = err
+					}
+					cancel()
+				case onCell != nil:
+					onCell(idx, res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for idx := range specs {
+		if runCtx.Err() != nil {
+			break
+		}
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -18,6 +18,8 @@ package core
 // read). The comparison between protection options is unaffected, which is
 // what the ablation reports.
 
+import "fmt"
+
 // ProtectionKind selects the per-word code.
 type ProtectionKind int
 
@@ -51,6 +53,19 @@ const wordBits = 32
 type Protection struct {
 	Kind       ProtectionKind
 	Interleave int // physical interleaving degree; 0 or 1 means none
+}
+
+// Validate reports an impossible protection configuration.
+func (p Protection) Validate() error {
+	switch p.Kind {
+	case ProtectNone, ProtectParity, ProtectSECDED:
+	default:
+		return fmt.Errorf("core: unknown protection kind %d", int(p.Kind))
+	}
+	if p.Interleave < 0 {
+		return fmt.Errorf("core: negative interleave degree %d", p.Interleave)
+	}
+	return nil
 }
 
 // logicalWord maps a physical cell to its logical word identity under the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 )
@@ -85,13 +86,13 @@ func TestNoProtectionPassesThrough(t *testing.T) {
 
 func TestProtectedCampaignReducesSDC(t *testing.T) {
 	base := Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 40, Seed: 9}
-	unprot, err := Run(base, nil)
+	unprot, err := Run(context.Background(), base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prot := base
 	prot.Protect = Protection{Kind: ProtectSECDED, Interleave: 4}
-	protected, err := Run(prot, nil)
+	protected, err := Run(context.Background(), prot, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

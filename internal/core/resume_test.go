@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// resumeGrid is a small but real grid over the two fastest workloads:
+// 2 components x 2 workloads x 2 cardinalities = 8 cells.
+func resumeGrid(samples int) []Spec {
+	var specs []Spec
+	for _, c := range []string{CompL1D, CompDTLB} {
+		for _, w := range []string{"stringSearch", "susan_c"} {
+			for k := 1; k <= 2; k++ {
+				specs = append(specs, Spec{
+					Workload: w, Component: c, Faults: k,
+					Samples: samples, Seed: 21,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// TestGridResumeEquivalence is the acceptance test for crash-safe resume:
+// killing a grid after cell i leaves a valid, loadable results file, and
+// resuming completes the remaining cells into a ResultSet byte-identical
+// (canonical sorted encode) to an uninterrupted run with the same seed.
+func TestGridResumeEquivalence(t *testing.T) {
+	specs := resumeGrid(6)
+
+	// Uninterrupted reference run.
+	full := NewResultSet()
+	if err := RunGrid(context.Background(), specs, 2, func(_ int, r *Result) { full.Add(r) }); err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: flush after every cell (gefin's discipline) and
+	// cancel the campaign as soon as the third cell lands.
+	path := filepath.Join(t.TempDir(), "results.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	partial := NewResultSet()
+	interrupted := 0
+	err = RunGrid(ctx, specs, 2, func(_ int, r *Result) {
+		partial.Add(r)
+		if err := partial.Save(path); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		interrupted++
+		if interrupted == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted grid returned %v, want context.Canceled", err)
+	}
+
+	// The file on disk is valid, loadable, and holds only complete cells.
+	loaded, err := LoadResultSet(path)
+	if err != nil {
+		t.Fatalf("partial file unusable: %v", err)
+	}
+	if n := len(loaded.Cells); n < 3 || n >= len(specs) {
+		t.Fatalf("partial file has %d cells, want 3..%d", n, len(specs)-1)
+	}
+	for k, r := range loaded.Cells {
+		if r.Samples() != 6 {
+			t.Fatalf("cell %v persisted incomplete: %d samples", k, r.Samples())
+		}
+	}
+
+	// Resume: run only the pending cells, merging into the loaded set.
+	pending := loaded.Pending(specs)
+	if got, want := len(pending), len(specs)-len(loaded.Cells); got != want {
+		t.Fatalf("Pending returned %d cells, want %d", got, want)
+	}
+	if err := RunGrid(context.Background(), pending, 2, func(_ int, r *Result) {
+		loaded.Add(r)
+		if err := loaded.Save(path); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed grid not byte-identical to uninterrupted run:\nresumed:  %d bytes\noriginal: %d bytes", len(got), len(want))
+	}
+	// And the last flush left exactly that on disk.
+	final, err := LoadResultSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _ := final.Encode()
+	if !bytes.Equal(onDisk, want) {
+		t.Fatal("final results file diverges from uninterrupted run")
+	}
+}
+
+// TestRunCancellation: a cancelled context stops a cell promptly and
+// surfaces as ctx.Err(), not as a partial Result.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := Run(ctx, Spec{
+		Workload: "stringSearch", Component: CompL1D, Faults: 1,
+		Samples: 10_000, Seed: 1,
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled Run returned a partial Result")
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("cancelled Run took %v", d)
+	}
+}
+
+// TestRunGridMidGridFailure: a cell that fails at runtime (unsatisfiable
+// spanning constraint — invisible to Validate) must cancel the rest and
+// propagate its error, while cells completed before it are still delivered.
+func TestRunGridMidGridFailure(t *testing.T) {
+	specs := []Spec{
+		{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 2, Seed: 1},
+		// 1-bit faults can never span a 3x3 cluster: runtime error.
+		{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 2, Seed: 2, ForceSpanning: true},
+		{Workload: "stringSearch", Component: CompL1D, Faults: 2, Samples: 2, Seed: 3},
+	}
+	var delivered []int
+	err := RunGrid(context.Background(), specs, 1, func(i int, _ *Result) {
+		delivered = append(delivered, i)
+	})
+	if err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-grid failure returned %v", err)
+	}
+	if len(delivered) == 0 || delivered[0] != 0 {
+		t.Fatalf("completed cells lost on mid-grid failure: %v", delivered)
+	}
+}
+
+// TestRunGridValidatesUpFront: a typo anywhere in the grid fails before any
+// cell runs.
+func TestRunGridValidatesUpFront(t *testing.T) {
+	specs := []Spec{
+		{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 2, Seed: 1},
+		{Workload: "stringSearch", Component: "L1d", Faults: 1, Samples: 2, Seed: 1},
+	}
+	ran := false
+	err := RunGrid(context.Background(), specs, 1, func(int, *Result) { ran = true })
+	if err == nil {
+		t.Fatal("typo'd grid accepted")
+	}
+	if ran {
+		t.Fatal("cells ran before grid validation failed")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mbusim/internal/workloads"
+)
+
+// Validate reports the first configuration error in a spec: an unknown
+// component or workload, a fault cardinality the cluster cannot hold, a
+// non-positive sample count, or a nonsensical timeout factor. Run calls it
+// before spawning any worker, so a bad spec fails with a clean error
+// instead of a GenerateMask panic inside a worker goroutine. Zero-value
+// Cluster and TimeoutFactor fields are validated as their defaults, exactly
+// as Run would run them.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if s.Cluster.Rows < 1 || s.Cluster.Cols < 1 {
+		return fmt.Errorf("core: invalid %dx%d cluster", s.Cluster.Rows, s.Cluster.Cols)
+	}
+	if capacity := s.Cluster.Rows * s.Cluster.Cols; s.Faults < 1 || s.Faults > capacity {
+		return fmt.Errorf("core: fault cardinality %d outside 1..%d (%dx%d cluster)",
+			s.Faults, capacity, s.Cluster.Rows, s.Cluster.Cols)
+	}
+	if s.Samples < 1 {
+		return fmt.Errorf("core: sample count %d, need at least 1", s.Samples)
+	}
+	if s.TimeoutFactor < 1 {
+		return fmt.Errorf("core: timeout factor %g, need at least 1 (golden runs must fit)", s.TimeoutFactor)
+	}
+	if err := ValidComponent(s.Component); err != nil {
+		return err
+	}
+	if err := ValidWorkload(s.Workload); err != nil {
+		return err
+	}
+	return s.Protect.Validate()
+}
+
+// ValidComponent reports whether name is one of the six injectable
+// structures, with an error that lists them (component names are
+// case-sensitive: L1D, not L1d).
+func ValidComponent(name string) error {
+	for _, c := range Components() {
+		if name == c {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown component %q (components: %s)",
+		name, strings.Join(Components(), ", "))
+}
+
+// ValidWorkload reports whether name is a registered workload, with an
+// error that lists the registry.
+func ValidWorkload(name string) error {
+	if workloads.Exists(name) {
+		return nil
+	}
+	return fmt.Errorf("core: unknown workload %q (workloads: %s)",
+		name, strings.Join(workloads.Names(), ", "))
+}

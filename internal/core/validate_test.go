@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{Workload: "stringSearch", Component: CompL1D, Faults: 2, Samples: 10, Seed: 1}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	// The zero Cluster/TimeoutFactor must validate as their defaults.
+	s := validSpec()
+	s.Cluster = ClusterSpec{}
+	s.TimeoutFactor = 0
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero-value defaults rejected: %v", err)
+	}
+}
+
+func TestValidateFaultCardinality(t *testing.T) {
+	for _, k := range []int{0, -1, 10} { // 3x3 default cluster holds 1..9
+		s := validSpec()
+		s.Faults = k
+		if err := s.Validate(); err == nil {
+			t.Errorf("faults=%d accepted", k)
+		}
+	}
+	// The bound follows the cluster: 5 faults fit 3x3 (capacity 9) but not
+	// 2x2 (capacity 4).
+	s := validSpec()
+	s.Faults = 5
+	if err := s.Validate(); err != nil {
+		t.Fatalf("faults=5 in 3x3 rejected: %v", err)
+	}
+	s.Cluster = ClusterSpec{Rows: 2, Cols: 2}
+	if err := s.Validate(); err == nil {
+		t.Fatal("faults=5 in 2x2 accepted")
+	}
+}
+
+func TestValidateSamplesAndTimeout(t *testing.T) {
+	s := validSpec()
+	s.Samples = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("samples=0 accepted")
+	}
+	s = validSpec()
+	s.TimeoutFactor = 0.5
+	if err := s.Validate(); err == nil {
+		t.Fatal("timeout factor below 1 accepted")
+	}
+}
+
+func TestValidateNames(t *testing.T) {
+	s := validSpec()
+	s.Component = "L1d" // case matters; the error must list the real names
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "L1D") {
+		t.Fatalf("component typo: %v", err)
+	}
+	s = validSpec()
+	s.Workload = "stringsearch"
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "stringSearch") {
+		t.Fatalf("workload typo: %v", err)
+	}
+}
+
+func TestValidateProtection(t *testing.T) {
+	s := validSpec()
+	s.Protect = Protection{Kind: ProtectionKind(99)}
+	if err := s.Validate(); err == nil {
+		t.Fatal("unknown protection kind accepted")
+	}
+	s.Protect = Protection{Kind: ProtectSECDED, Interleave: -4}
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative interleave accepted")
+	}
+}
+
+// TestRunValidates: the regression this PR fixes — a bad cardinality used
+// to panic in GenerateMask inside a worker goroutine; it must now come back
+// as a clean error from Run before any worker starts.
+func TestRunValidates(t *testing.T) {
+	s := validSpec()
+	s.Faults = 0
+	if _, err := Run(context.Background(), s, nil); err == nil {
+		t.Fatal("Run accepted faults=0")
+	}
+	s = validSpec()
+	s.Samples = -1
+	if _, err := Run(context.Background(), s, nil); err == nil {
+		t.Fatal("Run accepted samples=-1")
+	}
+}

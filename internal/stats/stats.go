@@ -6,21 +6,21 @@ package stats
 
 import "math"
 
-// ZScore returns the two-sided normal z value for a confidence level.
-// Supported levels: 0.90, 0.95, 0.99, 0.999; other inputs panic, because a
-// campaign configured with an unsupported level is a programming error.
+// ZScore returns the two-sided normal z value for any confidence level in
+// (0,1), via the inverse error function: a two-sided confidence c needs
+// Φ(z) = (1+c)/2, and with Φ(z) = (1+erf(z/√2))/2 that solves to
+//
+//	z = √2 · erfinv(c)
+//
+// The paper's levels come out to the familiar constants (0.90 → 1.6449,
+// 0.95 → 1.9600, 0.99 → 2.5758, 0.999 → 3.2905). Levels outside (0,1)
+// panic, because a campaign configured with an impossible confidence is a
+// programming error.
 func ZScore(confidence float64) float64 {
-	switch confidence {
-	case 0.90:
-		return 1.6449
-	case 0.95:
-		return 1.9600
-	case 0.99:
-		return 2.5758
-	case 0.999:
-		return 3.2905
+	if confidence <= 0 || confidence >= 1 || math.IsNaN(confidence) {
+		panic("stats: confidence level must be inside (0,1)")
 	}
-	panic("stats: unsupported confidence level")
+	return math.Sqrt2 * math.Erfinv(confidence)
 }
 
 // Margin returns the error margin e for a sample of n faults drawn from a

@@ -66,13 +66,56 @@ func TestReadjustTightensExtremes(t *testing.T) {
 	}
 }
 
-func TestZScorePanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestZScoreAnchors(t *testing.T) {
+	// The four levels of the old lookup table remain exact to 4 decimal
+	// places under the erfinv-based inverse normal.
+	anchors := map[float64]float64{
+		0.90:  1.6449,
+		0.95:  1.9600,
+		0.99:  2.5758,
+		0.999: 3.2905,
+	}
+	for c, want := range anchors {
+		if got := ZScore(c); math.Abs(got-want) > 1e-4 {
+			t.Errorf("ZScore(%g) = %.6f, want %.4f ± 1e-4", c, got, want)
 		}
-	}()
-	ZScore(0.42)
+	}
+}
+
+func TestZScoreAnyConfidence(t *testing.T) {
+	// Monotone increasing over (0,1), symmetric through erf: the median
+	// confidence 0.5 gives the quartile z ≈ 0.6745.
+	if got := ZScore(0.5); math.Abs(got-0.6745) > 1e-4 {
+		t.Fatalf("ZScore(0.5) = %.6f, want ~0.6745", got)
+	}
+	prev := 0.0
+	for _, c := range []float64{0.01, 0.25, 0.42, 0.80, 0.95, 0.9999} {
+		z := ZScore(c)
+		if z <= prev {
+			t.Fatalf("ZScore not increasing at %g: %f <= %f", c, z, prev)
+		}
+		prev = z
+	}
+	// Round-trip through the normal CDF: erf(z/√2) must give back c.
+	for _, c := range []float64{0.1, 0.5, 0.77, 0.999} {
+		if back := math.Erf(ZScore(c) / math.Sqrt2); math.Abs(back-c) > 1e-12 {
+			t.Fatalf("round-trip at %g gave %g", c, back)
+		}
+	}
+}
+
+func TestZScorePanicsOutsideUnitInterval(t *testing.T) {
+	for _, c := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ZScore(%v) did not panic", c)
+				}
+			}()
+			ZScore(c)
+		}()
+	}
 }
 
 func TestMarginDegenerate(t *testing.T) {

@@ -60,6 +60,14 @@ func Names() []string {
 	return names
 }
 
+// Exists reports whether a workload with the given name is registered,
+// without building anything — campaign front-ends use it to validate whole
+// grids before the first golden run is spent.
+func Exists(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
 // ByName returns the named workload.
 func ByName(name string) (*Workload, error) {
 	w, ok := registry[name]

@@ -89,3 +89,21 @@ func TestMidRunOccupancies(t *testing.T) {
 		}
 	}
 }
+
+// TestExists: the cheap registry probe must agree with ByName without
+// compiling anything (grid validation calls it once per cell up front).
+func TestExists(t *testing.T) {
+	for _, n := range Names() {
+		if !Exists(n) {
+			t.Errorf("Exists(%q) = false for a registered workload", n)
+		}
+	}
+	for _, n := range []string{"", "stringsearch", "sha1", "CRC-32"} {
+		if Exists(n) {
+			t.Errorf("Exists(%q) = true", n)
+		}
+		if _, err := ByName(n); err == nil {
+			t.Errorf("ByName(%q) succeeded", n)
+		}
+	}
+}
