@@ -9,6 +9,7 @@ package mbusim_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"mbusim/internal/report"
 	"mbusim/internal/sim"
 	"mbusim/internal/tech"
+	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
 )
 
@@ -373,6 +375,38 @@ func benchCampaign(b *testing.B, noCheckpoints bool) {
 
 func BenchmarkCampaignScratch(b *testing.B)      { benchCampaign(b, true) }
 func BenchmarkCampaignCheckpointed(b *testing.B) { benchCampaign(b, false) }
+
+// BenchmarkCampaignTelemetry is BenchmarkCampaignCheckpointed with full
+// telemetry enabled — live metrics registry plus a per-sample JSONL trace
+// (written to io.Discard, so the number isolates collection and encoding
+// cost from disk speed). Compare against Checkpointed for the enabled
+// overhead; the disabled path is pinned allocation-free by
+// telemetry's TestDisabledSamplePathZeroAllocs.
+func BenchmarkCampaignTelemetry(b *testing.B) {
+	spec := core.Spec{
+		Workload: "sha", Component: core.CompL1D, Faults: 2,
+		Samples: benchSamples * 2, Seed: 7,
+	}
+	if _, err := core.Run(context.Background(), spec, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := telemetry.NewCampaign(telemetry.NewTracer(io.Discard))
+		var res *core.Result
+		err := core.RunGridWithTelemetry(context.Background(), []core.Spec{spec}, 1,
+			func(_ int, r *core.Result) { res = r }, tel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Samples() != spec.Samples {
+			b.Fatalf("campaign classified %d runs, want %d", res.Samples(), spec.Samples)
+		}
+		if s := tel.Summarize(); s.Samples != int64(spec.Samples) {
+			b.Fatalf("registry counted %d samples, want %d", s.Samples, spec.Samples)
+		}
+	}
+}
 
 // --- Microbenchmarks of the substrate itself ---
 

@@ -12,21 +12,29 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"mbusim/internal/avf"
+	"mbusim/internal/clog"
 	"mbusim/internal/core"
 	"mbusim/internal/fit"
 	"mbusim/internal/report"
 	"mbusim/internal/workloads"
 )
 
+// log is the shared CLI logger; fatalIf routes through it, so it lives at
+// package scope and is rebound once flags are parsed.
+var log *slog.Logger = clog.New(os.Stderr, false)
+
 func main() {
 	var (
-		inPath = flag.String("in", "", "campaign results JSON from gefin -all")
-		only   = flag.String("only", "", "print one section: table1,table3,table4,table5,table6,table7,table8,fig1..fig6,fig7,fig8")
+		inPath  = flag.String("in", "", "campaign results JSON from gefin -all")
+		only    = flag.String("only", "", "print one section: table1,table3,table4,table5,table6,table7,table8,fig1..fig6,fig7,fig8")
+		verbose = flag.Bool("v", false, "log debug detail to stderr")
 	)
 	flag.Parse()
+	log = clog.New(os.Stderr, *verbose)
 
 	sectionWanted := func(name string) bool { return *only == "" || *only == name }
 	printSection := func(title, body string) {
@@ -53,7 +61,7 @@ func main() {
 
 	if *inPath == "" {
 		if *only == "" {
-			fmt.Fprintln(os.Stderr, "note: no -in results file; campaign-derived sections skipped")
+			log.Info("no -in results file; campaign-derived sections skipped")
 		}
 		return
 	}
@@ -61,6 +69,7 @@ func main() {
 	fatalIf(err)
 	rs := core.NewResultSet()
 	fatalIf(json.Unmarshal(data, rs))
+	log.Debug("loaded results", "path", *inPath, "cells", len(rs.Cells))
 
 	figNames := map[string]string{
 		"L1D": "fig1", "L1I": "fig2", "L2": "fig3",
@@ -72,7 +81,7 @@ func main() {
 		}
 		body, err := report.Figure(rs, comp)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", comp, err)
+			log.Warn("skipping figure", "comp", comp, "err", err)
 			continue
 		}
 		printSection(fmt.Sprintf("Fig. %s: AVF classes for %s", figNames[comp][3:], comp), body)
@@ -80,7 +89,7 @@ func main() {
 
 	cas, err := avf.WeightedFromResults(rs, core.Components(), workloads.Names())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "aggregate sections unavailable: %v\n", err)
+		log.Warn("aggregate sections unavailable", "err", err)
 		return
 	}
 	if sectionWanted("table4") {
@@ -100,7 +109,7 @@ func main() {
 	if sectionWanted("verdicts") {
 		vs, err := report.Verdicts(rs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "verdicts unavailable: %v\n", err)
+			log.Warn("verdicts unavailable", "err", err)
 			return
 		}
 		printSection("Shape verdicts (DESIGN.md reproduction targets)", report.RenderVerdicts(vs))
@@ -109,7 +118,7 @@ func main() {
 
 func fatalIf(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error(err.Error())
 		os.Exit(1)
 	}
 }

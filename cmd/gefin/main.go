@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"mbusim/internal/core"
+	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
 )
 
@@ -66,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckpts      = fs.Int("checkpoints", workloads.CheckpointCount, "golden checkpoints per workload (K)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile after the campaign to this file")
+		tracePath  = fs.String("trace", "", "write a JSONL trace (one record per injection sample) to this file, flushed per cell")
+		metricsOn  = fs.String("metrics-addr", "", "serve live campaign metrics on host:port (/metrics Prometheus text, /debug/vars expvar, /debug/pprof)")
+		status     = fs.Duration("status", 0, "print a periodic campaign summary to stderr at this interval (works with -q; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +126,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Telemetry: -trace, -metrics-addr or -status enables the campaign
+	// registry (the core hot path stays untouched when all are absent).
+	var tel *telemetry.Campaign
+	if *tracePath != "" || *metricsOn != "" || *status > 0 {
+		var tracer *telemetry.Tracer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			defer f.Close()
+			tracer = telemetry.NewTracer(f)
+		}
+		tel = telemetry.NewCampaign(tracer)
+	}
+	if *metricsOn != "" {
+		ln, err := net.Listen("tcp", *metricsOn)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "metrics: serving http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
+		srv := &http.Server{Handler: telemetry.Handler(tel.Registry)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
 	// The first SIGINT/SIGTERM cancels the campaign context: workers stop
 	// between samples, the partial grid is already on disk (flushed after
 	// every cell), and a second signal kills the process the default way.
@@ -135,7 +169,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		done     = 0
 		flushErr error
 	)
-	err := core.RunGrid(ctx, pending, *parallel, func(i int, res *core.Result) {
+	if *status > 0 {
+		statusDone := make(chan struct{})
+		defer close(statusDone)
+		go statusLoop(stderr, tel, *status, start, statusDone)
+	}
+	err := core.RunGridWithTelemetry(ctx, pending, *parallel, func(i int, res *core.Result) {
 		rs.Add(res)
 		done++
 		if *outPath != "" {
@@ -159,7 +198,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				100*res.AdjustedMargin(0.99),
 				elapsed.Round(time.Millisecond), eta.Round(time.Second))
 		}
-	})
+	}, tel)
 	switch {
 	case flushErr != nil:
 		fmt.Fprintf(stderr, "flush failed after %d cells: %v\n", done, flushErr)
@@ -185,6 +224,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *outPath != "" {
 		fmt.Fprintf(stderr, "wrote %s\n", *outPath)
 	}
+	if tel.Tracing() {
+		if err := tel.Tracer.Err(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *tracePath)
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -201,6 +247,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wrote %s\n", *memProfile)
 	}
 	return 0
+}
+
+// statusLoop prints a registry-driven summary line every interval until
+// done is closed. It works alongside -q: the summary replaces, rather than
+// duplicates, the per-cell progress stream.
+func statusLoop(w io.Writer, tel *telemetry.Campaign, interval time.Duration, start time.Time, done <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			fmt.Fprintln(w, statusLine(tel.Summarize(), time.Since(start)))
+		}
+	}
+}
+
+// statusLine renders one campaign summary: sample throughput, outcome mix,
+// cell progress, checkpoint hit rate and an ETA, all derived from the
+// telemetry registry.
+func statusLine(s telemetry.Summary, elapsed time.Duration) string {
+	var b strings.Builder
+	rate := float64(s.Samples) / elapsed.Seconds()
+	fmt.Fprintf(&b, "status: %d", s.Samples)
+	if s.SamplesExpected > 0 {
+		fmt.Fprintf(&b, "/%d", s.SamplesExpected)
+	}
+	fmt.Fprintf(&b, " samples (%.1f/s)", rate)
+	if s.Samples > 0 {
+		b.WriteString(" |")
+		for _, e := range core.Effects() {
+			if n := s.ByOutcome[e.Label()]; n > 0 {
+				fmt.Fprintf(&b, " %s %.1f%%", e.Label(), 100*float64(n)/float64(s.Samples))
+			}
+		}
+	}
+	fmt.Fprintf(&b, " | cells %d", s.Cells)
+	if s.CellsExpected > 0 {
+		fmt.Fprintf(&b, "/%d", s.CellsExpected)
+	}
+	if total := s.CheckpointHits + s.CheckpointMiss; total > 0 {
+		fmt.Fprintf(&b, " | ckpt hit %.0f%%", 100*float64(s.CheckpointHits)/float64(total))
+	}
+	if rate > 0 && s.SamplesExpected > s.Samples {
+		eta := time.Duration(float64(s.SamplesExpected-s.Samples) / rate * float64(time.Second))
+		fmt.Fprintf(&b, " | eta %v", eta.Round(time.Second))
+	}
+	return b.String()
 }
 
 // buildSpecs expands the flag set into the campaign grid, validating

@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"mbusim/internal/core"
+	"mbusim/internal/telemetry"
 )
 
 // gefin runs in-process through run(), so tests exercise the real flag
@@ -151,6 +153,88 @@ func TestResumeMissingFileStartsFresh(t *testing.T) {
 	}
 	if _, err := core.LoadResultSet(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceRoundTrip: -trace must write one parseable JSONL record per
+// injection sample, grouped by cell, and the per-outcome counts in the
+// trace must agree exactly with the results file.
+func TestTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "r.json")
+	trPath := filepath.Join(dir, "trace.jsonl")
+	code, _, stderr := runGefin(t, tinyGrid("-out", outPath, "-trace", trPath)...)
+	if code != 0 {
+		t.Fatalf("traced run failed: %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "wrote "+trPath) {
+		t.Fatalf("trace path not reported: %s", stderr)
+	}
+
+	f, err := os.Open(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 { // 3 cells x 3 samples
+		t.Fatalf("trace has %d records, want 9", len(recs))
+	}
+
+	rs, err := core.LoadResultSet(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for faults := 1; faults <= 3; faults++ {
+		res, err := rs.Get("L1D", "stringSearch", faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int{}
+		for _, rec := range recs {
+			if rec.Faults == faults {
+				got[rec.Outcome]++
+			}
+		}
+		for _, e := range core.Effects() {
+			if got[e.Label()] != res.Counts[e] {
+				t.Errorf("faults=%d outcome %s: trace %d, results %d",
+					faults, e.Label(), got[e.Label()], res.Counts[e])
+			}
+		}
+	}
+}
+
+// TestMetricsEndpointServes: -metrics-addr with port 0 must bind, report
+// the resolved address on stderr, and serve the campaign registry.
+func TestMetricsEndpointServes(t *testing.T) {
+	code, _, stderr := runGefin(t, tinyGrid("-metrics-addr", "127.0.0.1:0")...)
+	if code != 0 {
+		t.Fatalf("metrics run failed: %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "metrics: serving http://127.0.0.1:") {
+		t.Fatalf("resolved metrics address not reported: %s", stderr)
+	}
+}
+
+func TestStatusLine(t *testing.T) {
+	s := telemetry.Summary{
+		Samples: 50, SamplesExpected: 100,
+		ByOutcome: map[string]int64{"masked": 40, "sdc": 10},
+		Cells:     5, CellsExpected: 10,
+		CheckpointHits: 45, CheckpointMiss: 5,
+	}
+	line := statusLine(s, 10*time.Second)
+	for _, want := range []string{
+		"50/100 samples", "(5.0/s)", "masked 80.0%", "sdc 20.0%",
+		"cells 5/10", "ckpt hit 90%", "eta 10s",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("status line missing %q: %s", want, line)
+		}
 	}
 }
 

@@ -3,6 +3,12 @@
 // fractions and sample count are recoverable from its log line).
 //
 //	logparse -samples 120 < campaign.log > results.json
+//
+// With -trace it instead analyzes a gefin JSONL injection trace (written by
+// gefin -trace): per-cell sample latency percentiles and checkpoint hit
+// rates, plus a per-checkpoint-index restore profile across the campaign.
+//
+//	logparse -trace trace.jsonl
 package main
 
 import (
@@ -10,12 +16,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
+	"time"
 
 	"mbusim/internal/core"
+	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
 )
 
@@ -25,11 +35,26 @@ var lineRE = regexp.MustCompile(
 		`timeout=\s*([\d.]+)% assert=\s*([\d.]+)%`)
 
 func main() {
-	samples := flag.Int("samples", 120, "per-cell sample count used by the campaign")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("logparse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	samples := fs.Int("samples", 120, "per-cell sample count used by the campaign")
+	tracePath := fs.String("trace", "", "analyze a gefin JSONL injection trace instead of parsing a log (- reads stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tracePath != "" {
+		return analyzeTrace(*tracePath, stdin, stdout, stderr)
+	}
+	return parseLog(*samples, stdin, stdout, stderr)
+}
+
+func parseLog(samples int, stdin io.Reader, stdout, stderr io.Writer) int {
 	rs := core.NewResultSet()
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	cells := 0
 	for sc.Scan() {
 		m := lineRE.FindStringSubmatch(sc.Text())
@@ -39,7 +64,7 @@ func main() {
 		comp, wl := m[1], m[2]
 		faults, _ := strconv.Atoi(m[3])
 		res := &core.Result{
-			Spec: core.Spec{Workload: wl, Component: comp, Faults: faults, Samples: *samples},
+			Spec: core.Spec{Workload: wl, Component: comp, Faults: faults, Samples: samples},
 		}
 		if w, err := workloads.ByName(wl); err == nil {
 			if g, err := w.Reference(); err == nil {
@@ -49,26 +74,132 @@ func main() {
 		total := 0
 		for i, e := range core.Effects() {
 			pct, _ := strconv.ParseFloat(m[4+i], 64)
-			n := int(math.Round(pct * float64(*samples) / 100))
+			n := int(math.Round(pct * float64(samples) / 100))
 			res.Counts[e] = n
 			total += n
 		}
-		if total != *samples {
+		if total != samples {
 			// Rounding slack lands in the dominant class.
-			res.Counts[core.EffectMasked] += *samples - total
+			res.Counts[core.EffectMasked] += samples - total
 		}
 		rs.Add(res)
 		cells++
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	data, err := json.MarshalIndent(rs, "", " ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	os.Stdout.Write(data)
-	fmt.Fprintf(os.Stderr, "parsed %d cells\n", cells)
+	stdout.Write(data)
+	fmt.Fprintf(stderr, "parsed %d cells\n", cells)
+	return 0
+}
+
+// cellKey identifies one campaign cell inside a trace.
+type cellKey struct {
+	Component string
+	Workload  string
+	Faults    int
+}
+
+// analyzeTrace digests a gefin JSONL trace: per-cell latency percentiles
+// and checkpoint hit rate, then the campaign-wide restore count per
+// checkpoint index (-1 = runs replayed from cycle 0).
+func analyzeTrace(path string, stdin io.Reader, stdout, stderr io.Writer) int {
+	r := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := telemetry.ReadTrace(r)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(stderr, "trace holds no records")
+		return 1
+	}
+
+	var (
+		order   []cellKey
+		byCell  = make(map[cellKey][]telemetry.SampleRecord)
+		byIndex = make(map[int]int)
+		skipped uint64
+	)
+	for _, rec := range recs {
+		k := cellKey{rec.Component, rec.Workload, rec.Faults}
+		if _, ok := byCell[k]; !ok {
+			order = append(order, k)
+		}
+		byCell[k] = append(byCell[k], rec)
+		byIndex[rec.Checkpoint]++
+		skipped += rec.CyclesSkipped
+	}
+
+	fmt.Fprintf(stdout, "%-8s %-13s %s %7s %9s %9s %9s %8s\n",
+		"comp", "workload", "k", "samples", "p50", "p90", "p99", "ckpt-hit")
+	totalHits := 0
+	for _, k := range order {
+		cell := byCell[k]
+		durs := make([]int64, len(cell))
+		hits := 0
+		for i, rec := range cell {
+			durs[i] = rec.DurationNS
+			if rec.CyclesSkipped > 0 {
+				hits++
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		totalHits += hits
+		fmt.Fprintf(stdout, "%-8s %-13s %d %7d %9s %9s %9s %7.1f%%\n",
+			k.Component, k.Workload, k.Faults, len(cell),
+			fmtNS(percentile(durs, 50)), fmtNS(percentile(durs, 90)), fmtNS(percentile(durs, 99)),
+			100*float64(hits)/float64(len(cell)))
+	}
+
+	fmt.Fprintf(stdout, "\ncheckpoint restores (%d samples, %.1f%% hit rate, %d golden cycles skipped):\n",
+		len(recs), 100*float64(totalHits)/float64(len(recs)), skipped)
+	indexes := make([]int, 0, len(byIndex))
+	for idx := range byIndex {
+		indexes = append(indexes, idx)
+	}
+	sort.Ints(indexes)
+	for _, idx := range indexes {
+		label := fmt.Sprintf("ckpt %d", idx)
+		if idx == -1 {
+			label = "none (replayed from cycle 0)"
+		}
+		fmt.Fprintf(stdout, "  %-28s %6d (%5.1f%%)\n",
+			label, byIndex[idx], 100*float64(byIndex[idx])/float64(len(recs)))
+	}
+	return 0
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted values.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
 }

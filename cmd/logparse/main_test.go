@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mbusim/internal/core"
+	"mbusim/internal/telemetry"
+)
+
+func runLogparse(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errB)
+	return code, out.String(), errB.String()
+}
+
+func TestParseLogReconstructsResults(t *testing.T) {
+	log := "noise line\n" +
+		"[  1/  3] L1D      CRC32         2-bit: AVF= 12.50% masked= 75.0% sdc= 12.5% crash= 10.0% timeout=  2.5% assert=  0.0% ±1.00% (1s elapsed, eta 2s)\n"
+	code, stdout, stderr := runLogparse(t, log, "-samples", "40")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+	var rs core.ResultSet
+	if err := json.Unmarshal([]byte(stdout), &rs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rs.Get("L1D", "CRC32", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[core.EffectMasked] != 30 || res.Counts[core.EffectSDC] != 5 ||
+		res.Counts[core.EffectCrash] != 4 || res.Counts[core.EffectTimeout] != 1 {
+		t.Fatalf("reconstructed counts = %v", res.Counts)
+	}
+	if !strings.Contains(stderr, "parsed 1 cells") {
+		t.Fatalf("stderr = %s", stderr)
+	}
+}
+
+// traceFixture writes two cells of synthetic records through the real
+// Tracer, so the analyzer is tested against the wire format gefin emits.
+func traceFixture(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	var cell1, cell2 []telemetry.SampleRecord
+	for i := 0; i < 4; i++ {
+		cell1 = append(cell1, telemetry.SampleRecord{
+			Component: "L1D", Workload: "CRC32", Faults: 1, Sample: i,
+			Checkpoint: i % 2, CyclesSkipped: uint64(i % 2 * 500),
+			Outcome: "masked", DurationNS: int64(1000 * (i + 1)),
+		})
+		cell2 = append(cell2, telemetry.SampleRecord{
+			Component: "L2", Workload: "CRC32", Faults: 2, Sample: i,
+			Checkpoint: -1, CyclesSkipped: 0,
+			Outcome: "sdc", DurationNS: 2000,
+		})
+	}
+	tr.WriteCell(cell1)
+	tr.WriteCell(cell2)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestAnalyzeTraceFromStdin(t *testing.T) {
+	code, stdout, stderr := runLogparse(t, traceFixture(t), "-trace", "-")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+	for _, want := range []string{
+		"L1D", "L2", "50.0%", // cell 1 hit rate: 2 of 4 restores skipped cycles
+		"8 samples, 25.0% hit rate, 1000 golden cycles skipped",
+		"none (replayed from cycle 0)",
+		"ckpt 0", "ckpt 1",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("trace report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestAnalyzeTraceFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(traceFixture(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runLogparse(t, "", "-trace", path)
+	if code != 0 || !strings.Contains(stdout, "checkpoint restores") {
+		t.Fatalf("exit=%d stdout=%s", code, stdout)
+	}
+}
+
+func TestAnalyzeTraceEmptyAndMissing(t *testing.T) {
+	if code, _, stderr := runLogparse(t, "", "-trace", "-"); code != 1 ||
+		!strings.Contains(stderr, "no records") {
+		t.Fatalf("empty trace: exit=%d stderr=%s", code, stderr)
+	}
+	if code, _, _ := runLogparse(t, "", "-trace", "/nonexistent/trace.jsonl"); code != 1 {
+		t.Fatalf("missing trace file: exit=%d", code)
+	}
+}

@@ -8,8 +8,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
+	"mbusim/internal/clog"
 	"mbusim/internal/report"
 	"mbusim/internal/workloads"
 )
@@ -17,11 +19,13 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run every workload and print Table III")
 	occupancy := flag.Bool("occupancy", false, "sample structure occupancies at the half-way point of each workload")
+	verbose := flag.Bool("v", false, "log debug detail to stderr")
 	flag.Parse()
+	log := clog.New(os.Stderr, *verbose)
 
 	if *occupancy {
-		if err := printOccupancies(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if err := printOccupancies(log); err != nil {
+			log.Error(err.Error())
 			os.Exit(1)
 		}
 		return
@@ -30,7 +34,7 @@ func main() {
 	if *all {
 		t3, err := report.Table3()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error(err.Error())
 			os.Exit(1)
 		}
 		fmt.Print(t3)
@@ -42,25 +46,27 @@ func main() {
 	}
 	w, err := workloads.ByName(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error(err.Error())
 		os.Exit(1)
 	}
 	m, err := w.NewMachine()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error(err.Error())
 		os.Exit(1)
 	}
+	log.Debug("machine built", "workload", w.Name)
 	out := m.Run(500_000_000, 0, nil)
 	os.Stdout.Write(out.Stdout)
-	fmt.Fprintf(os.Stderr, "[%s: stop=%v exit=%d cycles=%d committed=%d IPC=%.2f]\n",
-		w.Name, out.Stop, out.ExitCode, out.Cycles, out.Committed,
-		float64(out.Committed)/float64(out.Cycles))
+	log.Info("run complete",
+		"workload", w.Name, "stop", out.Stop, "exit", out.ExitCode,
+		"cycles", out.Cycles, "committed", out.Committed,
+		"ipc", fmt.Sprintf("%.2f", float64(out.Committed)/float64(out.Cycles)))
 }
 
 // printOccupancies reports the valid-entry fraction of every injectable
 // structure at each workload's half-way point — the first-order predictor
 // of its AVF (see EXPERIMENTS.md).
-func printOccupancies() error {
+func printOccupancies(log *slog.Logger) error {
 	fmt.Printf("%-13s %6s %6s %7s %6s %7s %6s %6s\n",
 		"workload", "L1I", "L1D", "L1Ddrt", "L2", "L2drt", "ITLB", "DTLB")
 	for _, w := range workloads.All() {
@@ -72,6 +78,7 @@ func printOccupancies() error {
 		if err != nil {
 			return err
 		}
+		log.Debug("sampling occupancy", "workload", w.Name, "at_cycle", g.Cycles/2)
 		for m.Core.Cycles() < g.Cycles/2 && m.Core.Stopped() == 0 {
 			m.Core.Cycle()
 		}

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"mbusim/internal/asm"
+	"mbusim/internal/clog"
 	"mbusim/internal/isa"
 	"mbusim/internal/minic"
 	"mbusim/internal/sim"
@@ -17,33 +18,36 @@ func main() {
 	emitAsm := flag.Bool("S", false, "print generated assembly instead of running")
 	trace := flag.Bool("trace", false, "print every committed instruction (disassembled)")
 	maxCycles := flag.Uint64("max-cycles", 100_000_000, "cycle limit")
+	verbose := flag.Bool("v", false, "log debug detail to stderr")
 	flag.Parse()
+	log := clog.New(os.Stderr, *verbose)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mcc [-S] file.mc")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error(err.Error())
 		os.Exit(1)
 	}
 	text, err := minic.Compile(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error(err.Error())
 		os.Exit(1)
 	}
+	log.Debug("compiled", "source_bytes", len(src), "asm_bytes", len(text))
 	if *emitAsm {
 		fmt.Print(text)
 		return
 	}
 	prog, err := asm.Assemble(text)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "assemble:", err)
+		log.Error("assemble failed", "err", err)
 		os.Exit(1)
 	}
 	m := sim.New(sim.DefaultConfig())
 	if err := m.Load(prog); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error(err.Error())
 		os.Exit(1)
 	}
 	if *trace {
@@ -53,6 +57,9 @@ func main() {
 	}
 	out := m.Run(*maxCycles, 0, nil)
 	os.Stdout.Write(out.Stdout)
-	fmt.Fprintf(os.Stderr, "[stop=%v pc=%#x addr=%#x exit=%d cycles=%d committed=%d kill=%q panic=%q timeout=%v]\n",
-		out.Stop, m.Core.StopPC(), m.Core.StopAddr(), out.ExitCode, out.Cycles, out.Committed, out.KillMsg, out.PanicMsg, out.TimedOut)
+	log.Info("run complete",
+		"stop", out.Stop, "pc", fmt.Sprintf("%#x", m.Core.StopPC()),
+		"addr", fmt.Sprintf("%#x", m.Core.StopAddr()), "exit", out.ExitCode,
+		"cycles", out.Cycles, "committed", out.Committed,
+		"kill", out.KillMsg, "panic", out.PanicMsg, "timeout", out.TimedOut)
 }

@@ -1,0 +1,86 @@
+// Package clog is the shared leveled logger for the mbusim command-line
+// tools. It wraps log/slog with a human-oriented handler: no timestamps
+// (these are interactive tools, not servers), plain messages at info level,
+// a "level:" prefix for everything else, and key=value detail appended in
+// record order. Debug records are dropped unless the tool's -v flag is set.
+package clog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// New returns a logger writing to w. verbose lowers the threshold from
+// Info to Debug — the convention every cmd/ tool maps its -v flag to.
+func New(w io.Writer, verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return slog.New(&handler{mu: &sync.Mutex{}, w: w, level: level})
+}
+
+// handler renders records as "message key=value ..." lines. It implements
+// WithAttrs/WithGroup by pre-rendering: attrs bound early are appended to
+// every line, and group names become dotted key prefixes.
+type handler struct {
+	mu     *sync.Mutex // shared across WithAttrs/WithGroup copies
+	w      io.Writer
+	level  slog.Level
+	bound  string // pre-rendered attrs from WithAttrs
+	prefix string // dotted group path from WithGroup
+}
+
+func (h *handler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level
+}
+
+func (h *handler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if r.Level != slog.LevelInfo {
+		b.WriteString(strings.ToLower(r.Level.String()))
+		b.WriteString(": ")
+	}
+	b.WriteString(r.Message)
+	b.WriteString(h.bound)
+	r.Attrs(func(a slog.Attr) bool {
+		h.appendAttr(&b, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func (h *handler) appendAttr(b *strings.Builder, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	fmt.Fprintf(b, " %s%s=%v", h.prefix, a.Key, a.Value.Resolve())
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	var b strings.Builder
+	b.WriteString(h.bound)
+	for _, a := range attrs {
+		h.appendAttr(&b, a)
+	}
+	nh.bound = b.String()
+	return &nh
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.prefix = h.prefix + name + "."
+	return &nh
+}

@@ -1,0 +1,41 @@
+package clog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, false)
+	log.Debug("hidden detail")
+	log.Info("loaded results", "cells", 3, "path", "r.json")
+	log.Warn("section skipped", "comp", "L2")
+	log.Error("boom")
+	got := buf.String()
+	want := "loaded results cells=3 path=r.json\n" +
+		"warn: section skipped comp=L2\n" +
+		"error: boom\n"
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestVerboseEnablesDebug(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, true).Debug("detail", "k", "v")
+	if got := buf.String(); got != "debug: detail k=v\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWithAttrsAndGroups(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, false).With("tool", "mcc").WithGroup("run")
+	log.Info("done", "cycles", 42)
+	got := buf.String()
+	if !strings.Contains(got, "tool=mcc") || !strings.Contains(got, "run.cycles=42") {
+		t.Fatalf("got %q", got)
+	}
+}

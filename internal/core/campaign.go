@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mbusim/internal/sim"
 	"mbusim/internal/stats"
+	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
 )
 
@@ -130,13 +133,15 @@ type Progress func(done, total int)
 // returns ctx.Err() and the partial counts are discarded — a cancelled cell
 // is simply re-run on resume, keeping every persisted Result complete.
 func Run(ctx context.Context, spec Spec, progress Progress) (*Result, error) {
-	return run(ctx, spec, progress, 0)
+	return run(ctx, spec, progress, 0, nil)
 }
 
-// run is Run with an explicit sample-worker bound; workers <= 0 means
-// GOMAXPROCS. RunGrid uses the bound to share cores fairly across cells
-// running in parallel.
-func run(ctx context.Context, spec Spec, progress Progress, workers int) (*Result, error) {
+// run is Run with an explicit sample-worker bound and an optional
+// telemetry sink; workers <= 0 means GOMAXPROCS. RunGrid uses the bound to
+// share cores fairly across cells running in parallel. tel may be nil
+// (the no-op campaign): the sample path then skips all timing and
+// recording and allocates nothing extra.
+func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *telemetry.Campaign) (*Result, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -212,6 +217,14 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int) (*Resul
 	)
 	workerCounts := make([][NumEffects]int, workers)
 	workerErrs := make([]error, workers)
+	// Per-worker trace buffers: records accumulate locally (no shared lock
+	// on the sample path) and are merged, ordered by sample index, and
+	// flushed as one batch when the cell completes — so like the results
+	// file, the trace only ever holds complete cells.
+	var workerRecs [][]telemetry.SampleRecord
+	if tel.Tracing() {
+		workerRecs = make([][]telemetry.SampleRecord, workers)
+	}
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func(wk int) {
@@ -222,13 +235,31 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int) (*Resul
 				if i >= len(jobs) {
 					return
 				}
-				effect, err := runOne(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed)
+				var start time.Time
+				if tel.Enabled() {
+					start = time.Now()
+				}
+				effect, meta, err := runOne(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed)
 				if err != nil {
 					workerErrs[wk] = err
 					failed.Store(true)
 					return
 				}
 				local[effect]++
+				if tel.Enabled() {
+					rec := telemetry.SampleRecord{
+						Component: spec.Component, Workload: spec.Workload,
+						Faults: spec.Faults, Sample: i, Seed: spec.Seed,
+						InjectCycle: jobs[i].injectAt, MaskBits: meta.maskBits,
+						Checkpoint: meta.checkpoint, CyclesSkipped: meta.cyclesSkipped,
+						Outcome:    effect.Label(),
+						DurationNS: time.Since(start).Nanoseconds(),
+					}
+					tel.RecordSample(&rec)
+					if workerRecs != nil {
+						workerRecs[wk] = append(workerRecs[wk], rec)
+					}
+				}
 				if progress != nil {
 					progress(int(completed.Add(1)), len(jobs))
 				}
@@ -249,11 +280,29 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int) (*Resul
 			res.Counts[e] += n
 		}
 	}
+	if tel.Enabled() {
+		var recs []telemetry.SampleRecord
+		for _, wr := range workerRecs {
+			recs = append(recs, wr...)
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Sample < recs[j].Sample })
+		tel.FlushCell(recs)
+	}
 	return res, nil
 }
 
 // maxSpanningTries bounds the rejection sampling of ForceSpanning masks.
 const maxSpanningTries = 1000
+
+// runMeta carries the per-sample facts the trace and metrics layers need
+// beyond the classified effect: which golden checkpoint the run restored
+// (and how much replay it saved), and how many mask bits were live after
+// protection filtering.
+type runMeta struct {
+	checkpoint    int // restored checkpoint index; -1 when checkpointing is off
+	cyclesSkipped uint64
+	maskBits      int
+}
 
 // runOne performs a single fault-injection simulation. Unless the spec
 // forbids it, the machine is fast-forwarded from the workload's nearest
@@ -261,20 +310,24 @@ const maxSpanningTries = 1000
 // the whole golden prefix from cycle 0; the two paths are bit-identical
 // because checkpoints capture the complete machine state and execution is
 // deterministic.
-func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64) (Effect, error) {
+func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64) (Effect, runMeta, error) {
+	meta := runMeta{checkpoint: -1}
 	var m *sim.Machine
 	var err error
 	if spec.NoCheckpoints {
 		m, err = w.NewMachine()
 	} else {
-		m, _, err = w.MachineAt(injectAt)
+		var ck workloads.Checkpoint
+		m, ck, err = w.MachineAt(injectAt)
+		meta.checkpoint = ck.Index
+		meta.cyclesSkipped = ck.Cycle
 	}
 	if err != nil {
-		return 0, err
+		return 0, meta, err
 	}
 	target, err := TargetFor(m, spec.Component)
 	if err != nil {
-		return 0, err
+		return 0, meta, err
 	}
 	rng := rand.New(rand.NewPCG(maskSeed, 0xDEADBEEFCAFEF00D))
 	mask := GenerateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster)
@@ -286,26 +339,28 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 			// Silently running a non-spanning mask would violate the
 			// ablation's contract; fail loudly instead (e.g. a single-bit
 			// fault can never span a multi-row, multi-column cluster).
-			return 0, fmt.Errorf("core: no spanning %d-bit mask in a %dx%d cluster after %d draws",
+			return 0, meta, fmt.Errorf("core: no spanning %d-bit mask in a %dx%d cluster after %d draws",
 				spec.Faults, spec.Cluster.Rows, spec.Cluster.Cols, maxSpanningTries)
 		}
 	}
 	if spec.Protect.Kind != ProtectNone {
 		fr := spec.Protect.Filter(mask)
+		meta.maskBits = len(fr.Surviving.Cells)
 		switch {
 		case fr.Detected:
 			// Uncorrectable error signalled: machine-check abort
 			// (pessimistic: modeled at injection time, see protect.go).
-			return EffectCrash, nil
+			return EffectCrash, meta, nil
 		case len(fr.Surviving.Cells) == 0:
 			// Everything corrected: by construction the run is the golden
 			// run; skip the simulation.
-			return EffectMasked, nil
+			return EffectMasked, meta, nil
 		}
 		mask = fr.Surviving
 	}
+	meta.maskBits = len(mask.Cells)
 	out := m.Run(limit, injectAt, func(*sim.Machine) { mask.Apply(target) })
-	return Classify(out, golden), nil
+	return Classify(out, golden), meta, nil
 }
 
 // CellKey identifies one campaign cell inside a ResultSet.

@@ -37,12 +37,12 @@ func TestCheckpointEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				want := scratch.Run(limit, 0, nil)
-				ff, at, err := w.MachineAt(injectAt)
+				ff, ck, err := w.MachineAt(injectAt)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if at > injectAt {
-					t.Fatalf("MachineAt(%d) overshot to cycle %d", injectAt, at)
+				if ck.Cycle > injectAt {
+					t.Fatalf("MachineAt(%d) overshot to cycle %d", injectAt, ck.Cycle)
 				}
 				got := ff.Run(limit, 0, nil)
 				if !reflect.DeepEqual(got, want) {

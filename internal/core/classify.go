@@ -36,6 +36,24 @@ func (e Effect) String() string {
 	return "Unknown"
 }
 
+// Label is the lowercase wire name of the class, used for metric labels
+// and trace records.
+func (e Effect) Label() string {
+	switch e {
+	case EffectMasked:
+		return "masked"
+	case EffectSDC:
+		return "sdc"
+	case EffectCrash:
+		return "crash"
+	case EffectTimeout:
+		return "timeout"
+	case EffectAssert:
+		return "assert"
+	}
+	return "unknown"
+}
+
 // Effects lists the classes in presentation order.
 func Effects() []Effect {
 	return []Effect{EffectMasked, EffectSDC, EffectCrash, EffectTimeout, EffectAssert}

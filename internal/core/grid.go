@@ -4,6 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"mbusim/internal/telemetry"
 )
 
 // Grid orchestration: a campaign grid (components x workloads x
@@ -18,6 +21,30 @@ import (
 // shared state (progress lines, a partial results file) without locking.
 type CellFunc func(index int, res *Result)
 
+// splitWorkers divides procs cores between cell-level and sample-level
+// parallelism: parallel cells run concurrently (parallel < 1 means procs),
+// each with sampleWorkers sample goroutines. The cell count is clamped to
+// the grid size BEFORE the per-cell share is computed, so a small grid on
+// a big machine redistributes the freed cores to sample workers instead of
+// pinning them to procs/parallel (e.g. 2 cells on 16 cores run 2x8, not
+// 2x1).
+func splitWorkers(parallel, cells, procs int) (cellWorkers, sampleWorkers int) {
+	if parallel < 1 {
+		parallel = procs
+	}
+	if parallel > cells {
+		parallel = cells
+	}
+	if parallel < 1 {
+		return 0, 0 // empty grid
+	}
+	sampleWorkers = procs / parallel
+	if sampleWorkers < 1 {
+		sampleWorkers = 1
+	}
+	return parallel, sampleWorkers
+}
+
 // RunGrid runs every spec as one campaign cell, dispatching cells across a
 // pool of at most parallel workers (parallel < 1 means GOMAXPROCS). Each
 // cell's sample workers are bounded so the whole grid uses ~GOMAXPROCS
@@ -31,6 +58,15 @@ type CellFunc func(index int, res *Result)
 // Either way, every onCell invocation made before the return describes a
 // complete, valid cell.
 func RunGrid(ctx context.Context, specs []Spec, parallel int, onCell CellFunc) error {
+	return RunGridWithTelemetry(ctx, specs, parallel, onCell, nil)
+}
+
+// RunGridWithTelemetry is RunGrid with an optional telemetry sink: per
+// completed cell it records queue-wait, run and flush durations plus the
+// busy-worker gauge, and each sample inside a cell records its outcome,
+// duration and checkpoint usage (see internal/telemetry). tel may be nil,
+// which is exactly RunGrid.
+func RunGridWithTelemetry(ctx context.Context, specs []Spec, parallel int, onCell CellFunc, tel *telemetry.Campaign) error {
 	// Validate the whole grid before spending anything: a typo in cell 200
 	// must not surface hours in.
 	for _, s := range specs {
@@ -38,35 +74,47 @@ func RunGrid(ctx context.Context, specs []Spec, parallel int, onCell CellFunc) e
 			return err
 		}
 	}
-	if parallel < 1 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
-	if parallel > len(specs) {
-		parallel = len(specs)
-	}
-	if parallel == 0 {
+	cellWorkers, sampleWorkers := splitWorkers(parallel, len(specs), runtime.GOMAXPROCS(0))
+	if cellWorkers == 0 {
 		return nil
 	}
-	// Split cores between cell-level and sample-level parallelism.
-	sampleWorkers := runtime.GOMAXPROCS(0) / parallel
-	if sampleWorkers < 1 {
-		sampleWorkers = 1
+	if tel.Enabled() {
+		totalSamples := 0
+		for _, s := range specs {
+			totalSamples += s.Samples
+		}
+		tel.SetGridShape(len(specs), totalSamples, cellWorkers, sampleWorkers)
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	type cellJob struct {
+		idx      int
+		enqueued time.Time
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex // serializes onCell and firstErr
 		firstErr error
-		next     = make(chan int)
+		// Buffered to the whole grid: every cell enqueues immediately, so a
+		// cell's queue-wait metric measures real time spent waiting for a
+		// worker, and the dispatch loop below never blocks.
+		next = make(chan cellJob, len(specs))
 	)
-	for i := 0; i < parallel; i++ {
+	for i := 0; i < cellWorkers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range next {
-				res, err := run(runCtx, specs[idx], nil, sampleWorkers)
+			for job := range next {
+				if runCtx.Err() != nil {
+					continue // cancelled: drain the queue without running
+				}
+				tel.RecordCellQueue(time.Since(job.enqueued))
+				tel.WorkerBusy(1)
+				started := time.Now()
+				res, err := run(runCtx, specs[job.idx], nil, sampleWorkers, tel)
+				runDur := time.Since(started)
+				tel.WorkerBusy(-1)
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -74,8 +122,13 @@ func RunGrid(ctx context.Context, specs []Spec, parallel int, onCell CellFunc) e
 						firstErr = err
 					}
 					cancel()
-				case onCell != nil:
-					onCell(idx, res)
+				default:
+					tel.RecordCellRun(runDur)
+					if onCell != nil {
+						flushStart := time.Now()
+						onCell(job.idx, res)
+						tel.RecordCellFlush(time.Since(flushStart))
+					}
 				}
 				mu.Unlock()
 			}
@@ -85,7 +138,7 @@ func RunGrid(ctx context.Context, specs []Spec, parallel int, onCell CellFunc) e
 		if runCtx.Err() != nil {
 			break
 		}
-		next <- idx
+		next <- cellJob{idx: idx, enqueued: time.Now()}
 	}
 	close(next)
 	wg.Wait()

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mbusim/internal/telemetry"
+)
+
+// TestSplitWorkers pins the scheduler's core split, in particular that the
+// cell-worker count is clamped to the grid size BEFORE the per-cell sample
+// share is computed: a grid smaller than the machine redistributes the
+// freed cores to sample workers instead of leaving them idle.
+func TestSplitWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		name                   string
+		parallel, cells, procs int
+		wantCells, wantSamples int
+	}{
+		// The regression case: 2 cells on 16 cores must run 2 cells x 8
+		// sample workers, not 2 x 1.
+		{"small grid big machine", 0, 2, 16, 2, 8},
+		{"explicit parallel clamped by grid", 16, 2, 16, 2, 8},
+		{"grid larger than machine", 0, 100, 8, 8, 1},
+		{"explicit split", 4, 100, 16, 4, 4},
+		{"parallel beyond cores", 32, 100, 8, 32, 1},
+		{"one cell takes everything", 0, 1, 12, 1, 12},
+		{"empty grid", 0, 0, 8, 0, 0},
+		{"uneven division rounds down", 3, 100, 16, 3, 5},
+	} {
+		gotCells, gotSamples := splitWorkers(tc.parallel, tc.cells, tc.procs)
+		if gotCells != tc.wantCells || gotSamples != tc.wantSamples {
+			t.Errorf("%s: splitWorkers(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.name, tc.parallel, tc.cells, tc.procs,
+				gotCells, gotSamples, tc.wantCells, tc.wantSamples)
+		}
+	}
+}
+
+// TestProgressReportsEachDoneOnce pins the Progress contract: done values
+// are each delivered exactly once (the callback runs concurrently from
+// several workers, so ascending order is NOT guaranteed — only coverage).
+func TestProgressReportsEachDoneOnce(t *testing.T) {
+	const samples = 24
+	var (
+		mu    sync.Mutex
+		dones []int
+	)
+	_, err := Run(context.Background(), Spec{
+		Workload: "stringSearch", Component: CompL1D, Faults: 1,
+		Samples: samples, Seed: 5,
+	}, func(done, total int) {
+		if total != samples {
+			t.Errorf("progress total = %d, want %d", total, samples)
+		}
+		mu.Lock()
+		dones = append(dones, done)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != samples {
+		t.Fatalf("progress called %d times, want %d", len(dones), samples)
+	}
+	sort.Ints(dones)
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done values not a permutation of 1..%d: %v", samples, dones)
+		}
+	}
+}
+
+// TestCellFuncSerializedAndComplete pins the CellFunc contract: onCell
+// invocations never overlap even with parallel cell workers (callers may
+// flush shared state without locking), every cell index is delivered
+// exactly once, and the completed count observed inside the callback is
+// monotone.
+func TestCellFuncSerializedAndComplete(t *testing.T) {
+	specs := resumeGrid(4) // 8 cells over the two fastest workloads
+	var (
+		inCallback atomic.Int32
+		completed  int
+		seen       = make(map[int]bool)
+	)
+	err := RunGrid(context.Background(), specs, 4, func(i int, res *Result) {
+		if inCallback.Add(1) != 1 {
+			t.Error("onCell invoked concurrently")
+		}
+		// Hold the callback long enough that a second concurrent delivery
+		// would be caught by the guard above.
+		time.Sleep(2 * time.Millisecond)
+		if seen[i] {
+			t.Errorf("cell %d delivered twice", i)
+		}
+		seen[i] = true
+		completed++
+		if res == nil || res.Samples() != specs[i].Samples {
+			t.Errorf("cell %d delivered incomplete: %+v", i, res)
+		}
+		inCallback.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != len(specs) {
+		t.Fatalf("delivered %d cells, want %d", completed, len(specs))
+	}
+}
+
+// TestGridTelemetry runs a small real grid with telemetry enabled and
+// checks the registry and trace agree with the results: every sample is
+// counted under its outcome, the trace holds cells x samples records
+// ordered by sample index within each cell, and checkpoint usage is
+// accounted.
+func TestGridTelemetry(t *testing.T) {
+	specs := []Spec{
+		{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 6, Seed: 9},
+		{Workload: "stringSearch", Component: CompDTLB, Faults: 2, Samples: 6, Seed: 9},
+	}
+	var buf bytes.Buffer
+	tel := telemetry.NewCampaign(telemetry.NewTracer(&buf))
+	results := map[int]*Result{}
+	if err := RunGridWithTelemetry(context.Background(), specs, 2, func(i int, r *Result) {
+		results[i] = r
+	}, tel); err != nil {
+		t.Fatal(err)
+	}
+
+	s := tel.Summarize()
+	if s.Samples != 12 || s.Cells != 2 || s.CellsExpected != 2 || s.SamplesExpected != 12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	wantOutcomes := map[string]int64{}
+	for _, r := range results {
+		for _, e := range Effects() {
+			if n := r.Counts[e]; n > 0 {
+				wantOutcomes[e.Label()] += int64(n)
+			}
+		}
+	}
+	for outcome, want := range wantOutcomes {
+		if got := s.ByOutcome[outcome]; got != want {
+			t.Errorf("outcome %q counted %d times, want %d", outcome, got, want)
+		}
+	}
+	if s.CheckpointHits+s.CheckpointMiss != 12 {
+		t.Errorf("checkpoint accounting %d+%d != 12", s.CheckpointHits, s.CheckpointMiss)
+	}
+
+	recs, err := telemetry.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 12 {
+		t.Fatalf("trace has %d records, want 12", len(recs))
+	}
+	for i := 0; i < len(recs); i += 6 {
+		cell := recs[i : i+6]
+		for j, rec := range cell {
+			if rec.Component != cell[0].Component || rec.Sample != j {
+				t.Fatalf("cell records interleaved or unordered at %d: %+v", i+j, rec)
+			}
+			if rec.Seed != 9 || rec.MaskBits < 1 || rec.DurationNS < 0 {
+				t.Fatalf("implausible trace record: %+v", rec)
+			}
+			if rec.Checkpoint < 0 {
+				t.Fatalf("checkpointed run recorded checkpoint %d", rec.Checkpoint)
+			}
+		}
+	}
+
+	// The -nockpt path records checkpoint -1 and counts as a miss.
+	buf.Reset()
+	tel2 := telemetry.NewCampaign(telemetry.NewTracer(&buf))
+	nockpt := []Spec{{Workload: "stringSearch", Component: CompL1D, Faults: 1,
+		Samples: 3, Seed: 9, NoCheckpoints: true}}
+	if err := RunGridWithTelemetry(context.Background(), nockpt, 1, nil, tel2); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := tel2.Summarize(); s2.CheckpointHits != 0 || s2.CheckpointMiss != 3 {
+		t.Fatalf("nockpt summary = %+v", s2)
+	}
+	recs2, err := telemetry.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs2 {
+		if rec.Checkpoint != -1 || rec.CyclesSkipped != 0 {
+			t.Fatalf("nockpt trace record claims a checkpoint: %+v", rec)
+		}
+	}
+}
+
+// TestGridTelemetryCancelledCellNotTraced: a cancelled cell must not leave
+// partial records in the trace, mirroring the results-file guarantee.
+func TestGridTelemetryCancelledCellNotTraced(t *testing.T) {
+	specs := resumeGrid(4)
+	var buf bytes.Buffer
+	tel := telemetry.NewCampaign(telemetry.NewTracer(&buf))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	_ = RunGridWithTelemetry(ctx, specs, 1, func(int, *Result) {
+		delivered++
+		if delivered == 2 {
+			cancel()
+		}
+	}, tel)
+	recs, err := telemetry.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs)%4 != 0 {
+		t.Fatalf("trace holds a partial cell: %d records with 4 samples per cell", len(recs))
+	}
+	if got := tel.Summarize().Cells; int(got)*4 != len(recs) {
+		t.Fatalf("cells counter %d disagrees with %d trace records", got, len(recs))
+	}
+}

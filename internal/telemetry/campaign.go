@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"strings"
+	"time"
+)
+
+// Campaign metric names. All series share the gefin_ prefix so one scrape
+// config covers the whole campaign; outcome-split series embed the class
+// as a label.
+const (
+	MetricSamples       = "gefin_samples_total" // + {outcome="..."} label
+	MetricSampleSeconds = "gefin_sample_duration_seconds"
+	MetricCells         = "gefin_cells_completed_total"
+	MetricCellQueue     = "gefin_cell_queue_seconds"
+	MetricCellRun       = "gefin_cell_run_seconds"
+	MetricCellFlush     = "gefin_cell_flush_seconds"
+	MetricCkptHits      = "gefin_checkpoint_hits_total"
+	MetricCkptMisses    = "gefin_checkpoint_misses_total"
+	MetricCyclesSkipped = "gefin_checkpoint_cycles_skipped_total"
+	MetricWorkersBusy   = "gefin_cell_workers_busy"
+	MetricCellsExpected = "gefin_cells_expected"
+	MetricSamplesExpect = "gefin_samples_expected"
+	MetricSampleWorkers = "gefin_sample_workers_per_cell"
+	MetricCellWorkers   = "gefin_cell_workers"
+)
+
+// Campaign bundles a metrics registry and an optional tracer behind typed
+// recording hooks for the campaign hot path. A nil *Campaign is the
+// disabled state: every method returns immediately and allocates nothing,
+// so core.Run and friends call these hooks unconditionally.
+type Campaign struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// NewCampaign returns an enabled campaign with a fresh registry. tracer
+// may be nil (metrics only).
+func NewCampaign(tracer *Tracer) *Campaign {
+	return &Campaign{Registry: NewRegistry(), Tracer: tracer}
+}
+
+// Enabled reports whether any telemetry is being collected.
+func (c *Campaign) Enabled() bool { return c != nil }
+
+// Tracing reports whether per-sample trace records should be built.
+func (c *Campaign) Tracing() bool { return c != nil && c.Tracer != nil }
+
+// RecordSample ingests one classified injection run: outcome counter,
+// duration histogram, and checkpoint hit/miss accounting. A checkpoint
+// "hit" is a restore that actually skipped golden-prefix cycles; restores
+// of the cycle-0 checkpoint and -nockpt runs count as misses.
+func (c *Campaign) RecordSample(rec *SampleRecord) {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricSamples + `{outcome="` + rec.Outcome + `"}`).Inc()
+	c.Registry.Histogram(MetricSampleSeconds, DurationBuckets).
+		Observe(float64(rec.DurationNS) / 1e9)
+	if rec.CyclesSkipped > 0 {
+		c.Registry.Counter(MetricCkptHits).Inc()
+		c.Registry.Counter(MetricCyclesSkipped).Add(int64(rec.CyclesSkipped))
+	} else {
+		c.Registry.Counter(MetricCkptMisses).Inc()
+	}
+}
+
+// FlushCell persists one completed cell's trace records (no-op without a
+// tracer) and bumps the completed-cell counter.
+func (c *Campaign) FlushCell(recs []SampleRecord) {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricCells).Inc()
+	c.Tracer.WriteCell(recs)
+}
+
+// RecordCellQueue records how long a cell waited between grid submission
+// and a worker picking it up.
+func (c *Campaign) RecordCellQueue(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.Registry.Histogram(MetricCellQueue, DurationBuckets).ObserveDuration(d)
+}
+
+// RecordCellRun records one cell's end-to-end run time.
+func (c *Campaign) RecordCellRun(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.Registry.Histogram(MetricCellRun, DurationBuckets).ObserveDuration(d)
+}
+
+// RecordCellFlush records the time spent in the onCell callback (results
+// flush, progress output).
+func (c *Campaign) RecordCellFlush(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.Registry.Histogram(MetricCellFlush, DurationBuckets).ObserveDuration(d)
+}
+
+// WorkerBusy moves the busy cell-worker gauge by delta (+1 on pickup,
+// -1 on completion).
+func (c *Campaign) WorkerBusy(delta int64) {
+	if c == nil {
+		return
+	}
+	c.Registry.Gauge(MetricWorkersBusy).Add(delta)
+}
+
+// SetGridShape publishes the grid geometry: expected cells and samples,
+// and the cell/sample worker split the scheduler chose.
+func (c *Campaign) SetGridShape(cells, samples int, cellWorkers, sampleWorkers int) {
+	if c == nil {
+		return
+	}
+	c.Registry.Gauge(MetricCellsExpected).Set(int64(cells))
+	c.Registry.Gauge(MetricSamplesExpect).Set(int64(samples))
+	c.Registry.Gauge(MetricCellWorkers).Set(int64(cellWorkers))
+	c.Registry.Gauge(MetricSampleWorkers).Set(int64(sampleWorkers))
+}
+
+// Summary is a point-in-time digest of campaign progress for the periodic
+// status line.
+type Summary struct {
+	Samples         int64            // classified so far
+	SamplesExpected int64            // 0 when the grid shape was not published
+	ByOutcome       map[string]int64 // outcome class -> count
+	Cells           int64
+	CellsExpected   int64
+	CheckpointHits  int64
+	CheckpointMiss  int64
+}
+
+// Summarize digests the registry. A nil campaign returns the zero Summary.
+func (c *Campaign) Summarize() Summary {
+	var s Summary
+	if c == nil {
+		return s
+	}
+	s.ByOutcome = make(map[string]int64)
+	prefix := MetricSamples + `{outcome="`
+	for _, m := range c.Registry.Snapshot() {
+		switch {
+		case strings.HasPrefix(m.Name, prefix):
+			outcome := strings.TrimSuffix(strings.TrimPrefix(m.Name, prefix), `"}`)
+			s.ByOutcome[outcome] = int64(m.Value)
+			s.Samples += int64(m.Value)
+		case m.Name == MetricCells:
+			s.Cells = int64(m.Value)
+		case m.Name == MetricCellsExpected:
+			s.CellsExpected = int64(m.Value)
+		case m.Name == MetricSamplesExpect:
+			s.SamplesExpected = int64(m.Value)
+		case m.Name == MetricCkptHits:
+			s.CheckpointHits = int64(m.Value)
+		case m.Name == MetricCkptMisses:
+			s.CheckpointMiss = int64(m.Value)
+		}
+	}
+	return s
+}

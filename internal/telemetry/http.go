@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg is the registry the process-wide expvar variable reads from.
+// expvar.Publish is once-per-name per process, so Handler stores its
+// registry here and publishes a single Func that follows the pointer —
+// tests can build many handlers without tripping expvar's duplicate panic.
+var (
+	expvarReg   atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("campaign", expvar.Func(func() any {
+			r := expvarReg.Load()
+			if r == nil {
+				return nil
+			}
+			out := make(map[string]any)
+			for _, m := range r.Snapshot() {
+				if m.Kind == KindHistogram {
+					out[m.Name+"_count"] = m.Count
+					out[m.Name+"_sum"] = m.Value
+					continue
+				}
+				out[m.Name] = m.Value
+			}
+			return out
+		}))
+	})
+}
+
+// Handler returns the campaign debug mux: the registry in Prometheus text
+// format at /metrics, expvar (including a "campaign" variable mirroring
+// the registry) at /debug/vars, and the net/http/pprof profiles under
+// /debug/pprof/ — one port for scraping, ad-hoc inspection and profiling.
+func Handler(reg *Registry) http.Handler {
+	expvarReg.Store(reg)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SampleRecord is one line of the campaign trace: the complete event record
+// of a single fault-injection sample, following the per-fault event-record
+// style of Jaulmes et al. Records are written as JSONL — one JSON object
+// per line — so traces stream, append, and survive interrupts.
+type SampleRecord struct {
+	Component string `json:"comp"`
+	Workload  string `json:"workload"`
+	Faults    int    `json:"faults"`
+	Sample    int    `json:"sample"` // index within the cell, 0..Samples-1
+	Seed      uint64 `json:"seed"`   // campaign seed of the cell
+
+	InjectCycle uint64 `json:"inject_cycle"`
+	MaskBits    int    `json:"mask_bits"` // live bits after protection filtering
+
+	// Checkpoint is the index of the golden checkpoint the run was
+	// fast-forwarded from (-1 when checkpointing was disabled);
+	// CyclesSkipped is the golden prefix that was not replayed.
+	Checkpoint    int    `json:"checkpoint"`
+	CyclesSkipped uint64 `json:"cycles_skipped"`
+
+	Outcome    string `json:"outcome"`
+	DurationNS int64  `json:"duration_ns"` // wall-clock time of the sample
+}
+
+// Tracer writes sample records to an underlying stream in per-cell batches.
+// WriteCell serializes and writes a whole cell's records in one call, so —
+// like the results file — the trace only ever contains complete cells: a
+// cancelled cell's records are simply never flushed. After the first write
+// error the tracer latches it (Err) and drops further batches.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewTracer returns a tracer writing JSONL to w. A nil tracer is a valid
+// no-op sink.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// WriteCell appends one cell's records to the trace as a single write.
+// Safe for concurrent use; a nil tracer discards the batch.
+func (t *Tracer) WriteCell(recs []SampleRecord) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // Encode appends the newline JSONL needs
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			t.fail(err)
+			return
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(buf.Bytes()); err != nil {
+		t.err = err
+	}
+}
+
+func (t *Tracer) fail(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// ReadTrace parses a JSONL trace stream back into records, e.g. for
+// cmd/logparse or round-trip tests. Blank lines are skipped; a malformed
+// line fails with its line number.
+func ReadTrace(r io.Reader) ([]SampleRecord, error) {
+	var out []SampleRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var rec SampleRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

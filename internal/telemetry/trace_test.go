@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleBatch(cell string, n int) []SampleRecord {
+	recs := make([]SampleRecord, n)
+	for i := range recs {
+		recs[i] = SampleRecord{
+			Component: "L1D", Workload: cell, Faults: 2, Sample: i, Seed: 21,
+			InjectCycle: uint64(1000 + i), MaskBits: 2,
+			Checkpoint: i % 3, CyclesSkipped: uint64(i * 100),
+			Outcome: "masked", DurationNS: int64(1e6 + i),
+		}
+	}
+	return recs
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.WriteCell(sampleBatch("sha", 4))
+	tr.WriteCell(sampleBatch("qsort", 2))
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := strings.Count(buf.String(), "\n"); got != 6 {
+		t.Fatalf("trace has %d lines, want 6", got)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("ReadTrace returned %d records, want 6", len(recs))
+	}
+	if recs[0] != sampleBatch("sha", 4)[0] {
+		t.Fatalf("first record did not round-trip: %+v", recs[0])
+	}
+	if recs[4].Workload != "qsort" || recs[4].Sample != 0 {
+		t.Fatalf("batches interleaved or reordered: %+v", recs[4])
+	}
+}
+
+func TestTracerNilAndEmpty(t *testing.T) {
+	var tr *Tracer
+	tr.WriteCell(sampleBatch("x", 1)) // must not panic
+	if tr.Err() != nil {
+		t.Fatal("nil tracer reported an error")
+	}
+	var buf bytes.Buffer
+	NewTracer(&buf).WriteCell(nil)
+	if buf.Len() != 0 {
+		t.Fatal("empty batch wrote bytes")
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestTracerLatchesFirstError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	tr := NewTracer(&failWriter{err: wantErr})
+	tr.WriteCell(sampleBatch("sha", 1))
+	tr.WriteCell(sampleBatch("sha", 1))
+	if !errors.Is(tr.Err(), wantErr) {
+		t.Fatalf("Err() = %v, want %v", tr.Err(), wantErr)
+	}
+}
+
+func TestReadTraceRejectsMalformedLine(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader("{\"comp\":\"L1D\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want a line-2 parse error", err)
+	}
+}
+
+// TestTracerConcurrentCells: cells flushed from concurrent grid workers
+// never interleave records within a batch (run under -race in CI).
+func TestTracerConcurrentCells(t *testing.T) {
+	var buf safeBuffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.WriteCell(sampleBatch(strings.Repeat("w", i+1), 5))
+		}(i)
+	}
+	wg.Wait()
+	recs, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 {
+		t.Fatalf("got %d records, want 40", len(recs))
+	}
+	// Within the file each cell's 5 records must be contiguous and ordered.
+	for i := 0; i < 40; i += 5 {
+		for j := 0; j < 5; j++ {
+			if recs[i+j].Workload != recs[i].Workload || recs[i+j].Sample != j {
+				t.Fatalf("batch at %d interleaved: %+v", i, recs[i+j])
+			}
+		}
+	}
+}
+
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -82,15 +82,24 @@ func (w *Workload) CheckpointCycles() ([]uint64, error) {
 	return cycles, nil
 }
 
+// Checkpoint identifies one golden checkpoint: its index within the
+// workload's checkpoint set and the cycle its snapshot was taken at.
+// Index 0 is always the cycle-0 checkpoint, so a restore from it skips
+// nothing — campaign telemetry counts those as checkpoint misses.
+type Checkpoint struct {
+	Index int
+	Cycle uint64
+}
+
 // MachineAt returns a fresh machine fast-forwarded to the latest golden
-// checkpoint at or before cycle, and the cycle the machine is at. The
+// checkpoint at or before cycle, and which checkpoint that was. The
 // checkpoint set always includes cycle 0, so any cycle within the golden
 // run resolves. The returned machine is independent of the checkpoint set
 // and of every other machine returned from it.
-func (w *Workload) MachineAt(cycle uint64) (*sim.Machine, uint64, error) {
+func (w *Workload) MachineAt(cycle uint64) (*sim.Machine, Checkpoint, error) {
 	w.buildCheckpoints()
 	if w.ckptErr != nil {
-		return nil, 0, w.ckptErr
+		return nil, Checkpoint{}, w.ckptErr
 	}
 	// Latest checkpoint with ckpts[i].cycle <= cycle; index 0 is cycle 0.
 	i := sort.Search(len(w.ckpts), func(i int) bool { return w.ckpts[i].cycle > cycle }) - 1
@@ -98,5 +107,5 @@ func (w *Workload) MachineAt(cycle uint64) (*sim.Machine, uint64, error) {
 		i = 0
 	}
 	ck := w.ckpts[i]
-	return sim.RestoreMachine(ck.snap), ck.cycle, nil
+	return sim.RestoreMachine(ck.snap), Checkpoint{Index: i, Cycle: ck.cycle}, nil
 }

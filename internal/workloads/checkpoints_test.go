@@ -54,22 +54,28 @@ func TestMachineAtPicksNearestCheckpoint(t *testing.T) {
 	}
 
 	// Exactly at a checkpoint, just after one, and just before the next.
-	for _, tc := range []struct{ ask, want uint64 }{
-		{0, 0},
-		{cycles[1], cycles[1]},
-		{cycles[1] + 1, cycles[1]},
-		{cycles[2] - 1, cycles[1]},
-		{g.Cycles - 1, cycles[len(cycles)-1]},
+	for _, tc := range []struct {
+		ask, want uint64
+		wantIndex int
+	}{
+		{0, 0, 0},
+		{cycles[1], cycles[1], 1},
+		{cycles[1] + 1, cycles[1], 1},
+		{cycles[2] - 1, cycles[1], 1},
+		{g.Cycles - 1, cycles[len(cycles)-1], len(cycles) - 1},
 	} {
-		m, at, err := w.MachineAt(tc.ask)
+		m, ck, err := w.MachineAt(tc.ask)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if at != tc.want {
-			t.Errorf("MachineAt(%d) fast-forwarded to %d, want %d", tc.ask, at, tc.want)
+		if ck.Cycle != tc.want {
+			t.Errorf("MachineAt(%d) fast-forwarded to %d, want %d", tc.ask, ck.Cycle, tc.want)
 		}
-		if m.Core.Cycles() != at {
-			t.Errorf("MachineAt(%d): machine at cycle %d, reported %d", tc.ask, m.Core.Cycles(), at)
+		if ck.Index != tc.wantIndex {
+			t.Errorf("MachineAt(%d) restored checkpoint %d, want %d", tc.ask, ck.Index, tc.wantIndex)
+		}
+		if m.Core.Cycles() != ck.Cycle {
+			t.Errorf("MachineAt(%d): machine at cycle %d, reported %d", tc.ask, m.Core.Cycles(), ck.Cycle)
 		}
 	}
 }
