@@ -17,6 +17,7 @@ import (
 	"mbusim/internal/avf"
 	"mbusim/internal/core"
 	"mbusim/internal/fit"
+	"mbusim/internal/forensics"
 	"mbusim/internal/report"
 	"mbusim/internal/sim"
 	"mbusim/internal/tech"
@@ -407,6 +408,45 @@ func BenchmarkCampaignTelemetry(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCampaignForensics measures the fault-lifecycle tracking overhead
+// on top of BenchmarkCampaignTelemetry: fast mode arms the component access
+// probes per sample, full mode additionally replays a lockstep shadow
+// machine (expect roughly 2x the fast-mode sample cost). The probes-off
+// cost is pinned allocation-free by forensics' TestDisabledPathAllocFree.
+func benchCampaignForensics(b *testing.B, mode forensics.Mode) {
+	spec := core.Spec{
+		Workload: "sha", Component: core.CompL1D, Faults: 2,
+		Samples: benchSamples * 2, Seed: 7,
+		Forensics: mode,
+	}
+	if _, err := core.Run(context.Background(), spec, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := telemetry.NewCampaign(telemetry.NewTracer(io.Discard))
+		var res *core.Result
+		err := core.RunGridWithTelemetry(context.Background(), []core.Spec{spec}, 1,
+			func(_ int, r *core.Result) { res = r }, tel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Samples() != spec.Samples {
+			b.Fatalf("campaign classified %d runs, want %d", res.Samples(), spec.Samples)
+		}
+		fates := int64(0)
+		for _, n := range tel.Summarize().ByFate {
+			fates += n
+		}
+		if fates != int64(spec.Samples) {
+			b.Fatalf("registry counted %d fates, want %d", fates, spec.Samples)
+		}
+	}
+}
+
+func BenchmarkCampaignForensics(b *testing.B)     { benchCampaignForensics(b, forensics.ModeFast) }
+func BenchmarkCampaignForensicsFull(b *testing.B) { benchCampaignForensics(b, forensics.ModeFull) }
 
 // --- Microbenchmarks of the substrate itself ---
 

@@ -20,6 +20,7 @@ import (
 	"mbusim/internal/core"
 	"mbusim/internal/fit"
 	"mbusim/internal/report"
+	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
 )
 
@@ -29,9 +30,10 @@ var log *slog.Logger = clog.New(os.Stderr, false)
 
 func main() {
 	var (
-		inPath  = flag.String("in", "", "campaign results JSON from gefin -all")
-		only    = flag.String("only", "", "print one section: table1,table3,table4,table5,table6,table7,table8,fig1..fig6,fig7,fig8")
-		verbose = flag.Bool("v", false, "log debug detail to stderr")
+		inPath    = flag.String("in", "", "campaign results JSON from gefin -all")
+		tracePath = flag.String("trace", "", "gefin JSONL trace with forensics records (gefin -forensics -trace); adds the masking-mechanism section")
+		only      = flag.String("only", "", "print one section: table1,table3,table4,table5,table6,table7,table8,fig1..fig6,fig7,fig8,forensics")
+		verbose   = flag.Bool("v", false, "log debug detail to stderr")
 	)
 	flag.Parse()
 	log = clog.New(os.Stderr, *verbose)
@@ -39,6 +41,22 @@ func main() {
 	sectionWanted := func(name string) bool { return *only == "" || *only == name }
 	printSection := func(title, body string) {
 		fmt.Printf("=== %s ===\n%s\n", title, body)
+	}
+
+	if *tracePath != "" && sectionWanted("forensics") {
+		f, err := os.Open(*tracePath)
+		fatalIf(err)
+		trace, err := telemetry.ReadTraceTyped(f)
+		f.Close()
+		fatalIf(err)
+		log.Debug("loaded trace", "path", *tracePath,
+			"samples", len(trace.Samples), "fates", len(trace.Fates), "unknown", trace.Unknown)
+		if len(trace.Fates) == 0 {
+			log.Warn("trace holds no forensics records; run gefin with -forensics -trace")
+		} else {
+			printSection("Masking mechanisms: fate of every injected bit (forensics)",
+				report.ForensicsTable(trace.Fates))
+		}
 	}
 
 	if sectionWanted("table1") {

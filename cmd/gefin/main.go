@@ -41,9 +41,31 @@ import (
 	"time"
 
 	"mbusim/internal/core"
+	"mbusim/internal/forensics"
 	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
 )
+
+// forensicsFlag parses -forensics as a boolean-style flag with an optional
+// mode: bare -forensics (or =fast) arms the component probes,
+// -forensics=full adds the lockstep shadow-machine divergence probe
+// (~2x per-sample cost), -forensics=off disables.
+type forensicsFlag struct{ mode forensics.Mode }
+
+func (f *forensicsFlag) String() string { return f.mode.String() }
+
+func (f *forensicsFlag) Set(s string) error {
+	m, err := forensics.ParseMode(s)
+	if err != nil {
+		return err
+	}
+	f.mode = m
+	return nil
+}
+
+// IsBoolFlag lets bare -forensics (no value) mean fast mode instead of
+// consuming the next argument.
+func (f *forensicsFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -73,12 +95,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsOn  = fs.String("metrics-addr", "", "serve live campaign metrics on host:port (/metrics Prometheus text, /debug/vars expvar, /debug/pprof)")
 		status     = fs.Duration("status", 0, "print a periodic campaign summary to stderr at this interval (works with -q; 0 disables)")
 	)
+	var fmode forensicsFlag
+	fs.Var(&fmode, "forensics", "track every injected bit's fate (fast: component probes; full: + lockstep shadow-machine divergence, ~2x cost)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	workloads.CheckpointCount = *ckpts
 
-	specs, code := buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt)
+	specs, code := buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt, fmode.mode)
 	if code != 0 {
 		return code
 	}
@@ -126,10 +150,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// Telemetry: -trace, -metrics-addr or -status enables the campaign
-	// registry (the core hot path stays untouched when all are absent).
+	// Telemetry: -trace, -metrics-addr, -status or -forensics enables the
+	// campaign registry (the core hot path stays untouched when all are
+	// absent). Forensics needs the registry for its fate counters; pair it
+	// with -trace to also get the per-sample forensics records.
 	var tel *telemetry.Campaign
-	if *tracePath != "" || *metricsOn != "" || *status > 0 {
+	if *tracePath != "" || *metricsOn != "" || *status > 0 || fmode.mode != forensics.ModeOff {
 		var tracer *telemetry.Tracer
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
@@ -221,6 +247,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		fmt.Fprintf(stdout, "campaign complete: %d cells in %v\n", done, time.Since(start).Round(time.Second))
 	}
+	if fmode.mode != forensics.ModeOff && !*quiet {
+		fmt.Fprintln(stdout, fateLine(tel.Summarize()))
+	}
 	if *outPath != "" {
 		fmt.Fprintf(stderr, "wrote %s\n", *outPath)
 	}
@@ -298,10 +327,32 @@ func statusLine(s telemetry.Summary, elapsed time.Duration) string {
 	return b.String()
 }
 
+// fateLine renders the campaign-wide masking-mechanism breakdown from the
+// registry's forensics counters, in canonical fate order.
+func fateLine(s telemetry.Summary) string {
+	var total int64
+	for _, n := range s.ByFate {
+		total += n
+	}
+	var b strings.Builder
+	b.WriteString("forensics:")
+	if total == 0 {
+		b.WriteString(" no fates recorded")
+		return b.String()
+	}
+	for _, f := range forensics.Fates() {
+		if n := s.ByFate[f.Label()]; n > 0 {
+			fmt.Fprintf(&b, " %s %.1f%%", f.Label(), 100*float64(n)/float64(total))
+		}
+	}
+	fmt.Fprintf(&b, " (n=%d)", total)
+	return b.String()
+}
+
 // buildSpecs expands the flag set into the campaign grid, validating
 // component and workload lists up front — a typo must fail before the
 // first golden run is built, not hours into the grid.
-func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, samples int, seed uint64, nockpt bool) ([]core.Spec, int) {
+func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, samples int, seed uint64, nockpt bool, fmode forensics.Mode) ([]core.Spec, int) {
 	var specs []core.Spec
 	if all {
 		comps := core.Components()
@@ -330,7 +381,7 @@ func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, sampl
 					specs = append(specs, core.Spec{
 						Workload: w, Component: c, Faults: k,
 						Samples: samples, Seed: seed,
-						NoCheckpoints: nockpt,
+						NoCheckpoints: nockpt, Forensics: fmode,
 					})
 				}
 			}
@@ -343,7 +394,7 @@ func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, sampl
 		specs = append(specs, core.Spec{
 			Workload: workload, Component: comp, Faults: faults,
 			Samples: samples, Seed: seed,
-			NoCheckpoints: nockpt,
+			NoCheckpoints: nockpt, Forensics: fmode,
 		})
 	}
 	for _, s := range specs {

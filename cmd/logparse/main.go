@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mbusim/internal/core"
+	"mbusim/internal/report"
 	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
 )
@@ -120,14 +121,18 @@ func analyzeTrace(path string, stdin io.Reader, stdout, stderr io.Writer) int {
 		defer f.Close()
 		r = f
 	}
-	recs, err := telemetry.ReadTrace(r)
+	trace, err := telemetry.ReadTraceTyped(r)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	recs := trace.Samples
 	if len(recs) == 0 {
 		fmt.Fprintln(stderr, "trace holds no records")
 		return 1
+	}
+	if trace.Unknown > 0 {
+		fmt.Fprintf(stderr, "note: skipped %d records of unknown type\n", trace.Unknown)
 	}
 
 	var (
@@ -181,6 +186,10 @@ func analyzeTrace(path string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "  %-28s %6d (%5.1f%%)\n",
 			label, byIndex[idx], 100*float64(byIndex[idx])/float64(len(recs)))
+	}
+	if len(trace.Fates) > 0 {
+		fmt.Fprintf(stdout, "\nmasking mechanisms (%d forensics records):\n", len(trace.Fates))
+		fmt.Fprint(stdout, report.ForensicsTable(trace.Fates))
 	}
 	return 0
 }

@@ -62,8 +62,8 @@ func traceFixture(t *testing.T) string {
 			Outcome: "sdc", DurationNS: 2000,
 		})
 	}
-	tr.WriteCell(cell1)
-	tr.WriteCell(cell2)
+	tr.WriteCell(cell1, nil)
+	tr.WriteCell(cell2, nil)
 	if err := tr.Err(); err != nil {
 		t.Fatal(err)
 	}

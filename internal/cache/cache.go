@@ -24,6 +24,35 @@ import (
 	"mbusim/internal/mem"
 )
 
+// Probe observes the cache's bit-level accesses for fault forensics. Every
+// method corresponds to a hardware event that consults or rewrites stored
+// bits; implementations must not mutate cache state. A nil probe (the
+// default) costs one pointer compare per event.
+//
+// Lookup models the parallel tag read of a set-associative SRAM: a single
+// access consults the valid and tag bits of every way in the set, so a
+// corrupted metadata bit anywhere in the probed set counts as read.
+type Probe interface {
+	// OnLookup fires when an access probes a set (valid + tag bits of all
+	// ways consulted), before any fill it may trigger.
+	OnLookup(set uint32)
+	// OnReadData fires when n data bytes at byte offset off of the line at
+	// row enter the datapath.
+	OnReadData(row, off, n int)
+	// OnWriteData fires when n data bytes at byte offset off of the line at
+	// row are overwritten (the dirty bit is set as a side effect).
+	OnWriteData(row, off, n int)
+	// OnEvict fires when the line at row is chosen as a fill victim (its
+	// valid + dirty bits are consulted to decide on a writeback).
+	OnEvict(row int)
+	// OnWriteback fires when the dirty line at row is written to the lower
+	// level: its tag bits form the address and its data bytes escape.
+	OnWriteback(row int)
+	// OnFill fires after the line at row has been refilled from the lower
+	// level (tag/valid/dirty/data all rewritten).
+	OnFill(row int)
+}
+
 // Level is a lower memory level the cache fills from and writes back to:
 // either another Cache or the physical RAM.
 type Level interface {
@@ -63,6 +92,7 @@ type Cache struct {
 	lines    []line // sets*ways, set-major
 	next     Level
 	useClock uint64
+	probe    Probe
 
 	// Statistics.
 	Hits, Misses, Writebacks uint64
@@ -108,6 +138,9 @@ func New(cfg Config, next Level) *Cache {
 
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// SetProbe installs (or removes, with nil) the forensics probe.
+func (c *Cache) SetProbe(p Probe) { c.probe = p }
 
 func (c *Cache) set(pa uint32) uint32 { return pa >> c.setShift & c.setMask }
 func (c *Cache) tag(pa uint32) uint32 {
@@ -155,9 +188,18 @@ func (c *Cache) victim(set uint32) int {
 // latency). Dirty victims are written back to the lower level first.
 func (c *Cache) fill(set, tag uint32, pa uint32) (int, int) {
 	w := c.victim(set)
-	ln := &c.lines[int(set)*c.cfg.Ways+w]
+	row := int(set)*c.cfg.Ways + w
+	ln := &c.lines[row]
 	lat := 0
+	if c.probe != nil {
+		c.probe.OnEvict(row)
+	}
 	if ln.valid && ln.dirty {
+		// Probe before the write: a corrupted tag can reconstruct an
+		// unmapped address and abort the run inside WriteLine.
+		if c.probe != nil {
+			c.probe.OnWriteback(row)
+		}
 		lat += c.next.WriteLine(c.addrOf(set, ln.tag), ln.data)
 		c.Writebacks++
 	}
@@ -166,6 +208,9 @@ func (c *Cache) fill(set, tag uint32, pa uint32) (int, int) {
 	ln.tag = tag
 	ln.valid = true
 	ln.dirty = false
+	if c.probe != nil {
+		c.probe.OnFill(row)
+	}
 	return w, lat
 }
 
@@ -186,6 +231,9 @@ func (c *Cache) Read(pa uint32, dst []byte) int {
 		mem.Assertf(false, "%s: access %#x+%d crosses line boundary", c.cfg.Name, pa, len(dst))
 	}
 	lat := c.cfg.Latency
+	if c.probe != nil {
+		c.probe.OnLookup(set)
+	}
 	w := c.lookup(set, tag)
 	if w < 0 {
 		c.Misses++
@@ -196,6 +244,9 @@ func (c *Cache) Read(pa uint32, dst []byte) int {
 		c.Hits++
 	}
 	ln := c.touch(set, w)
+	if c.probe != nil {
+		c.probe.OnReadData(int(set)*c.cfg.Ways+w, off, len(dst))
+	}
 	copy(dst, ln.data[off:])
 	return lat
 }
@@ -209,6 +260,9 @@ func (c *Cache) Write(pa uint32, src []byte) int {
 		mem.Assertf(false, "%s: access %#x+%d crosses line boundary", c.cfg.Name, pa, len(src))
 	}
 	lat := c.cfg.Latency
+	if c.probe != nil {
+		c.probe.OnLookup(set)
+	}
 	w := c.lookup(set, tag)
 	if w < 0 {
 		c.Misses++
@@ -219,6 +273,9 @@ func (c *Cache) Write(pa uint32, src []byte) int {
 		c.Hits++
 	}
 	ln := c.touch(set, w)
+	if c.probe != nil {
+		c.probe.OnWriteData(int(set)*c.cfg.Ways+w, off, len(src))
+	}
 	copy(ln.data[off:], src)
 	ln.dirty = true
 	return lat
@@ -250,6 +307,9 @@ func (c *Cache) FlushAll() {
 		ln := &c.lines[i]
 		if ln.valid && ln.dirty {
 			set := uint32(i / c.cfg.Ways)
+			if c.probe != nil {
+				c.probe.OnWriteback(i)
+			}
 			c.next.WriteLine(c.addrOf(set, ln.tag), ln.data)
 			ln.dirty = false
 		}

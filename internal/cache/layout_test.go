@@ -1,0 +1,108 @@
+package cache
+
+import "testing"
+
+// nullLevel satisfies Level for caches that never miss in these tests.
+type nullLevel struct{}
+
+func (nullLevel) ReadLine(pa uint32, dst []byte) int  { return 1 }
+func (nullLevel) WriteLine(pa uint32, src []byte) int { return 1 }
+
+// TestFlipBitColumnLayout pins the injectable column layout that the
+// forensics tracker's cell classification depends on:
+//
+//	col 0              valid
+//	col 1              dirty
+//	cols 2..StateBits-1 tag (bit col-2)
+//	cols StateBits..    data (byte (col-StateBits)/8, bit (col-StateBits)%8)
+//
+// If FlipBit and StateBits/Cols ever disagree, fate classification silently
+// mislabels tag faults as data faults, so this test is deliberately literal.
+func TestFlipBitColumnLayout(t *testing.T) {
+	c := New(Config{Name: "L1D", Size: 512, Ways: 2, LineSize: 32, Latency: 1, PABits: 16}, nullLevel{})
+	// 16 lines, 8 sets; offBits=5, setBits=3 => tagBits = 16-5-3 = 8.
+	wantState := 2 + 8
+	if got := c.StateBits(); got != wantState {
+		t.Fatalf("StateBits() = %d, want %d", got, wantState)
+	}
+	if got, want := c.Cols(), wantState+32*8; got != want {
+		t.Fatalf("Cols() = %d, want %d", got, want)
+	}
+
+	const row = 3
+	tag0, valid0, dirty0, data := c.LineState(row)
+	orig := make([]byte, len(data))
+	copy(orig, data)
+
+	check := func(desc string, same bool) {
+		t.Helper()
+		if !same {
+			t.Errorf("%s: unexpected state change", desc)
+		}
+	}
+
+	// col 0: valid only.
+	c.FlipBit(row, 0)
+	tag, valid, dirty, data := c.LineState(row)
+	if valid == valid0 {
+		t.Error("col 0 did not toggle the valid bit")
+	}
+	check("col 0", tag == tag0 && dirty == dirty0 && bytesEqual(data, orig))
+	c.FlipBit(row, 0)
+
+	// col 1: dirty only.
+	c.FlipBit(row, 1)
+	tag, valid, dirty, data = c.LineState(row)
+	if dirty == dirty0 {
+		t.Error("col 1 did not toggle the dirty bit")
+	}
+	check("col 1", tag == tag0 && valid == valid0 && bytesEqual(data, orig))
+	c.FlipBit(row, 1)
+
+	// Every tag column: col k toggles tag bit k-2, nothing else.
+	for col := 2; col < c.StateBits(); col++ {
+		c.FlipBit(row, col)
+		tag, valid, dirty, data = c.LineState(row)
+		if tag != tag0^(1<<(col-2)) {
+			t.Errorf("col %d: tag = %#x, want %#x", col, tag, tag0^(1<<(col-2)))
+		}
+		check("tag col", valid == valid0 && dirty == dirty0 && bytesEqual(data, orig))
+		c.FlipBit(row, col)
+	}
+
+	// Data columns: first bit, a mid-line bit, and the very last bit.
+	for _, col := range []int{c.StateBits(), c.StateBits() + 13*8 + 5, c.Cols() - 1} {
+		bit := col - c.StateBits()
+		c.FlipBit(row, col)
+		tag, valid, dirty, data = c.LineState(row)
+		if data[bit/8] != orig[bit/8]^(1<<(bit%8)) {
+			t.Errorf("col %d: data byte %d = %#x, want %#x",
+				col, bit/8, data[bit/8], orig[bit/8]^(1<<(bit%8)))
+		}
+		for i := range data {
+			if i != bit/8 && data[i] != orig[i] {
+				t.Errorf("col %d also changed data byte %d", col, i)
+			}
+		}
+		check("data col", tag == tag0 && valid == valid0 && dirty == dirty0)
+		c.FlipBit(row, col)
+	}
+
+	// Double flip restored everything.
+	tag, valid, dirty, data = c.LineState(row)
+	if tag != tag0 || valid != valid0 || dirty != dirty0 || !bytesEqual(data, orig) {
+		t.Error("double flips did not restore the original line state")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

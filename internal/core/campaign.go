@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mbusim/internal/forensics"
 	"mbusim/internal/sim"
 	"mbusim/internal/stats"
 	"mbusim/internal/telemetry"
@@ -45,6 +46,15 @@ type Spec struct {
 	// (extension; see Protection). The zero value is no protection, the
 	// paper's configuration.
 	Protect Protection
+
+	// Forensics selects per-sample fault-lifecycle tracking (see
+	// internal/forensics): ModeOff (zero value) records nothing, ModeFast
+	// arms the component access probes, ModeFull additionally replays a
+	// lockstep shadow machine from the same checkpoint and records the
+	// first architectural-divergence cycle (~2x per-sample cost). The
+	// probes only observe, so classified outcomes are identical in every
+	// mode.
+	Forensics forensics.Mode
 }
 
 func (s Spec) withDefaults() Spec {
@@ -222,8 +232,23 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 	// flushed as one batch when the cell completes — so like the results
 	// file, the trace only ever holds complete cells.
 	var workerRecs [][]telemetry.SampleRecord
+	var workerFates [][]telemetry.FateRecord
 	if tel.Tracing() {
 		workerRecs = make([][]telemetry.SampleRecord, workers)
+		if spec.Forensics != forensics.ModeOff {
+			workerFates = make([][]telemetry.FateRecord, workers)
+		}
+	}
+	// Per-worker occupancy accumulators: the at-inject structure state is
+	// averaged across the cell's samples and published as one gauge pair.
+	type occAcc struct {
+		occSum, dirtySum float64
+		occN, dirtyN     int
+	}
+	var occAccs []occAcc
+	obsOcc := tel.Enabled()
+	if obsOcc {
+		occAccs = make([]occAcc, workers)
 	}
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
@@ -239,7 +264,7 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 				if tel.Enabled() {
 					start = time.Now()
 				}
-				effect, meta, err := runOne(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed)
+				effect, meta, err := runOne(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed, obsOcc)
 				if err != nil {
 					workerErrs[wk] = err
 					failed.Store(true)
@@ -258,6 +283,31 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 					tel.RecordSample(&rec)
 					if workerRecs != nil {
 						workerRecs[wk] = append(workerRecs[wk], rec)
+					}
+					if meta.hasReport {
+						fr := telemetry.FateRecord{
+							Component: spec.Component, Workload: spec.Workload,
+							Faults: spec.Faults, Sample: i, Seed: spec.Seed,
+							InjectCycle:   jobs[i].injectAt,
+							Mask:          maskPairs(meta.mask),
+							Fate:          meta.report.Fate.Label(),
+							FirstTouchLat: meta.report.FirstTouchLat,
+							DivergeCycle:  meta.report.DivergeCycle,
+							Outcome:       effect.Label(),
+						}
+						tel.RecordFate(&fr)
+						if workerFates != nil {
+							workerFates[wk] = append(workerFates[wk], fr)
+						}
+					}
+					if meta.hasOcc {
+						acc := &occAccs[wk]
+						acc.occSum += meta.occ
+						acc.occN++
+						if meta.hasDirty {
+							acc.dirtySum += meta.dirty
+							acc.dirtyN++
+						}
 					}
 				}
 				if progress != nil {
@@ -286,7 +336,28 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 			recs = append(recs, wr...)
 		}
 		sort.Slice(recs, func(i, j int) bool { return recs[i].Sample < recs[j].Sample })
-		tel.FlushCell(recs)
+		var fates []telemetry.FateRecord
+		for _, wf := range workerFates {
+			fates = append(fates, wf...)
+		}
+		sort.Slice(fates, func(i, j int) bool { return fates[i].Sample < fates[j].Sample })
+		tel.FlushCell(recs, fates)
+		var occSum, dirtySum float64
+		var occN, dirtyN int
+		for i := range occAccs {
+			occSum += occAccs[i].occSum
+			occN += occAccs[i].occN
+			dirtySum += occAccs[i].dirtySum
+			dirtyN += occAccs[i].dirtyN
+		}
+		if occN > 0 {
+			meanDirty := 0.0
+			if dirtyN > 0 {
+				meanDirty = dirtySum / float64(dirtyN)
+			}
+			tel.SetCellOccupancy(spec.Component, spec.Workload, spec.Faults,
+				occSum/float64(occN), meanDirty, dirtyN > 0)
+		}
 	}
 	return res, nil
 }
@@ -294,14 +365,31 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 // maxSpanningTries bounds the rejection sampling of ForceSpanning masks.
 const maxSpanningTries = 1000
 
+// maskPairs encodes a mask as the [row, col] pairs of the trace schema.
+func maskPairs(m Mask) [][2]int {
+	out := make([][2]int, len(m.Cells))
+	for i, c := range m.Cells {
+		out[i] = [2]int{c.Row, c.Col}
+	}
+	return out
+}
+
 // runMeta carries the per-sample facts the trace and metrics layers need
 // beyond the classified effect: which golden checkpoint the run restored
-// (and how much replay it saved), and how many mask bits were live after
-// protection filtering.
+// (and how much replay it saved), how many mask bits were live after
+// protection filtering, the resolved fault lifecycle when forensics is on,
+// and the target's occupancy state sampled at injection time.
 type runMeta struct {
 	checkpoint    int // restored checkpoint index; -1 when checkpointing is off
 	cyclesSkipped uint64
 	maskBits      int
+
+	mask      Mask // the applied mask; only retained when hasReport
+	report    forensics.Report
+	hasReport bool
+
+	occ, dirty       float64 // valid / dirty fraction at inject time
+	hasOcc, hasDirty bool
 }
 
 // runOne performs a single fault-injection simulation. Unless the spec
@@ -310,7 +398,7 @@ type runMeta struct {
 // the whole golden prefix from cycle 0; the two paths are bit-identical
 // because checkpoints capture the complete machine state and execution is
 // deterministic.
-func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64) (Effect, runMeta, error) {
+func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64, obsOcc bool) (Effect, runMeta, error) {
 	meta := runMeta{checkpoint: -1}
 	var m *sim.Machine
 	var err error
@@ -350,17 +438,91 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 		case fr.Detected:
 			// Uncorrectable error signalled: machine-check abort
 			// (pessimistic: modeled at injection time, see protect.go).
+			// Forensically, the abort fires before any corrupted bit can
+			// reach the datapath.
+			if spec.Forensics != forensics.ModeOff {
+				meta.mask = mask
+				meta.report = forensics.Report{Fate: forensics.FateNeverTouched, FirstTouchLat: -1}
+				meta.hasReport = true
+			}
 			return EffectCrash, meta, nil
 		case len(fr.Surviving.Cells) == 0:
 			// Everything corrected: by construction the run is the golden
-			// run; skip the simulation.
+			// run; skip the simulation. The scrub overwrote every flip.
+			if spec.Forensics != forensics.ModeOff {
+				meta.mask = mask
+				meta.report = forensics.Report{Fate: forensics.FateOverwritten, FirstTouchLat: 0}
+				meta.hasReport = true
+			}
 			return EffectMasked, meta, nil
 		}
 		mask = fr.Surviving
 	}
 	meta.maskBits = len(mask.Cells)
-	out := m.Run(limit, injectAt, func(*sim.Machine) { mask.Apply(target) })
-	return Classify(out, golden), meta, nil
+
+	// A full-forensics run replays a second, fault-free machine from the
+	// same checkpoint in lockstep with the faulty one and records the first
+	// cycle their architectural digests differ. A timing-only divergence
+	// (same eventual output, different stall pattern) counts: the digest
+	// compares per-cycle progress, so the recorded cycle is a conservative
+	// earliest bound on architectural visibility.
+	var shadow *sim.Machine
+	if spec.Forensics == forensics.ModeFull {
+		if spec.NoCheckpoints {
+			shadow, err = w.NewMachine()
+		} else {
+			shadow, _, err = w.MachineAt(injectAt)
+		}
+		if err != nil {
+			return 0, meta, err
+		}
+	}
+
+	var (
+		tr        *forensics.Tracker
+		attachErr error
+	)
+	inject := func(*sim.Machine) {
+		if obsOcc {
+			if o, ok := target.(interface{ Occupancy() float64 }); ok {
+				meta.occ, meta.hasOcc = o.Occupancy(), true
+			}
+			if d, ok := target.(interface{ DirtyFraction() float64 }); ok {
+				meta.dirty, meta.hasDirty = d.DirtyFraction(), true
+			}
+		}
+		mask.Apply(target)
+		if spec.Forensics != forensics.ModeOff {
+			t := forensics.NewTracker(m.Core.Cycles)
+			cells := make([]forensics.BitCell, len(mask.Cells))
+			for i, c := range mask.Cells {
+				cells[i] = forensics.BitCell{Row: c.Row, Col: c.Col}
+			}
+			if attachErr = t.Attach(target, cells); attachErr == nil {
+				tr = t
+			}
+		}
+	}
+	var onCycle func(*sim.Machine)
+	if shadow != nil {
+		onCycle = func(mm *sim.Machine) {
+			shadow.Core.Cycle()
+			if tr != nil && !tr.Diverged() && mm.ArchDigest() != shadow.ArchDigest() {
+				tr.MarkDiverged()
+			}
+		}
+	}
+	out := m.RunObserved(limit, injectAt, inject, onCycle)
+	if attachErr != nil {
+		return 0, meta, attachErr
+	}
+	eff := Classify(out, golden)
+	if tr != nil {
+		meta.mask = mask
+		meta.report = tr.Resolve(eff == EffectMasked)
+		meta.hasReport = true
+	}
+	return eff, meta, nil
 }
 
 // CellKey identifies one campaign cell inside a ResultSet.

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"mbusim/internal/forensics"
+	"mbusim/internal/telemetry"
+)
+
+// forensicsGrid is a small real grid: fast stringSearch cells for breadth
+// plus one CRC32/L1D cell, whose data faults reliably become SDC (~70-80%),
+// so the SDC-fate invariant is actually exercised.
+func forensicsGrid(samples int) []Spec {
+	var specs []Spec
+	for _, c := range []string{CompL1D, CompRF} {
+		for k := 1; k <= 2; k++ {
+			specs = append(specs, Spec{
+				Workload: "stringSearch", Component: c, Faults: k,
+				Samples: samples, Seed: 21, Forensics: forensics.ModeFast,
+			})
+		}
+	}
+	specs = append(specs, Spec{
+		Workload: "CRC32", Component: CompL1D, Faults: 2,
+		Samples: 6, Seed: 21, Forensics: forensics.ModeFast,
+	})
+	return specs
+}
+
+// traceFor runs the grid with a tracer and returns the parsed trace.
+func traceFor(t *testing.T, specs []Spec, parallel int) (*telemetry.Trace, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := telemetry.NewCampaign(telemetry.NewTracer(&buf))
+	err := RunGridWithTelemetry(context.Background(), specs, parallel, nil, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := telemetry.ReadTraceTyped(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.String()
+}
+
+// TestForensicsGridInvariants is the tentpole acceptance test: with
+// forensics enabled, every sample gets exactly one forensics record, fate
+// counts sum to the sample count, and — the load-bearing invariant — every
+// sample classified SDC has a fate that explains it: the corrupted bit was
+// read, escaped in a writeback, or diverged the shadow machine. A silently
+// un-explained SDC would mean the probes miss a datapath.
+func TestForensicsGridInvariants(t *testing.T) {
+	specs := forensicsGrid(10)
+	trace, _ := traceFor(t, specs, 2)
+
+	total := 0
+	for _, s := range specs {
+		total += s.Samples
+	}
+	if len(trace.Samples) != total {
+		t.Fatalf("trace has %d sample records, want %d", len(trace.Samples), total)
+	}
+	if len(trace.Fates) != total {
+		t.Fatalf("trace has %d forensics records, want exactly one per sample (%d)",
+			len(trace.Fates), total)
+	}
+
+	// Exactly one fate per (cell, sample), outcome matching its sample record.
+	type sampleKey struct {
+		comp, wl  string
+		faults, i int
+	}
+	outcomes := make(map[sampleKey]string, total)
+	for _, s := range trace.Samples {
+		outcomes[sampleKey{s.Component, s.Workload, s.Faults, s.Sample}] = s.Outcome
+	}
+	seen := make(map[sampleKey]bool, total)
+	fateLabels := make(map[string]bool)
+	for _, f := range forensics.Fates() {
+		fateLabels[f.Label()] = true
+	}
+	sdcSeen := 0
+	for _, f := range trace.Fates {
+		k := sampleKey{f.Component, f.Workload, f.Faults, f.Sample}
+		if seen[k] {
+			t.Fatalf("duplicate forensics record for %+v", k)
+		}
+		seen[k] = true
+		out, ok := outcomes[k]
+		if !ok {
+			t.Fatalf("forensics record %+v has no matching sample record", k)
+		}
+		if f.Outcome != out {
+			t.Errorf("%+v: forensics outcome %q != sample outcome %q", k, f.Outcome, out)
+		}
+		if !fateLabels[f.Fate] {
+			t.Errorf("%+v: unknown fate %q", k, f.Fate)
+		}
+		if len(f.Mask) != f.Faults {
+			t.Errorf("%+v: mask has %d bits, want %d", k, len(f.Mask), f.Faults)
+		}
+		if (f.FirstTouchLat == -1) != (f.Fate == "never-touched") {
+			t.Errorf("%+v: fate %q with first_touch_lat %d (lat==-1 iff never-touched)",
+				k, f.Fate, f.FirstTouchLat)
+		}
+		if out == "sdc" {
+			sdcSeen++
+			switch f.Fate {
+			case "read-then-sdc", "written-back", "diverged":
+			default:
+				t.Errorf("%+v: SDC sample has unexplaining fate %q", k, f.Fate)
+			}
+		}
+	}
+	// The seeded grid is deterministic; it must actually exercise the SDC
+	// invariant rather than pass vacuously.
+	if sdcSeen == 0 {
+		t.Fatal("grid produced no SDC samples; invariant untested (grow the grid)")
+	}
+}
+
+// TestForensicsOutcomesUnchanged: the probes only observe, so a cell's
+// classified counts are identical with forensics off, fast and full.
+func TestForensicsOutcomesUnchanged(t *testing.T) {
+	base := Spec{
+		Workload: "stringSearch", Component: CompL1D, Faults: 2,
+		Samples: 8, Seed: 7,
+	}
+	var counts [3][NumEffects]int
+	for i, mode := range []forensics.Mode{forensics.ModeOff, forensics.ModeFast, forensics.ModeFull} {
+		spec := base
+		spec.Forensics = mode
+		res, err := Run(context.Background(), spec, nil)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		counts[i] = res.Counts
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("classified counts depend on forensics mode:\noff:  %v\nfast: %v\nfull: %v",
+			counts[0], counts[1], counts[2])
+	}
+}
+
+// TestForensicsFullModeDivergence: full mode records divergence cycles, and
+// any diverged fate carries a non-zero cycle at or after injection.
+func TestForensicsFullModeDivergence(t *testing.T) {
+	spec := Spec{
+		Workload: "stringSearch", Component: CompRF, Faults: 2,
+		Samples: 10, Seed: 21, Forensics: forensics.ModeFull,
+	}
+	trace, _ := traceFor(t, []Spec{spec}, 1)
+	if len(trace.Fates) != spec.Samples {
+		t.Fatalf("got %d forensics records, want %d", len(trace.Fates), spec.Samples)
+	}
+	withDiverge := 0
+	for _, f := range trace.Fates {
+		if f.DivergeCycle != 0 {
+			withDiverge++
+			if f.DivergeCycle < f.InjectCycle {
+				t.Errorf("sample %d: diverge cycle %d precedes injection at %d",
+					f.Sample, f.DivergeCycle, f.InjectCycle)
+			}
+		}
+		if f.Fate == "diverged" && f.DivergeCycle == 0 {
+			t.Errorf("sample %d: diverged fate without a diverge cycle", f.Sample)
+		}
+	}
+	// Register-file faults in a live workload overwhelmingly become
+	// architecturally visible; the shadow comparison must see some of them.
+	if withDiverge == 0 {
+		t.Fatal("full mode observed no divergences across 10 register-file faults")
+	}
+}
+
+// forensicsLines extracts the forensics records of a raw trace, preserving
+// bytes and order.
+func forensicsLines(raw string) string {
+	var b strings.Builder
+	for _, ln := range strings.Split(raw, "\n") {
+		if strings.Contains(ln, `"type":"forensics"`) {
+			b.WriteString(ln)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestForensicsResumeByteIdentity is the second acceptance criterion: the
+// fate records of an interrupted-then-resumed campaign are byte-identical
+// to an uninterrupted run with the same seed. Sample records carry
+// wall-clock durations so the comparison is over the forensics records,
+// which are fully deterministic. parallel=1 keeps cell order stable.
+func TestForensicsResumeByteIdentity(t *testing.T) {
+	specs := forensicsGrid(6)
+
+	// Uninterrupted reference.
+	_, fullRaw := traceFor(t, specs, 1)
+	want := forensicsLines(fullRaw)
+	if want == "" {
+		t.Fatal("reference run produced no forensics records")
+	}
+
+	// Interrupted run: cancel once the second cell has flushed.
+	var buf bytes.Buffer
+	tel := telemetry.NewCampaign(telemetry.NewTracer(&buf))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := NewResultSet()
+	cells := 0
+	err := RunGridWithTelemetry(ctx, specs, 1, func(_ int, r *Result) {
+		done.Add(r)
+		cells++
+		if cells == 2 {
+			cancel()
+		}
+	}, tel)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted grid returned %v, want context.Canceled", err)
+	}
+	if len(done.Cells) >= len(specs) {
+		t.Fatal("interrupt landed after the whole grid; nothing left to resume")
+	}
+
+	// Resume the pending cells into the same trace stream.
+	pending := done.Pending(specs)
+	if err := RunGridWithTelemetry(context.Background(), pending, 1, nil, tel); err != nil {
+		t.Fatal(err)
+	}
+	got := forensicsLines(buf.String())
+	if got != want {
+		t.Fatalf("fate records differ between resumed and uninterrupted runs:\nresumed %d bytes, uninterrupted %d bytes",
+			len(got), len(want))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mbusim/internal/forensics"
 	"mbusim/internal/workloads"
 )
 
@@ -28,6 +29,10 @@ func (s Spec) Validate() error {
 	}
 	if s.TimeoutFactor < 1 {
 		return fmt.Errorf("core: timeout factor %g, need at least 1 (golden runs must fit)", s.TimeoutFactor)
+	}
+	if s.Forensics < forensics.ModeOff || s.Forensics > forensics.ModeFull {
+		return fmt.Errorf("core: invalid forensics mode %d (want %v, %v or %v)",
+			int(s.Forensics), forensics.ModeOff, forensics.ModeFast, forensics.ModeFull)
 	}
 	if err := ValidComponent(s.Component); err != nil {
 		return err

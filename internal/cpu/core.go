@@ -237,6 +237,19 @@ func (c *Core) ArchReg(i int) uint32 { return c.rf.Val(c.archMap[i]) }
 // use, before the first cycle).
 func (c *Core) SetArchReg(i int, v uint32) { c.rf.Write(c.archMap[i], v) }
 
+// ArchHash digests the committed architectural state (instruction count +
+// every architectural register) with FNV-1a. It reads the register file
+// storage directly, bypassing any forensics probe: the lockstep divergence
+// check must not itself count as a read of a corrupted bit.
+func (c *Core) ArchHash() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	h = (h ^ c.Committed) * 0x100000001b3
+	for i := 0; i < isa.NumArch; i++ {
+		h = (h ^ uint64(c.rf.vals[c.archMap[i]])) * 0x100000001b3
+	}
+	return h
+}
+
 func (c *Core) stop(kind StopKind, pc, addr uint32) {
 	c.stopped = kind
 	c.stopPC = pc

@@ -5,6 +5,28 @@ import "fmt"
 // NoPhys marks an unused physical register slot.
 const NoPhys = 0xFF
 
+// ReadyCol is the injectable column index of the per-register ready bit
+// (columns 0..31 are the data bits).
+const ReadyCol = 32
+
+// RegProbe observes register-file accesses for fault forensics.
+// Implementations must not mutate register state; a nil probe (the
+// default) costs one pointer compare per event.
+type RegProbe interface {
+	// OnRegRead fires when the value of physical register row enters the
+	// datapath.
+	OnRegRead(row int)
+	// OnRegReadyRead fires when the ready bit of physical register row is
+	// consulted by the issue logic.
+	OnRegReadyRead(row int)
+	// OnRegWrite fires when physical register row is overwritten (value
+	// produced, ready set).
+	OnRegWrite(row int)
+	// OnRegAlloc fires when physical register row is reallocated (ready
+	// cleared; the stale value remains until the producer writes).
+	OnRegAlloc(row int)
+}
+
 // RegFile is the physical register file: the values and per-register ready
 // bits that back the renamed architectural state. It is one of the paper's
 // six injection targets; the injectable geometry is one row per physical
@@ -18,6 +40,7 @@ const NoPhys = 0xFF
 type RegFile struct {
 	vals  []uint32
 	ready []bool
+	probe RegProbe
 }
 
 // NewRegFile returns a register file with n physical registers, all zero
@@ -30,20 +53,41 @@ func NewRegFile(n int) *RegFile {
 	return rf
 }
 
+// SetProbe installs (or removes, with nil) the forensics probe.
+func (rf *RegFile) SetProbe(p RegProbe) { rf.probe = p }
+
 // Val returns the value of physical register p.
-func (rf *RegFile) Val(p uint8) uint32 { return rf.vals[p] }
+func (rf *RegFile) Val(p uint8) uint32 {
+	if rf.probe != nil {
+		rf.probe.OnRegRead(int(p))
+	}
+	return rf.vals[p]
+}
 
 // Ready reports whether physical register p holds a produced value.
-func (rf *RegFile) Ready(p uint8) bool { return rf.ready[p] }
+func (rf *RegFile) Ready(p uint8) bool {
+	if rf.probe != nil {
+		rf.probe.OnRegReadyRead(int(p))
+	}
+	return rf.ready[p]
+}
 
 // Write produces a value into p and marks it ready.
 func (rf *RegFile) Write(p uint8, v uint32) {
+	if rf.probe != nil {
+		rf.probe.OnRegWrite(int(p))
+	}
 	rf.vals[p] = v
 	rf.ready[p] = true
 }
 
 // Alloc marks p as allocated and awaiting its value.
-func (rf *RegFile) Alloc(p uint8) { rf.ready[p] = false }
+func (rf *RegFile) Alloc(p uint8) {
+	if rf.probe != nil {
+		rf.probe.OnRegAlloc(int(p))
+	}
+	rf.ready[p] = false
+}
 
 // --- Fault-injection geometry (core.Target implementation) ---
 

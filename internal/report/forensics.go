@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"text/tabwriter"
+
+	"mbusim/internal/forensics"
+	"mbusim/internal/telemetry"
+)
+
+// fateHeaders maps each fate class to the short column header used by the
+// breakdown table (the full wire names are too wide for 7 columns).
+var fateHeaders = map[forensics.Fate]string{
+	forensics.FateNeverTouched: "never",
+	forensics.FateOverwritten:  "overwr",
+	forensics.FateRefilled:     "refill",
+	forensics.FateReadMasked:   "rd-mask",
+	forensics.FateReadSDC:      "rd-sdc",
+	forensics.FateWrittenBack:  "wback",
+	forensics.FateDiverged:     "diverge",
+}
+
+// ForensicsTable renders the masking-mechanism breakdown of a campaign's
+// forensics records: one row per component x fault cardinality, one column
+// per fate class (percent of the cell group's samples), plus the median
+// first-touch latency in cycles among samples whose corrupted bits were
+// touched at all.
+func ForensicsTable(fates []telemetry.FateRecord) string {
+	type key struct {
+		comp   string
+		faults int
+	}
+	type agg struct {
+		n       int
+		byFate  map[string]int
+		touched []int64
+	}
+	groups := make(map[key]*agg)
+	var order []key
+	for _, f := range fates {
+		k := key{f.Component, f.Faults}
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{byFate: make(map[string]int)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.n++
+		g.byFate[f.Fate]++
+		if f.FirstTouchLat >= 0 {
+			g.touched = append(g.touched, f.FirstTouchLat)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].comp != order[j].comp {
+			return order[i].comp < order[j].comp
+		}
+		return order[i].faults < order[j].faults
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprint(w, "comp\tk\tsamples")
+		for _, f := range forensics.Fates() {
+			fmt.Fprintf(w, "\t%s", fateHeaders[f])
+		}
+		fmt.Fprintln(w, "\tp50-touch")
+		for _, k := range order {
+			g := groups[k]
+			fmt.Fprintf(w, "%s\t%d\t%d", k.comp, k.faults, g.n)
+			for _, f := range forensics.Fates() {
+				fmt.Fprintf(w, "\t%.1f%%", 100*float64(g.byFate[f.Label()])/float64(g.n))
+			}
+			if len(g.touched) == 0 {
+				fmt.Fprintln(w, "\t-")
+				continue
+			}
+			sort.Slice(g.touched, func(i, j int) bool { return g.touched[i] < g.touched[j] })
+			fmt.Fprintf(w, "\t%d cyc\n", g.touched[(len(g.touched)-1)/2])
+		}
+	})
+}

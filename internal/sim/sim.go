@@ -140,6 +140,14 @@ type Outcome struct {
 // reported in the outcome; any other panic is a simulator bug and
 // propagates.
 func (m *Machine) Run(maxCycles, injectAt uint64, inject func(*Machine)) (out Outcome) {
+	return m.RunObserved(maxCycles, injectAt, inject, nil)
+}
+
+// RunObserved is Run with a per-cycle observer: if onCycle is non-nil it is
+// invoked after every Core.Cycle(), which is how the forensics layer steps
+// a lockstep shadow machine and compares architectural digests. A nil
+// onCycle makes RunObserved identical to Run.
+func (m *Machine) RunObserved(maxCycles, injectAt uint64, inject func(*Machine), onCycle func(*Machine)) (out Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			ae, ok := r.(mem.AssertError)
@@ -162,8 +170,24 @@ func (m *Machine) Run(maxCycles, injectAt uint64, inject func(*Machine)) (out Ou
 			return out
 		}
 		m.Core.Cycle()
+		if onCycle != nil {
+			onCycle(m)
+		}
 	}
 	return m.outcome()
+}
+
+// ArchDigest summarizes the architecturally visible state of the machine —
+// committed instructions, architectural registers, output length and exit
+// code — into one comparable word. Two machines running the same program in
+// lockstep keep equal digests until a fault becomes architecturally
+// visible; the cycle the digests first differ is the forensics layer's
+// divergence cycle.
+func (m *Machine) ArchDigest() uint64 {
+	h := m.Core.ArchHash()
+	h = (h ^ uint64(len(m.Kern.Stdout))) * 0x100000001b3
+	h = (h ^ uint64(m.Kern.ExitCode)) * 0x100000001b3
+	return h
 }
 
 // Occupancy samples the valid-entry fraction of every injectable

@@ -23,6 +23,13 @@ const (
 	MetricSamplesExpect = "gefin_samples_expected"
 	MetricSampleWorkers = "gefin_sample_workers_per_cell"
 	MetricCellWorkers   = "gefin_cell_workers"
+
+	// Forensics series (PR 4). Fates are split by component and fate class;
+	// the occupancy gauges hold the mean at-inject structure state of a
+	// cell in basis points (1/10000), since gauges are integral.
+	MetricFates       = "gefin_fates_total" // + {comp="...",fate="..."}
+	MetricOccupancyBP = "gefin_inject_occupancy_bp"
+	MetricDirtyBP     = "gefin_inject_dirty_bp"
 )
 
 // Campaign bundles a metrics registry and an optional tracer behind typed
@@ -65,14 +72,46 @@ func (c *Campaign) RecordSample(rec *SampleRecord) {
 	}
 }
 
-// FlushCell persists one completed cell's trace records (no-op without a
-// tracer) and bumps the completed-cell counter.
-func (c *Campaign) FlushCell(recs []SampleRecord) {
+// RecordFate ingests one resolved fault lifecycle into the per-component
+// fate counters.
+func (c *Campaign) RecordFate(rec *FateRecord) {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricFates + `{comp="` + rec.Component + `",fate="` + rec.Fate + `"}`).Inc()
+}
+
+// SetCellOccupancy publishes a cell's mean at-inject structure state as
+// basis-point gauges: the valid fraction always, the dirty fraction only
+// for targets that track one (caches).
+func (c *Campaign) SetCellOccupancy(comp, workload string, faults int, occ float64, dirty float64, hasDirty bool) {
+	if c == nil {
+		return
+	}
+	label := `{comp="` + comp + `",workload="` + workload + `",faults="` + itoa(faults) + `"}`
+	c.Registry.Gauge(MetricOccupancyBP + label).Set(int64(occ*1e4 + 0.5))
+	if hasDirty {
+		c.Registry.Gauge(MetricDirtyBP + label).Set(int64(dirty*1e4 + 0.5))
+	}
+}
+
+// itoa is strconv.Itoa for the small positive ints in metric labels,
+// avoiding the strconv import on the recording path.
+func itoa(n int) string {
+	if n < 10 {
+		return string([]byte{byte('0' + n)})
+	}
+	return itoa(n/10) + string([]byte{byte('0' + n%10)})
+}
+
+// FlushCell persists one completed cell's trace records and forensics
+// records (no-op without a tracer) and bumps the completed-cell counter.
+func (c *Campaign) FlushCell(recs []SampleRecord, fates []FateRecord) {
 	if c == nil {
 		return
 	}
 	c.Registry.Counter(MetricCells).Inc()
-	c.Tracer.WriteCell(recs)
+	c.Tracer.WriteCell(recs, fates)
 }
 
 // RecordCellQueue records how long a cell waited between grid submission
@@ -132,6 +171,9 @@ type Summary struct {
 	CellsExpected   int64
 	CheckpointHits  int64
 	CheckpointMiss  int64
+	// ByFate aggregates the forensics fate counters across components;
+	// empty when forensics was off.
+	ByFate map[string]int64
 }
 
 // Summarize digests the registry. A nil campaign returns the zero Summary.
@@ -141,13 +183,21 @@ func (c *Campaign) Summarize() Summary {
 		return s
 	}
 	s.ByOutcome = make(map[string]int64)
+	s.ByFate = make(map[string]int64)
 	prefix := MetricSamples + `{outcome="`
+	fatePrefix := MetricFates + `{comp="`
 	for _, m := range c.Registry.Snapshot() {
 		switch {
 		case strings.HasPrefix(m.Name, prefix):
 			outcome := strings.TrimSuffix(strings.TrimPrefix(m.Name, prefix), `"}`)
 			s.ByOutcome[outcome] = int64(m.Value)
 			s.Samples += int64(m.Value)
+		case strings.HasPrefix(m.Name, fatePrefix):
+			rest := strings.TrimPrefix(m.Name, fatePrefix)
+			if i := strings.Index(rest, `",fate="`); i >= 0 {
+				fate := strings.TrimSuffix(rest[i+len(`",fate="`):], `"}`)
+				s.ByFate[fate] += int64(m.Value)
+			}
 		case m.Name == MetricCells:
 			s.Cells = int64(m.Value)
 		case m.Name == MetricCellsExpected:

@@ -142,7 +142,7 @@ func TestDisabledSamplePathZeroAllocs(t *testing.T) {
 		c.RecordSample(&rec)
 		c.RecordCellQueue(time.Millisecond)
 		c.WorkerBusy(1)
-		c.FlushCell(nil)
+		c.FlushCell(nil, nil)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled sample path allocates %.1f objects per run, want 0", allocs)
@@ -158,7 +158,7 @@ func TestCampaignSummarize(t *testing.T) {
 		c.RecordSample(&SampleRecord{Outcome: "masked", DurationNS: 1e6, CyclesSkipped: 100, Checkpoint: 2})
 	}
 	c.RecordSample(&SampleRecord{Outcome: "sdc", DurationNS: 2e6, Checkpoint: 0})
-	c.FlushCell(nil)
+	c.FlushCell(nil, nil)
 	c.SetGridShape(4, 400, 2, 8)
 
 	s := c.Summarize()

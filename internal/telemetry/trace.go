@@ -9,11 +9,22 @@ import (
 	"sync"
 )
 
+// Trace schema versions. v1 traces hold untyped sample records; v2 records
+// carry a "type" field ("sample", "forensics", ...) so one stream can mix
+// record kinds. Readers treat a missing type as "sample" and skip unknown
+// types, so v2 readers accept v1 files and future record kinds degrade
+// gracefully.
+const (
+	RecordSample    = "sample"
+	RecordForensics = "forensics"
+)
+
 // SampleRecord is one line of the campaign trace: the complete event record
 // of a single fault-injection sample, following the per-fault event-record
 // style of Jaulmes et al. Records are written as JSONL — one JSON object
 // per line — so traces stream, append, and survive interrupts.
 type SampleRecord struct {
+	Type      string `json:"type,omitempty"` // RecordSample; empty in v1 files
 	Component string `json:"comp"`
 	Workload  string `json:"workload"`
 	Faults    int    `json:"faults"`
@@ -31,6 +42,34 @@ type SampleRecord struct {
 
 	Outcome    string `json:"outcome"`
 	DurationNS int64  `json:"duration_ns"` // wall-clock time of the sample
+}
+
+// FateRecord is the schema-v2 forensics record paired with one sample: the
+// resolved lifecycle of the injected fault mask (see internal/forensics).
+// The tracer writes each cell's fate record immediately after its sample
+// record, so a trace with forensics enabled alternates the two types.
+type FateRecord struct {
+	Type      string `json:"type"` // RecordForensics
+	Component string `json:"comp"`
+	Workload  string `json:"workload"`
+	Faults    int    `json:"faults"`
+	Sample    int    `json:"sample"`
+	Seed      uint64 `json:"seed"`
+
+	InjectCycle uint64   `json:"inject_cycle"`
+	Mask        [][2]int `json:"mask"` // [row, col] of every flipped bit
+
+	// Fate is the lifecycle class: never-touched, overwritten, refilled,
+	// read-then-masked, read-then-sdc, written-back or diverged.
+	Fate string `json:"fate"`
+	// FirstTouchLat is cycles from injection to the first event involving
+	// a corrupted bit; -1 if nothing ever touched one.
+	FirstTouchLat int64 `json:"first_touch_lat"`
+	// DivergeCycle is the first architectural-divergence cycle seen by the
+	// lockstep shadow machine (full mode only); 0 = none observed.
+	DivergeCycle uint64 `json:"diverge_cycle,omitempty"`
+
+	Outcome string `json:"outcome"`
 }
 
 // Tracer writes sample records to an underlying stream in per-cell batches.
@@ -51,15 +90,34 @@ func NewTracer(w io.Writer) *Tracer {
 }
 
 // WriteCell appends one cell's records to the trace as a single write.
-// Safe for concurrent use; a nil tracer discards the batch.
-func (t *Tracer) WriteCell(recs []SampleRecord) {
+// fates, when non-empty, are interleaved after their sample record (matched
+// by sample index; both slices must be sorted by it). Safe for concurrent
+// use; a nil tracer discards the batch.
+func (t *Tracer) WriteCell(recs []SampleRecord, fates []FateRecord) {
 	if t == nil || len(recs) == 0 {
 		return
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf) // Encode appends the newline JSONL needs
+	fi := 0
 	for i := range recs {
+		recs[i].Type = RecordSample
 		if err := enc.Encode(&recs[i]); err != nil {
+			t.fail(err)
+			return
+		}
+		for fi < len(fates) && fates[fi].Sample <= recs[i].Sample {
+			fates[fi].Type = RecordForensics
+			if err := enc.Encode(&fates[fi]); err != nil {
+				t.fail(err)
+				return
+			}
+			fi++
+		}
+	}
+	for ; fi < len(fates); fi++ {
+		fates[fi].Type = RecordForensics
+		if err := enc.Encode(&fates[fi]); err != nil {
 			t.fail(err)
 			return
 		}
@@ -92,11 +150,34 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-// ReadTrace parses a JSONL trace stream back into records, e.g. for
-// cmd/logparse or round-trip tests. Blank lines are skipped; a malformed
-// line fails with its line number.
+// Trace is the typed content of a schema-v2 (or v1) trace stream.
+type Trace struct {
+	Samples []SampleRecord
+	Fates   []FateRecord
+	// Unknown counts records whose "type" the reader does not understand;
+	// they are skipped, not errors, so newer traces stay parseable.
+	Unknown int
+}
+
+// ReadTrace parses a JSONL trace stream back into sample records, e.g. for
+// cmd/logparse or round-trip tests. It accepts mixed v1/v2 files: untyped
+// lines are treated as samples, forensics and unknown record types are
+// skipped. Blank lines are skipped; a malformed line fails with its line
+// number.
 func ReadTrace(r io.Reader) ([]SampleRecord, error) {
-	var out []SampleRecord
+	tr, err := ReadTraceTyped(r)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Samples, nil
+}
+
+// ReadTraceTyped parses a JSONL trace stream, dispatching each line on its
+// "type" field. Untyped lines (schema v1) are samples; unknown types are
+// counted and skipped rather than erroring, so readers built today survive
+// record kinds added tomorrow.
+func ReadTraceTyped(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	line := 0
@@ -106,14 +187,31 @@ func ReadTrace(r io.Reader) ([]SampleRecord, error) {
 		if len(b) == 0 {
 			continue
 		}
-		var rec SampleRecord
-		if err := json.Unmarshal(b, &rec); err != nil {
+		var hdr struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(b, &hdr); err != nil {
 			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
 		}
-		out = append(out, rec)
+		switch hdr.Type {
+		case "", RecordSample:
+			var rec SampleRecord
+			if err := json.Unmarshal(b, &rec); err != nil {
+				return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+			}
+			tr.Samples = append(tr.Samples, rec)
+		case RecordForensics:
+			var rec FateRecord
+			if err := json.Unmarshal(b, &rec); err != nil {
+				return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+			}
+			tr.Fates = append(tr.Fates, rec)
+		default:
+			tr.Unknown++
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return tr, nil
 }

@@ -24,8 +24,8 @@ func sampleBatch(cell string, n int) []SampleRecord {
 func TestTracerRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTracer(&buf)
-	tr.WriteCell(sampleBatch("sha", 4))
-	tr.WriteCell(sampleBatch("qsort", 2))
+	tr.WriteCell(sampleBatch("sha", 4), nil)
+	tr.WriteCell(sampleBatch("qsort", 2), nil)
 	if err := tr.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,9 @@ func TestTracerRoundTrip(t *testing.T) {
 	if len(recs) != 6 {
 		t.Fatalf("ReadTrace returned %d records, want 6", len(recs))
 	}
-	if recs[0] != sampleBatch("sha", 4)[0] {
+	want := sampleBatch("sha", 4)[0]
+	want.Type = RecordSample // stamped by WriteCell (schema v2)
+	if recs[0] != want {
 		t.Fatalf("first record did not round-trip: %+v", recs[0])
 	}
 	if recs[4].Workload != "qsort" || recs[4].Sample != 0 {
@@ -50,12 +52,12 @@ func TestTracerRoundTrip(t *testing.T) {
 
 func TestTracerNilAndEmpty(t *testing.T) {
 	var tr *Tracer
-	tr.WriteCell(sampleBatch("x", 1)) // must not panic
+	tr.WriteCell(sampleBatch("x", 1), nil) // must not panic
 	if tr.Err() != nil {
 		t.Fatal("nil tracer reported an error")
 	}
 	var buf bytes.Buffer
-	NewTracer(&buf).WriteCell(nil)
+	NewTracer(&buf).WriteCell(nil, nil)
 	if buf.Len() != 0 {
 		t.Fatal("empty batch wrote bytes")
 	}
@@ -68,8 +70,8 @@ func (f *failWriter) Write([]byte) (int, error) { return 0, f.err }
 func TestTracerLatchesFirstError(t *testing.T) {
 	wantErr := errors.New("disk full")
 	tr := NewTracer(&failWriter{err: wantErr})
-	tr.WriteCell(sampleBatch("sha", 1))
-	tr.WriteCell(sampleBatch("sha", 1))
+	tr.WriteCell(sampleBatch("sha", 1), nil)
+	tr.WriteCell(sampleBatch("sha", 1), nil)
 	if !errors.Is(tr.Err(), wantErr) {
 		t.Fatalf("Err() = %v, want %v", tr.Err(), wantErr)
 	}
@@ -92,7 +94,7 @@ func TestTracerConcurrentCells(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tr.WriteCell(sampleBatch(strings.Repeat("w", i+1), 5))
+			tr.WriteCell(sampleBatch(strings.Repeat("w", i+1), 5), nil)
 		}(i)
 	}
 	wg.Wait()
@@ -128,4 +130,108 @@ func (b *safeBuffer) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.String()
+}
+
+func fateBatch(cell string, n int) []FateRecord {
+	fates := make([]FateRecord, n)
+	for i := range fates {
+		fates[i] = FateRecord{
+			Component: "L1D", Workload: cell, Faults: 2, Sample: i, Seed: 21,
+			InjectCycle: uint64(1000 + i), Mask: [][2]int{{3, 7}, {3, 8}},
+			Fate: "refilled", FirstTouchLat: int64(10 * i), Outcome: "masked",
+		}
+	}
+	return fates
+}
+
+// TestTracerInterleavesFates: schema v2 writes each sample's forensics
+// record immediately after the sample record it belongs to.
+func TestTracerInterleavesFates(t *testing.T) {
+	var buf bytes.Buffer
+	NewTracer(&buf).WriteCell(sampleBatch("sha", 3), fateBatch("sha", 3))
+	raw := buf.String()
+	tr, err := ReadTraceTyped(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 3 || len(tr.Fates) != 3 || tr.Unknown != 0 {
+		t.Fatalf("got %d samples, %d fates, %d unknown; want 3, 3, 0",
+			len(tr.Samples), len(tr.Fates), tr.Unknown)
+	}
+	want := fateBatch("sha", 3)[1]
+	want.Type = RecordForensics
+	got := tr.Fates[1]
+	if got.Fate != want.Fate || got.Sample != want.Sample ||
+		got.FirstTouchLat != want.FirstTouchLat || len(got.Mask) != 2 ||
+		got.Mask[0] != want.Mask[0] || got.Type != RecordForensics {
+		t.Fatalf("fate record did not round-trip: %+v", got)
+	}
+	// Line order: sample 0, fate 0, sample 1, fate 1, ...
+	lines := strings.Split(strings.TrimSpace(raw), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("trace has %d lines, want 6", len(lines))
+	}
+	for i, ln := range lines {
+		wantType := `"type":"sample"`
+		if i%2 == 1 {
+			wantType = `"type":"forensics"`
+		}
+		if !strings.Contains(ln, wantType) {
+			t.Errorf("line %d = %s; want %s", i+1, ln, wantType)
+		}
+	}
+}
+
+// TestReadTraceMixedV1V2: a reader must accept a trace whose lines mix
+// untyped v1 samples, typed v2 samples, forensics records and record types
+// it has never heard of.
+func TestReadTraceMixedV1V2(t *testing.T) {
+	mixed := `{"comp":"L1D","workload":"sha","faults":1,"sample":0,"seed":7,"outcome":"masked"}
+{"type":"sample","comp":"L1D","workload":"sha","faults":1,"sample":1,"seed":7,"outcome":"sdc"}
+{"type":"forensics","comp":"L1D","workload":"sha","faults":1,"sample":1,"seed":7,"fate":"read-then-sdc","first_touch_lat":42,"outcome":"sdc"}
+{"type":"hologram","payload":"from the future"}
+
+{"type":"sample","comp":"L1D","workload":"sha","faults":1,"sample":2,"seed":7,"outcome":"masked"}
+`
+	tr, err := ReadTraceTyped(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 3 {
+		t.Fatalf("got %d samples, want 3 (v1 untyped line must count as sample)", len(tr.Samples))
+	}
+	if tr.Samples[0].Type != "" || tr.Samples[0].Workload != "sha" {
+		t.Fatalf("v1 record mangled: %+v", tr.Samples[0])
+	}
+	if len(tr.Fates) != 1 || tr.Fates[0].Fate != "read-then-sdc" || tr.Fates[0].FirstTouchLat != 42 {
+		t.Fatalf("forensics record mangled: %+v", tr.Fates)
+	}
+	if tr.Unknown != 1 {
+		t.Fatalf("Unknown = %d, want 1 (unknown types are skipped, not errors)", tr.Unknown)
+	}
+	// The legacy sample-only reader sees the same file and just drops the
+	// non-sample records.
+	recs, err := ReadTrace(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("ReadTrace got %d records, want 3", len(recs))
+	}
+}
+
+// TestTracerTrailingFates: fate records whose sample index exceeds every
+// sample record still land in the trace (defensive; should not happen in a
+// real campaign).
+func TestTracerTrailingFates(t *testing.T) {
+	var buf bytes.Buffer
+	fates := fateBatch("sha", 5)
+	NewTracer(&buf).WriteCell(sampleBatch("sha", 2), fates)
+	tr, err := ReadTraceTyped(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 2 || len(tr.Fates) != 5 {
+		t.Fatalf("got %d samples, %d fates; want 2, 5", len(tr.Samples), len(tr.Fates))
+	}
 }

@@ -44,6 +44,47 @@ const (
 // EntryBits is the width of one packed entry.
 const EntryBits = 32
 
+// ColClass categorizes an entry-bit column by how lookups consult it.
+type ColClass int
+
+const (
+	// ColCAM bits (valid + VPN) are compared by every lookup: the TLB is a
+	// content-addressable memory, so one access consults them in all
+	// entries at once.
+	ColCAM ColClass = iota
+	// ColPayload bits (PFN, writable, user) enter the datapath only when
+	// their entry hits.
+	ColPayload
+	// ColSpare bits are never consulted; flips there are naturally masked.
+	ColSpare
+)
+
+// ClassifyCol reports how lookups consult the given entry-bit column.
+func ClassifyCol(col int) ColClass {
+	switch {
+	case col == bitValid || (col >= vpnShift && col < vpnShift+14):
+		return ColCAM
+	case col == 0:
+		return ColSpare
+	default:
+		return ColPayload
+	}
+}
+
+// Probe observes the TLB's bit-level accesses for fault forensics.
+// Implementations must not mutate TLB state; a nil probe (the default)
+// costs one pointer compare per event.
+type Probe interface {
+	// OnTLBLookup fires on every lookup with the index of the hit entry,
+	// or -1 on a miss. The CAM compare consults the valid + VPN bits of
+	// every entry regardless of the result.
+	OnTLBLookup(hit int)
+	// OnTLBInsert fires when entry row is overwritten by a new translation.
+	OnTLBInsert(row int)
+	// OnTLBInvalidate fires when every entry is cleared.
+	OnTLBInvalidate()
+}
+
 // Pack builds a packed TLB entry.
 func Pack(vpn, pfn uint32, writable, user bool) uint32 {
 	e := uint32(1)<<bitValid | (vpn&vpnMask)<<vpnShift | (pfn&pfnMask)<<pfnShift
@@ -71,6 +112,7 @@ type TLB struct {
 	nextRR  int
 	mru     int // index of the last hit, checked first (pure speedup:
 	// the entry bits are re-read and re-validated on every lookup)
+	probe Probe
 
 	Hits, MissCount uint64
 }
@@ -80,6 +122,9 @@ func New(name string, n int) *TLB {
 	return &TLB{name: name, entries: make([]uint32, n)}
 }
 
+// SetProbe installs (or removes, with nil) the forensics probe.
+func (t *TLB) SetProbe(p Probe) { t.probe = p }
+
 // Lookup searches for vpn. The first matching valid entry wins; a corrupted
 // VPN field can therefore alias another page, exactly the failure mode the
 // paper attributes to TLB upsets.
@@ -87,16 +132,25 @@ func (t *TLB) Lookup(vpn uint32) (Translation, bool) {
 	vpn &= vpnMask
 	if e := t.entries[t.mru]; e>>bitValid&1 == 1 && e>>vpnShift&vpnMask == vpn {
 		t.Hits++
+		if t.probe != nil {
+			t.probe.OnTLBLookup(t.mru)
+		}
 		return unpack(e), true
 	}
 	for i, e := range t.entries {
 		if e>>bitValid&1 == 1 && e>>vpnShift&vpnMask == vpn {
 			t.Hits++
 			t.mru = i
+			if t.probe != nil {
+				t.probe.OnTLBLookup(i)
+			}
 			return unpack(e), true
 		}
 	}
 	t.MissCount++
+	if t.probe != nil {
+		t.probe.OnTLBLookup(-1)
+	}
 	return Translation{}, false
 }
 
@@ -110,12 +164,18 @@ func unpack(e uint32) Translation {
 
 // Insert installs a translation, evicting round-robin.
 func (t *TLB) Insert(vpn, pfn uint32, writable, user bool) {
+	if t.probe != nil {
+		t.probe.OnTLBInsert(t.nextRR)
+	}
 	t.entries[t.nextRR] = Pack(vpn, pfn, writable, user)
 	t.nextRR = (t.nextRR + 1) % len(t.entries)
 }
 
 // Invalidate clears every entry.
 func (t *TLB) Invalidate() {
+	if t.probe != nil {
+		t.probe.OnTLBInvalidate()
+	}
 	for i := range t.entries {
 		t.entries[i] = 0
 	}

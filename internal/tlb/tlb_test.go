@@ -138,3 +138,22 @@ func TestFlipOutOfRangePanics(t *testing.T) {
 	}()
 	tl.FlipBit(4, 0)
 }
+
+// TestClassifyColLayout pins the CAM/payload/spare column classification
+// the forensics tracker relies on: valid + VPN bits are CAM-compared by
+// every lookup, PFN/writable/user enter the datapath only on a hit, and
+// the spare column is never consulted.
+func TestClassifyColLayout(t *testing.T) {
+	for col := 0; col < EntryBits; col++ {
+		want := ColPayload
+		switch {
+		case col == 0:
+			want = ColSpare
+		case col == 31 || (col >= 15 && col <= 28): // valid, VPN[13:0]
+			want = ColCAM
+		}
+		if got := ClassifyCol(col); got != want {
+			t.Errorf("ClassifyCol(%d) = %v, want %v", col, got, want)
+		}
+	}
+}
