@@ -19,6 +19,21 @@
 // workload, cardinality, sample count and seed already match; seeded
 // determinism makes the resumed grid bit-identical to an uninterrupted one.
 //
+// Campaigns also shard across processes and machines. One process owns the
+// grid and the results file:
+//
+//	gefin -all -samples 100 -out results.json -serve :9321
+//
+// and any number of workers lease cells from it, run them, and submit the
+// results:
+//
+//	gefin -join coordinator-host:9321
+//
+// Workers that crash, hang, or vanish are routine: their leases expire
+// (-lease-ttl) and the cells are reassigned, bounded by a per-cell retry
+// budget (-retries). Seeded determinism makes the distributed result set
+// byte-identical to a single-process run of the same grid.
+//
 // Exit status: 0 on success, 1 on runtime errors, 2 on bad configuration
 // (unknown component/workload, impossible cardinality), 130 when
 // interrupted by a signal.
@@ -41,6 +56,7 @@ import (
 	"time"
 
 	"mbusim/internal/core"
+	"mbusim/internal/dispatch"
 	"mbusim/internal/forensics"
 	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
@@ -94,6 +110,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath  = fs.String("trace", "", "write a JSONL trace (one record per injection sample) to this file, flushed per cell")
 		metricsOn  = fs.String("metrics-addr", "", "serve live campaign metrics on host:port (/metrics Prometheus text, /debug/vars expvar, /debug/pprof)")
 		status     = fs.Duration("status", 0, "print a periodic campaign summary to stderr at this interval (works with -q; 0 disables)")
+		serveAddr  = fs.String("serve", "", "coordinate a distributed campaign: listen on host:port and lease grid cells to -join workers instead of running them in-process")
+		joinAddr   = fs.String("join", "", "work for a coordinator at host:port: lease cells, run them, submit results (takes no grid flags)")
+		workerID   = fs.String("worker-id", "", "worker identity reported to the coordinator (default host:pid)")
+		leaseTTL   = fs.Duration("lease-ttl", 15*time.Second, "coordinator: a worker silent this long loses its lease and the cell is reassigned")
+		retries    = fs.Int("retries", 5, "coordinator: reassignments allowed per cell before the campaign fails naming it")
+		wallTO     = fs.Duration("wall-timeout", 0, "per-sample wall-clock budget; a sample exceeding it is recorded as a timeout (0 = no watchdog)")
 	)
 	var fmode forensicsFlag
 	fs.Var(&fmode, "forensics", "track every injected bit's fate (fast: component probes; full: + lockstep shadow-machine divergence, ~2x cost)")
@@ -102,9 +124,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	workloads.CheckpointCount = *ckpts
 
-	specs, code := buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt, fmode.mode)
-	if code != 0 {
-		return code
+	// Worker mode needs no grid flags: the coordinator's leases carry the
+	// specs. Validate before buildSpecs so `gefin -join host:port` alone is
+	// a complete invocation.
+	joinMode := *joinAddr != ""
+	if joinMode {
+		switch {
+		case *serveAddr != "":
+			fmt.Fprintln(stderr, "-join and -serve are mutually exclusive: a process is a worker or the coordinator, not both")
+			return 2
+		case *all, *outPath != "", *resume:
+			fmt.Fprintln(stderr, "-join takes its grid from the coordinator and submits results back to it: drop -all/-out/-resume (they belong on the -serve side)")
+			return 2
+		}
+	}
+
+	var specs []core.Spec
+	if !joinMode {
+		var code int
+		specs, code = buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt, fmode.mode, *wallTO)
+		if code != 0 {
+			return code
+		}
 	}
 	if *resume && *outPath == "" {
 		fmt.Fprintln(stderr, "-resume needs -out: resuming loads and extends the results file")
@@ -153,9 +194,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Telemetry: -trace, -metrics-addr, -status or -forensics enables the
 	// campaign registry (the core hot path stays untouched when all are
 	// absent). Forensics needs the registry for its fate counters; pair it
-	// with -trace to also get the per-sample forensics records.
+	// with -trace to also get the per-sample forensics records. A
+	// coordinator always carries the registry: its dispatch gauges are the
+	// only view into a fleet of remote workers.
 	var tel *telemetry.Campaign
-	if *tracePath != "" || *metricsOn != "" || *status > 0 || fmode.mode != forensics.ModeOff {
+	if *tracePath != "" || *metricsOn != "" || *status > 0 || fmode.mode != forensics.ModeOff || *serveAddr != "" {
 		var tracer *telemetry.Tracer
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
@@ -200,6 +243,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer close(statusDone)
 		go statusLoop(stderr, tel, *status, start, statusDone)
 	}
+	if joinMode {
+		return runWorker(ctx, stdout, stderr, *joinAddr, *workerID, *quiet, tel, start)
+	}
+	if *serveAddr != "" {
+		return runServe(ctx, cancel, stdout, stderr, *serveAddr, specs, pending, rs,
+			*outPath, *leaseTTL, *retries, tel, *quiet, start)
+	}
 	err := core.RunGridWithTelemetry(ctx, pending, *parallel, func(i int, res *core.Result) {
 		rs.Add(res)
 		done++
@@ -210,19 +260,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if !*quiet {
-			spec := pending[i]
-			elapsed := time.Since(start)
-			eta := time.Duration(float64(elapsed) / float64(done) * float64(len(pending)-done))
-			fmt.Fprintf(stdout, "[%3d/%3d] %-8s %-13s %d-bit: AVF=%6.2f%% masked=%5.1f%% sdc=%5.1f%% crash=%5.1f%% timeout=%5.1f%% assert=%5.1f%% ±%.2f%% (%v elapsed, eta %v)\n",
-				done, len(pending), spec.Component, spec.Workload, spec.Faults,
-				100*res.AVF(),
-				100*res.Fraction(core.EffectMasked),
-				100*res.Fraction(core.EffectSDC),
-				100*res.Fraction(core.EffectCrash),
-				100*res.Fraction(core.EffectTimeout),
-				100*res.Fraction(core.EffectAssert),
-				100*res.AdjustedMargin(0.99),
-				elapsed.Round(time.Millisecond), eta.Round(time.Second))
+			fmt.Fprintln(stdout, cellLine(done, len(pending), pending[i], res, start))
 		}
 	}, tel)
 	switch {
@@ -276,6 +314,151 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wrote %s\n", *memProfile)
 	}
 	return 0
+}
+
+// runServe is coordinator mode: the campaign grid is leased cell-by-cell
+// to -join workers over HTTP instead of running in-process. The
+// coordinator owns the canonical ResultSet and the -out file, flushed
+// after every accepted cell exactly like a local run, so a distributed
+// campaign is resumable and mergeable with single-process ones.
+func runServe(ctx context.Context, cancel context.CancelFunc, stdout, stderr io.Writer,
+	addr string, specs, pending []core.Spec, rs *core.ResultSet, outPath string,
+	ttl time.Duration, maxRetries int, tel *telemetry.Campaign, quiet bool, start time.Time) int {
+
+	var (
+		done     = 0
+		flushErr error
+	)
+	coord, err := dispatch.New(specs, rs, dispatch.Options{
+		LeaseTTL:   ttl,
+		MaxRetries: maxRetries,
+		Tel:        tel,
+		OnCell: func(cell int, res *core.Result) {
+			done++
+			if outPath != "" {
+				if err := rs.Save(outPath); err != nil && flushErr == nil {
+					flushErr = err
+					cancel()
+				}
+			}
+			if !quiet {
+				fmt.Fprintln(stdout, cellLine(done, len(pending), specs[cell], res, start))
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	mux := coord.Mux()
+	// The dispatch port doubles as the telemetry endpoint: /metrics shows
+	// the live-worker and lease gauges next to the campaign counters.
+	mux.Handle("/", telemetry.Handler(tel.Registry))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(stderr, "dispatch: coordinating %d cells on http://%s (lease TTL %v, %d retries/cell)\n",
+		len(pending), ln.Addr(), ttl, maxRetries)
+
+	err = coord.Wait(ctx)
+	if ctx.Err() == nil {
+		// Keep serving briefly so tail workers polling for work learn the
+		// campaign is over instead of finding a closed port.
+		coord.Drain(ctx, ttl)
+	}
+	switch {
+	case flushErr != nil:
+		fmt.Fprintf(stderr, "flush failed after %d cells: %v\n", done, flushErr)
+		return 1
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(stderr, "interrupted: %d/%d cells complete", done, len(pending))
+		if outPath != "" && done > 0 {
+			fmt.Fprintf(stderr, ", partial results saved to %s (finish with -resume)", outPath)
+		}
+		fmt.Fprintln(stderr)
+		return 130
+	case err != nil:
+		fmt.Fprintf(stderr, "%v (%d/%d cells complete", err, done, len(pending))
+		if outPath != "" && done > 0 {
+			fmt.Fprintf(stderr, ", saved to %s; fix and re-run with -resume", outPath)
+		}
+		fmt.Fprintln(stderr, ")")
+		return 1
+	}
+	if !quiet {
+		fmt.Fprintf(stdout, "campaign complete: %d cells in %v\n", done, time.Since(start).Round(time.Second))
+	}
+	if outPath != "" {
+		fmt.Fprintf(stderr, "wrote %s\n", outPath)
+	}
+	return 0
+}
+
+// runWorker is worker mode: lease cells from the coordinator, run them
+// through the normal campaign path, submit the results, repeat until the
+// coordinator reports the campaign done. A SIGINT/SIGTERM drains: the
+// in-flight cell is handed back so the coordinator reassigns it at once.
+func runWorker(ctx context.Context, stdout, stderr io.Writer,
+	addr, id string, quiet bool, tel *telemetry.Campaign, start time.Time) int {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	done := 0
+	w := &dispatch.Worker{
+		ID: id, URL: addr, Tel: tel,
+		OnCell: func(cell int, spec core.Spec, res *core.Result) {
+			done++
+			if !quiet {
+				fmt.Fprintf(stdout, "cell %3d %-8s %-13s %d-bit: AVF=%6.2f%% (%d samples, %v elapsed)\n",
+					cell, spec.Component, spec.Workload, spec.Faults,
+					100*res.AVF(), res.Samples(), time.Since(start).Round(time.Millisecond))
+			}
+		},
+	}
+	fmt.Fprintf(stderr, "dispatch: worker %s joining %s\n", id, addr)
+	err := w.Run(ctx)
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(stderr, "interrupted: %d cells submitted; in-flight lease handed back\n", done)
+		return 130
+	case err != nil:
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if !quiet {
+		fmt.Fprintf(stdout, "worker done: %d cells submitted in %v\n", done, time.Since(start).Round(time.Second))
+	}
+	return 0
+}
+
+// cellLine renders one completed cell's outcome mix and the campaign ETA —
+// the same line whether the cell ran in-process or arrived from a
+// distributed worker.
+func cellLine(done, total int, spec core.Spec, res *core.Result, start time.Time) string {
+	elapsed := time.Since(start)
+	eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+	return fmt.Sprintf("[%3d/%3d] %-8s %-13s %d-bit: AVF=%6.2f%% masked=%5.1f%% sdc=%5.1f%% crash=%5.1f%% timeout=%5.1f%% assert=%5.1f%% ±%.2f%% (%v elapsed, eta %v)",
+		done, total, spec.Component, spec.Workload, spec.Faults,
+		100*res.AVF(),
+		100*res.Fraction(core.EffectMasked),
+		100*res.Fraction(core.EffectSDC),
+		100*res.Fraction(core.EffectCrash),
+		100*res.Fraction(core.EffectTimeout),
+		100*res.Fraction(core.EffectAssert),
+		100*res.AdjustedMargin(0.99),
+		elapsed.Round(time.Millisecond), eta.Round(time.Second))
 }
 
 // statusLoop prints a registry-driven summary line every interval until
@@ -352,7 +535,7 @@ func fateLine(s telemetry.Summary) string {
 // buildSpecs expands the flag set into the campaign grid, validating
 // component and workload lists up front — a typo must fail before the
 // first golden run is built, not hours into the grid.
-func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, samples int, seed uint64, nockpt bool, fmode forensics.Mode) ([]core.Spec, int) {
+func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, samples int, seed uint64, nockpt bool, fmode forensics.Mode, wallTO time.Duration) ([]core.Spec, int) {
 	var specs []core.Spec
 	if all {
 		comps := core.Components()
@@ -382,6 +565,7 @@ func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, sampl
 						Workload: w, Component: c, Faults: k,
 						Samples: samples, Seed: seed,
 						NoCheckpoints: nockpt, Forensics: fmode,
+						WallTimeout:   wallTO,
 					})
 				}
 			}
@@ -395,6 +579,7 @@ func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, sampl
 			Workload: workload, Component: comp, Faults: faults,
 			Samples: samples, Seed: seed,
 			NoCheckpoints: nockpt, Forensics: fmode,
+			WallTimeout:   wallTO,
 		})
 	}
 	for _, s := range specs {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -235,6 +236,139 @@ func TestStatusLine(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Errorf("status line missing %q: %s", want, line)
 		}
+	}
+}
+
+// TestJoinServeFlagConflicts: worker mode takes its grid and its output
+// from the coordinator, so combining -join with coordinator-side flags is
+// a configuration error, caught before any golden run is built.
+func TestJoinServeFlagConflicts(t *testing.T) {
+	code, _, stderr := runGefin(t, "-join", "localhost:1", "-serve", ":0")
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("-join -serve: exit=%d stderr=%s", code, stderr)
+	}
+	for _, extra := range [][]string{
+		{"-all"},
+		{"-out", "r.json"},
+		{"-out", "r.json", "-resume"},
+	} {
+		code, _, stderr := runGefin(t, append([]string{"-join", "localhost:1"}, extra...)...)
+		if code != 2 || !strings.Contains(stderr, "-serve side") {
+			t.Fatalf("-join %v: exit=%d stderr=%s", extra, code, stderr)
+		}
+	}
+}
+
+func TestNegativeWallTimeoutRejected(t *testing.T) {
+	code, _, stderr := runGefin(t, append(tinyGrid(), "-wall-timeout", "-1s")...)
+	if code != 2 || !strings.Contains(stderr, "wall timeout") {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+}
+
+// TestWallTimeoutFlagReachesSamples: an unmeetable -wall-timeout turns
+// every sample into a recorded timeout instead of hanging the campaign.
+func TestWallTimeoutFlagReachesSamples(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	code, _, stderr := runGefin(t, "-workload", "stringSearch", "-comp", "L1D",
+		"-faults", "1", "-samples", "3", "-q", "-wall-timeout", "1ns", "-out", path)
+	if code != 0 {
+		t.Fatalf("run failed: %d (%s)", code, stderr)
+	}
+	rs, err := core.LoadResultSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rs.Get("L1D", "stringSearch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[core.EffectTimeout] != 3 {
+		t.Fatalf("counts = %v, want all 3 samples timeout", res.Counts)
+	}
+}
+
+// syncBuffer lets the test read a goroutine-owned stderr stream while the
+// coordinator is still writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDistributedGridMatchesLocal drives the full CLI surface end to end:
+// a -serve coordinator on an ephemeral port, one -join worker, and a
+// results file that must be byte-identical to a plain in-process run of
+// the same grid.
+func TestDistributedGridMatchesLocal(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	distPath := filepath.Join(dir, "dist.json")
+
+	code, _, stderr := runGefin(t, tinyGrid("-out", refPath)...)
+	if code != 0 {
+		t.Fatalf("reference run failed: %d (%s)", code, stderr)
+	}
+
+	var coordOut bytes.Buffer
+	var coordErr syncBuffer
+	coordDone := make(chan int, 1)
+	go func() {
+		coordDone <- run(tinyGrid("-out", distPath, "-serve", "127.0.0.1:0", "-lease-ttl", "2s"), &coordOut, &coordErr)
+	}()
+
+	// The coordinator reports its resolved address once it is listening.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never came up: %s", coordErr.String())
+		}
+		if s := coordErr.String(); strings.Contains(s, "on http://") {
+			s = s[strings.Index(s, "on http://")+len("on http://"):]
+			addr = strings.Fields(s)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	code, stdout, stderr := runGefin(t, "-join", addr)
+	if code != 0 {
+		select {
+		case c := <-coordDone:
+			t.Fatalf("worker exit=%d stderr=%s\ncoordinator exited early (%d): %s", code, stderr, c, coordErr.String())
+		default:
+			t.Fatalf("worker exit=%d stderr=%s", code, stderr)
+		}
+	}
+	if !strings.Contains(stdout, "worker done: 3 cells submitted") {
+		t.Fatalf("worker progress missing: %s", stdout)
+	}
+	if code := <-coordDone; code != 0 {
+		t.Fatalf("coordinator exit=%d stderr=%s", code, coordErr.String())
+	}
+
+	want, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(distPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("distributed results file differs from in-process run")
 	}
 }
 

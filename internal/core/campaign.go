@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,13 @@ type Spec struct {
 	// TimeoutFactor multiplies the golden cycle count to form the Timeout
 	// limit; the paper uses 4x. Zero means 4.
 	TimeoutFactor float64
+
+	// WallTimeout bounds each sample's wall-clock simulation time (0 means
+	// no bound). TimeoutFactor catches livelocks the simulator can count;
+	// WallTimeout additionally catches samples whose host-side run time
+	// explodes even within the cycle limit. An expired sample is classified
+	// EffectTimeout and recorded in the trace like any other sample.
+	WallTimeout time.Duration
 
 	// ForceSpanning restricts masks to patterns that span the full cluster
 	// in some dimension (ablation of the paper's sub-cluster inclusion).
@@ -264,7 +272,7 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 				if tel.Enabled() {
 					start = time.Now()
 				}
-				effect, meta, err := runOne(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed, obsOcc)
+				effect, meta, err := runOneRecovered(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed, i, obsOcc, tel)
 				if err != nil {
 					workerErrs[wk] = err
 					failed.Store(true)
@@ -392,6 +400,32 @@ type runMeta struct {
 	hasOcc, hasDirty bool
 }
 
+// testSampleHook, when non-nil, runs at the top of every sample inside the
+// recovery guard. It exists only for tests, which use it to inject panics
+// and wall-clock stalls into the sample path.
+var testSampleHook func(spec Spec, sample int)
+
+// runOneRecovered is runOne behind a panic guard: a panicking sample (a
+// simulator bug, a pathological machine state) becomes that cell's error —
+// counted under gefin_worker_panics_total and surfaced once through the
+// Run/RunGrid error path — instead of aborting the whole process. With
+// cells dispatched across machines, a process abort would kill every cell
+// the process holds; a clean per-cell error lets the campaign retry or
+// fail just the one cell.
+func runOneRecovered(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64, sample int, obsOcc bool, tel *telemetry.Campaign) (effect Effect, meta runMeta, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tel.RecordWorkerPanic()
+			err = fmt.Errorf("core: %s/%s/%d-bit sample %d panicked: %v\n%s",
+				spec.Component, spec.Workload, spec.Faults, sample, r, debug.Stack())
+		}
+	}()
+	if testSampleHook != nil {
+		testSampleHook(spec, sample)
+	}
+	return runOne(w, golden, spec, limit, injectAt, maskSeed, obsOcc)
+}
+
 // runOne performs a single fault-injection simulation. Unless the spec
 // forbids it, the machine is fast-forwarded from the workload's nearest
 // golden checkpoint at or before the injection cycle instead of replaying
@@ -512,7 +546,14 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 			}
 		}
 	}
-	out := m.RunObserved(limit, injectAt, inject, onCycle)
+	// The wall-clock watchdog bounds the simulation loop itself; machine
+	// construction and checkpoint restore are excluded (they are bounded by
+	// the workload, not by the injected fault).
+	var deadline time.Time
+	if spec.WallTimeout > 0 {
+		deadline = time.Now().Add(spec.WallTimeout)
+	}
+	out := m.RunWatched(limit, injectAt, inject, onCycle, deadline)
 	if attachErr != nil {
 		return 0, meta, attachErr
 	}

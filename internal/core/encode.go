@@ -43,11 +43,18 @@ func (rs *ResultSet) Encode() ([]byte, error) {
 	return json.MarshalIndent(rs, "", " ")
 }
 
-// Save writes the canonical encoding to path atomically: the bytes go to a
-// temporary file in the same directory which is then renamed over path, so
-// a crash mid-write leaves either the previous complete file or the new
-// one, never a truncated hybrid. Campaign runners call it after every
-// completed cell.
+// fsync is the file synchronization call Save issues, indirected so tests
+// can assert the write path actually syncs (there is no portable way to
+// observe durability after the fact).
+var fsync = func(f *os.File) error { return f.Sync() }
+
+// Save writes the canonical encoding to path atomically AND durably: the
+// bytes go to a temporary file in the same directory, the temp file is
+// fsynced before the rename (otherwise a power loss can replay the rename
+// without the data, leaving an empty-but-renamed results file), and the
+// directory is fsynced after it so the rename itself survives. A crash at
+// any point leaves either the previous complete file or the new one, never
+// a truncated hybrid. Campaign runners call it after every completed cell.
 func (rs *ResultSet) Save(path string) error {
 	data, err := rs.Encode()
 	if err != nil {
@@ -63,6 +70,11 @@ func (rs *ResultSet) Save(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := fsync(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -71,7 +83,12 @@ func (rs *ResultSet) Save(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return fsync(d)
 }
 
 // LoadResultSet reads a results file written by Save (or any marshalled

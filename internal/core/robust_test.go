@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"mbusim/internal/telemetry"
+)
+
+// TestSampleWorkerPanicBecomesCellError pins the panic-recovery contract:
+// a panicking sample fails its cell with one clean error through the Run
+// error path (and bumps gefin_worker_panics_total) instead of aborting the
+// process.
+func TestSampleWorkerPanicBecomesCellError(t *testing.T) {
+	testSampleHook = func(spec Spec, sample int) {
+		if sample == 2 {
+			panic("injected test panic")
+		}
+	}
+	defer func() { testSampleHook = nil }()
+
+	tel := telemetry.NewCampaign(nil)
+	spec := Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1,
+		Samples: 8, Seed: 5}
+	_, err := run(context.Background(), spec, nil, 2, tel)
+	if err == nil {
+		t.Fatal("panicking sample did not fail the cell")
+	}
+	if !strings.Contains(err.Error(), "panicked") ||
+		!strings.Contains(err.Error(), "injected test panic") ||
+		!strings.Contains(err.Error(), "L1D/stringSearch/1-bit sample 2") {
+		t.Fatalf("panic error lacks context: %v", err)
+	}
+	if got := tel.Registry.Counter(telemetry.MetricWorkerPanics).Value(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+}
+
+// TestSampleWorkerPanicSurfacesThroughRunGrid: the same panic inside a
+// grid fails only that cell's dispatch — RunGrid returns the error once
+// and other cells' completed results stay valid.
+func TestSampleWorkerPanicSurfacesThroughRunGrid(t *testing.T) {
+	testSampleHook = func(spec Spec, sample int) {
+		if spec.Faults == 2 {
+			panic("cell-2 poison")
+		}
+	}
+	defer func() { testSampleHook = nil }()
+
+	specs := []Spec{
+		{Workload: "stringSearch", Component: CompL1D, Faults: 1, Samples: 3, Seed: 5},
+		{Workload: "stringSearch", Component: CompL1D, Faults: 2, Samples: 3, Seed: 5},
+	}
+	delivered := map[int]*Result{}
+	err := RunGrid(context.Background(), specs, 1, func(i int, r *Result) {
+		delivered[i] = r
+	})
+	if err == nil || !strings.Contains(err.Error(), "cell-2 poison") {
+		t.Fatalf("RunGrid error = %v, want the poisoned cell's panic", err)
+	}
+	if r, ok := delivered[0]; ok && r.Samples() != 3 {
+		t.Fatalf("healthy cell delivered incomplete: %+v", r)
+	}
+	if _, ok := delivered[1]; ok {
+		t.Fatal("poisoned cell must not be delivered")
+	}
+}
+
+// TestWallTimeoutClassifiesTimeout: a wall-clock watchdog that cannot be
+// met classifies every sample EffectTimeout — the sample completes and is
+// recorded like any other, it does not hang or kill the cell.
+func TestWallTimeoutClassifiesTimeout(t *testing.T) {
+	// A 1ns budget is always already spent by the watchdog's first check,
+	// regardless of machine speed: the deterministic stand-in for a sample
+	// whose wall-clock time explodes.
+	spec := Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1,
+		Samples: 4, Seed: 5, WallTimeout: time.Nanosecond}
+	res, err := Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counts[EffectTimeout]; got != spec.Samples {
+		t.Fatalf("wall-expired samples classified %v, want all %d timeout", res.Counts, spec.Samples)
+	}
+}
+
+// TestWallTimeoutGenerousIsInvisible: a watchdog the samples easily meet
+// changes nothing — outcomes are identical to an unwatched run.
+func TestWallTimeoutGenerousIsInvisible(t *testing.T) {
+	base := Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1,
+		Samples: 6, Seed: 11}
+	ref, err := Run(context.Background(), base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	watched := base
+	watched.WallTimeout = time.Hour
+	got, err := Run(context.Background(), watched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counts != ref.Counts {
+		t.Fatalf("generous watchdog changed outcomes: %v vs %v", got.Counts, ref.Counts)
+	}
+}
+
+// TestWallTimeoutValidated: a negative watchdog is a configuration error.
+func TestWallTimeoutValidated(t *testing.T) {
+	spec := Spec{Workload: "stringSearch", Component: CompL1D, Faults: 1,
+		Samples: 1, Seed: 1, WallTimeout: -time.Second}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "wall timeout") {
+		t.Fatalf("Validate = %v, want wall-timeout error", err)
+	}
+	if _, err := Run(context.Background(), spec, nil); err == nil {
+		t.Fatal("Run accepted a negative wall timeout")
+	}
+}

@@ -30,6 +30,9 @@ func (s Spec) Validate() error {
 	if s.TimeoutFactor < 1 {
 		return fmt.Errorf("core: timeout factor %g, need at least 1 (golden runs must fit)", s.TimeoutFactor)
 	}
+	if s.WallTimeout < 0 {
+		return fmt.Errorf("core: negative wall timeout %v", s.WallTimeout)
+	}
 	if s.Forensics < forensics.ModeOff || s.Forensics > forensics.ModeFull {
 		return fmt.Errorf("core: invalid forensics mode %d (want %v, %v or %v)",
 			int(s.Forensics), forensics.ModeOff, forensics.ModeFast, forensics.ModeFull)

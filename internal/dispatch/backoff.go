@@ -1,0 +1,54 @@
+package dispatch
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff is capped exponential backoff with jitter, used by workers when
+// the coordinator is unreachable. The zero value means the defaults.
+type Backoff struct {
+	Base time.Duration // first delay; default 100ms
+	Max  time.Duration // cap; default 5s
+}
+
+const (
+	defaultBackoffBase = 100 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+)
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = defaultBackoffBase
+	}
+	if b.Max <= 0 {
+		b.Max = defaultBackoffMax
+	}
+	if b.Max < b.Base {
+		b.Max = b.Base
+	}
+	return b
+}
+
+// Delay returns the pause before retry attempt n (0-based): Base*2^n
+// capped at Max, jittered uniformly over [d/2, d] so a fleet of workers
+// reconnecting after a coordinator restart does not stampede in lockstep.
+// rnd is the caller's random source (nil means the global one).
+func (b Backoff) Delay(n int, rnd *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 0; i < n && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	half := d / 2
+	var j time.Duration
+	if rnd != nil {
+		j = time.Duration(rnd.Int64N(int64(half) + 1))
+	} else {
+		j = time.Duration(rand.Int64N(int64(half) + 1))
+	}
+	return half + j
+}

@@ -1,0 +1,55 @@
+package dispatch
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds pins the jitter envelope: attempt n waits somewhere in
+// [min(Base*2^n, Max)/2, min(Base*2^n, Max)], never more than Max and
+// never less than half the base.
+func TestBackoffBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	rnd := rand.New(rand.NewPCG(1, 2))
+	for n := 0; n < 24; n++ {
+		ideal := 100 * time.Millisecond
+		for i := 0; i < n && ideal < b.Max; i++ {
+			ideal *= 2
+		}
+		if ideal > b.Max {
+			ideal = b.Max
+		}
+		for trial := 0; trial < 200; trial++ {
+			d := b.Delay(n, rnd)
+			if d < ideal/2 || d > ideal {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", n, d, ideal/2, ideal)
+			}
+		}
+	}
+}
+
+// TestBackoffDefaults: the zero value backs off from 100ms to a 5s cap.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0, nil); d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("default first delay = %v", d)
+	}
+	if d := b.Delay(100, nil); d < 2500*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("default capped delay = %v", d)
+	}
+}
+
+// TestBackoffJitterSpreads: with many draws the delays are not all equal —
+// the anti-stampede property.
+func TestBackoffJitterSpreads(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	rnd := rand.New(rand.NewPCG(3, 4))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		seen[b.Delay(3, rnd)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("100 draws produced only %d distinct delays", len(seen))
+	}
+}

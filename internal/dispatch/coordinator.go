@@ -1,0 +1,431 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mbusim/internal/core"
+	"mbusim/internal/telemetry"
+)
+
+// Options tunes a Coordinator. The zero value means the defaults below.
+type Options struct {
+	// LeaseTTL is how long a worker may go silent before its cell is
+	// reassigned. Workers heartbeat at TTL/3. Default 15s.
+	LeaseTTL time.Duration
+	// MaxRetries bounds how many times one cell may be handed back to the
+	// pending queue (lease expiry or worker-reported failure) before the
+	// campaign fails naming that cell. Default 5.
+	MaxRetries int
+	// Tel, when non-nil, receives the dispatch gauges and counters plus
+	// the completed-cells counter.
+	Tel *telemetry.Campaign
+	// OnCell, when non-nil, observes each newly completed cell.
+	// Invocations are serialized (callers may flush shared state without
+	// locking) and happen exactly once per cell — a deduplicated
+	// resubmission does not re-fire it.
+	OnCell func(cell int, res *core.Result)
+}
+
+const (
+	defaultLeaseTTL   = 15 * time.Second
+	defaultMaxRetries = 5
+	// workerLiveWindow, in lease TTLs, is how long a worker counts as live
+	// after its last contact.
+	workerLiveWindow = 3
+)
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellDone
+)
+
+type lease struct {
+	id       uint64
+	cell     int
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator owns the canonical ResultSet of a distributed campaign and
+// hands out leases on its pending cells. All state transitions happen
+// under one mutex; the HTTP handlers, the expiry sweep and Wait share it.
+type Coordinator struct {
+	opts Options
+
+	mu       sync.Mutex
+	specs    []core.Spec
+	rs       *core.ResultSet
+	state    []cellState
+	retries  []int
+	lastErr  []string // last worker-reported failure per cell
+	leases   map[uint64]*lease
+	workers  map[string]time.Time // worker -> last contact
+	nextID   uint64
+	pending  int // cells not yet done
+	failErr  error
+	finished sync.Once
+	done     chan struct{}
+
+	// now is the coordinator's clock, swappable so tests drive lease
+	// expiry deterministically without sleeping.
+	now func() time.Time
+}
+
+// New builds a coordinator for the grid. rs is the canonical result set —
+// pre-load it from a results file to resume: every cell it already Covers
+// is marked done and never handed out, exactly like single-process
+// -resume. New validates every spec up front.
+func New(specs []core.Spec, rs *core.ResultSet, opts Options) (*Coordinator, error) {
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = defaultLeaseTTL
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = defaultMaxRetries
+	}
+	if rs == nil {
+		rs = core.NewResultSet()
+	}
+	c := &Coordinator{
+		opts:    opts,
+		specs:   specs,
+		rs:      rs,
+		state:   make([]cellState, len(specs)),
+		retries: make([]int, len(specs)),
+		lastErr: make([]string, len(specs)),
+		leases:  make(map[uint64]*lease),
+		workers: make(map[string]time.Time),
+		done:    make(chan struct{}),
+		now:     time.Now,
+	}
+	for i, s := range specs {
+		if rs.Covers(s) {
+			c.state[i] = cellDone
+		} else {
+			c.pending++
+		}
+	}
+	if c.pending == 0 {
+		c.finish(nil)
+	}
+	return c, nil
+}
+
+// Remaining returns how many cells are not yet complete.
+func (c *Coordinator) Remaining() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending
+}
+
+// Results returns the coordinator's canonical result set. The caller must
+// not mutate it while the campaign runs; the OnCell callback is the
+// serialized point to read or persist it.
+func (c *Coordinator) Results() *core.ResultSet { return c.rs }
+
+// Done is closed when the campaign completes or fails; Err then reports
+// the terminal error (nil on success).
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Err returns the terminal campaign error, if any.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failErr
+}
+
+// finish closes done exactly once. Callers hold mu (or are in New).
+func (c *Coordinator) finish(err error) {
+	if err != nil && c.failErr == nil {
+		c.failErr = err
+	}
+	c.finished.Do(func() { close(c.done) })
+}
+
+// Wait runs the lease-expiry sweeper until the campaign completes or ctx
+// is cancelled, returning the campaign's terminal error (nil on success,
+// ctx.Err() on cancellation — the results accepted so far stay valid and a
+// restarted coordinator resumes from them).
+func (c *Coordinator) Wait(ctx context.Context) error {
+	tick := time.NewTicker(c.opts.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.done:
+			return c.Err()
+		case <-tick.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Sweep expires every lease whose worker has gone silent past the TTL,
+// returning expired cells to the pending queue (burning one retry each),
+// and refreshes the live-worker and leased-cell gauges. Wait calls it
+// every TTL/4; handlers call it opportunistically so a single-threaded
+// test can drive expiry by advancing the clock.
+func (c *Coordinator) Sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+}
+
+func (c *Coordinator) sweepLocked() {
+	now := c.now()
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			delete(c.leases, id)
+			c.opts.Tel.DispatchLeaseExpired()
+			c.requeueLocked(l.cell, fmt.Sprintf("lease %d on worker %s expired", id, l.worker))
+		}
+	}
+	for w, last := range c.workers {
+		if now.Sub(last) > workerLiveWindow*c.opts.LeaseTTL {
+			delete(c.workers, w)
+		}
+	}
+	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+	c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+}
+
+// requeueLocked puts a leased cell back in the pending queue, charging one
+// retry; a cell over budget fails the whole campaign (deterministic specs
+// mean the next attempt would fail the same way — better to stop and name
+// the cell than to churn forever).
+func (c *Coordinator) requeueLocked(cell int, why string) {
+	if c.state[cell] != cellLeased {
+		return
+	}
+	c.state[cell] = cellPending
+	c.retries[cell]++
+	c.opts.Tel.DispatchCellRetried()
+	if c.retries[cell] > c.opts.MaxRetries {
+		s := c.specs[cell]
+		err := fmt.Errorf("dispatch: cell %s/%s/%d-bit exceeded %d retries (last: %s)",
+			s.Component, s.Workload, s.Faults, c.opts.MaxRetries, why)
+		if c.lastErr[cell] != "" {
+			err = fmt.Errorf("%w; last worker error: %s", err, c.lastErr[cell])
+		}
+		c.finish(err)
+	}
+}
+
+// Mux returns the coordinator's HTTP handler with the four protocol
+// endpoints registered. Callers may add more routes (e.g. the telemetry
+// /metrics handler) before serving it.
+func (c *Coordinator) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathLease, handle(c.lease))
+	mux.HandleFunc(PathHeartbeat, handle(c.heartbeat))
+	mux.HandleFunc(PathSubmit, handle(c.submit))
+	mux.HandleFunc(PathAbandon, handle(c.abandon))
+	return mux
+}
+
+// handle adapts a typed request/reply function to an http.HandlerFunc.
+func handle[Req, Rep any](f func(*Req) *Rep) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(f(&req))
+	}
+}
+
+func (c *Coordinator) lease(req *LeaseRequest) *LeaseReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	c.workers[req.Worker] = c.now()
+	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+	if c.pending == 0 || c.failErr != nil {
+		// The worker is leaving: drop it from the live set so Drain knows
+		// when every tail worker has been told the campaign is over.
+		delete(c.workers, req.Worker)
+		c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+		return &LeaseReply{Status: StatusDone}
+	}
+	for i, st := range c.state {
+		if st != cellPending {
+			continue
+		}
+		c.nextID++
+		l := &lease{id: c.nextID, cell: i, worker: req.Worker,
+			deadline: c.now().Add(c.opts.LeaseTTL)}
+		c.leases[l.id] = l
+		c.state[i] = cellLeased
+		c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+		return &LeaseReply{Status: StatusLease, LeaseID: l.id, Cell: i,
+			Spec: c.specs[i], TTL: c.opts.LeaseTTL}
+	}
+	// Everything pending is leased elsewhere: the campaign tail. Retry at
+	// the sweep cadence so a freed cell is picked up promptly.
+	return &LeaseReply{Status: StatusWait, RetryAfter: c.opts.LeaseTTL / 4}
+}
+
+func (c *Coordinator) heartbeat(req *HeartbeatRequest) *HeartbeatReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.Worker] = c.now()
+	l, ok := c.leases[req.LeaseID]
+	if !ok || l.worker != req.Worker {
+		return &HeartbeatReply{Status: StatusExpired}
+	}
+	l.deadline = c.now().Add(c.opts.LeaseTTL)
+	return &HeartbeatReply{Status: StatusOK}
+}
+
+func (c *Coordinator) abandon(req *AbandonRequest) *AbandonReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[req.LeaseID]
+	if !ok || l.worker != req.Worker {
+		return &AbandonReply{Status: StatusExpired}
+	}
+	// A graceful abandon (draining worker) does not burn a retry: the cell
+	// goes straight back to pending without blame.
+	delete(c.leases, req.LeaseID)
+	if c.state[l.cell] == cellLeased {
+		c.state[l.cell] = cellPending
+	}
+	c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+	return &AbandonReply{Status: StatusOK}
+}
+
+func (c *Coordinator) submit(req *SubmitRequest) (rep *SubmitReply) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.Worker] = c.now()
+	// Any reply carrying CampaignDone sends the worker away: drop it from
+	// the live set so Drain can tell when the fleet has been notified.
+	defer func() {
+		if rep.CampaignDone {
+			delete(c.workers, req.Worker)
+			c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+		}
+	}()
+
+	// Resolve the cell: through the live lease when it still exists,
+	// otherwise through the echoed cell index (the expired-lease case).
+	cell := -1
+	if l, ok := c.leases[req.LeaseID]; ok && l.worker == req.Worker {
+		cell = l.cell
+		delete(c.leases, req.LeaseID)
+		c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+	} else if req.Cell >= 0 && req.Cell < len(c.specs) {
+		cell = req.Cell
+	}
+	if cell < 0 {
+		return &SubmitReply{Status: StatusStale}
+	}
+
+	if req.Err != "" {
+		// Worker-side cell failure: requeue, charging a retry.
+		c.lastErr[cell] = fmt.Sprintf("%s: %s", req.Worker, req.Err)
+		if c.state[cell] == cellPending {
+			// The lease already expired and the sweep requeued it; don't
+			// double-charge.
+			return &SubmitReply{Status: StatusOK, CampaignDone: c.overLocked()}
+		}
+		c.requeueLocked(cell, "worker "+req.Worker+" reported failure")
+		return &SubmitReply{Status: StatusOK, CampaignDone: c.overLocked()}
+	}
+
+	if req.Result == nil {
+		return &SubmitReply{Status: StatusStale, CampaignDone: c.overLocked()}
+	}
+	if c.state[cell] == cellDone {
+		// A slow worker re-delivering a cell that was reassigned and
+		// completed elsewhere: idempotent no-op.
+		c.opts.Tel.DispatchSubmitDeduped()
+		return &SubmitReply{Status: StatusDuplicate, CampaignDone: c.overLocked()}
+	}
+	// Verify the result actually answers this cell's spec, on the same
+	// identity the resume logic uses (ResultSet.Covers): cell key plus
+	// Samples and Seed. A strict struct compare would be wrong here —
+	// core.Run normalizes zero Cluster/TimeoutFactor fields to their
+	// defaults before recording the spec in the result.
+	if got, want := req.Result.Spec, c.specs[cell]; got.Component != want.Component ||
+		got.Workload != want.Workload || got.Faults != want.Faults ||
+		got.Samples != want.Samples || got.Seed != want.Seed {
+		// A confused or restarted-with-a-different-grid worker. Discard.
+		return &SubmitReply{Status: StatusStale}
+	}
+	// Accept: even with no live lease the work is valid, because the spec
+	// (and its seed) fully determines the result. Drop any newer lease
+	// another worker holds on the same cell; its eventual submission will
+	// dedup.
+	for id, l := range c.leases {
+		if l.cell == cell {
+			delete(c.leases, id)
+		}
+	}
+	c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+	c.rs.Add(req.Result)
+	c.state[cell] = cellDone
+	c.pending--
+	c.opts.Tel.FlushCell(nil, nil) // completed-cells counter
+	if c.opts.OnCell != nil {
+		c.opts.OnCell(cell, req.Result)
+	}
+	if c.pending == 0 {
+		c.finish(nil)
+	}
+	return &SubmitReply{Status: StatusAccepted, CampaignDone: c.overLocked()}
+}
+
+// overLocked reports whether the campaign is over (complete or failed).
+// Callers hold mu.
+func (c *Coordinator) overLocked() bool {
+	return c.pending == 0 || c.failErr != nil
+}
+
+// Drain keeps the campaign's endgame orderly: it blocks until every worker
+// still in the live set has been told the campaign is over (workers leave
+// the set when a lease or final submit is answered with done), or until
+// timeout/ctx expires. Serving through this window lets tail workers —
+// those waiting out the StatusWait cadence while someone else ran the last
+// cell — learn the campaign's fate instead of finding a closed port and
+// retrying into their MaxDowntime.
+func (c *Coordinator) Drain(ctx context.Context, timeout time.Duration) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		c.mu.Lock()
+		n := len(c.workers)
+		c.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-deadline.C:
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package dispatch shards a campaign grid across processes and machines:
+// a coordinator owns the canonical core.ResultSet and hands out leases on
+// pending cells; workers lease a cell, run it through the normal core.Run
+// path, stream heartbeats and submit the result. Worker death is a normal
+// event — a lease whose worker stops heartbeating expires and the cell is
+// reassigned, with a bounded per-cell retry budget, and result acceptance
+// is idempotent so a slow worker re-delivering a completed cell is a
+// no-op. Seeded determinism makes the distributed grid byte-identical
+// (canonical ResultSet encoding) to a single-process run of the same spec,
+// and resumable/mergeable with one via the same Covers/Pending logic.
+//
+// The protocol is four JSON-over-HTTP POST endpoints, stdlib only.
+package dispatch
+
+import (
+	"time"
+
+	"mbusim/internal/core"
+)
+
+// Endpoint paths served by Coordinator.Mux.
+const (
+	PathLease     = "/dispatch/lease"
+	PathHeartbeat = "/dispatch/heartbeat"
+	PathSubmit    = "/dispatch/submit"
+	PathAbandon   = "/dispatch/abandon"
+)
+
+// Reply statuses.
+const (
+	// StatusLease: the LeaseReply carries a cell to run.
+	StatusLease = "lease"
+	// StatusWait: every pending cell is leased elsewhere; retry after
+	// RetryAfter.
+	StatusWait = "wait"
+	// StatusDone: the campaign is over (complete or failed); the worker
+	// should exit.
+	StatusDone = "done"
+	// StatusOK: heartbeat extended / abandon recorded.
+	StatusOK = "ok"
+	// StatusExpired: the lease is no longer held by this worker (it
+	// expired and may have been reassigned); the worker should stop its
+	// cell — though a late submit is still safe, just possibly wasted.
+	StatusExpired = "expired"
+	// StatusAccepted: the submitted result completed its cell.
+	StatusAccepted = "accepted"
+	// StatusDuplicate: the cell was already complete; the submission was
+	// dropped as a no-op.
+	StatusDuplicate = "duplicate"
+	// StatusStale: the submission matched no live lease and its spec did
+	// not match the cell it named; it was discarded.
+	StatusStale = "stale"
+)
+
+// LeaseRequest asks the coordinator for one pending cell.
+type LeaseRequest struct {
+	Worker string // stable worker identity, e.g. host:pid
+}
+
+// LeaseReply answers a lease request.
+type LeaseReply struct {
+	Status  string
+	LeaseID uint64    // with StatusLease
+	Cell    int       // coordinator's cell index, echoed back on submit
+	Spec    core.Spec // the cell to run, verbatim
+	// TTL is the lease lifetime: a worker silent (no heartbeat, no
+	// submit) for TTL loses the cell. Workers heartbeat at TTL/3.
+	TTL time.Duration
+	// RetryAfter, with StatusWait, is how long to pause before asking
+	// again.
+	RetryAfter time.Duration
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker  string
+	LeaseID uint64
+}
+
+// HeartbeatReply is StatusOK or StatusExpired.
+type HeartbeatReply struct {
+	Status string
+}
+
+// SubmitRequest delivers a completed cell — or, with Err set, reports that
+// the cell failed on the worker (a panicking sample, a simulator error),
+// which counts against the cell's retry budget.
+type SubmitRequest struct {
+	Worker  string
+	LeaseID uint64
+	Cell    int          // cell index from the LeaseReply
+	Result  *core.Result // nil when Err is set
+	Err     string       // worker-side cell failure, counts as a retry
+}
+
+// SubmitReply is StatusAccepted, StatusDuplicate, StatusStale or (for a
+// reported failure) StatusOK.
+type SubmitReply struct {
+	Status string
+	// CampaignDone piggybacks the campaign's fate on the submit reply: when
+	// true the worker exits without another lease round-trip. Without it a
+	// worker submitting the final cell races the coordinator's shutdown and
+	// burns MaxDowntime discovering a closed port.
+	CampaignDone bool
+}
+
+// AbandonRequest releases a lease without burning a retry: a draining
+// worker (SIGINT/SIGTERM) hands its unfinished cell straight back.
+type AbandonRequest struct {
+	Worker  string
+	LeaseID uint64
+}
+
+// AbandonReply is StatusOK or StatusExpired.
+type AbandonReply struct {
+	Status string
+}

@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"time"
+
 	"mbusim/internal/asm"
 	"mbusim/internal/cache"
 	"mbusim/internal/cpu"
@@ -120,9 +122,13 @@ func (m *Machine) Load(prog *asm.Program) error {
 
 // Outcome records how a run ended.
 type Outcome struct {
-	Stop      cpu.StopKind
-	TimedOut  bool // hit the cycle limit (the paper's Timeout class)
-	Assert    bool // simulated-hardware assertion (the Assert class)
+	Stop     cpu.StopKind
+	TimedOut bool // hit the cycle limit (the paper's Timeout class)
+	// WallTimedOut marks a TimedOut outcome that was forced by the
+	// wall-clock watchdog (RunWatched deadline) rather than the simulated
+	// cycle limit — the host-side pathological-slowness case.
+	WallTimedOut bool
+	Assert       bool // simulated-hardware assertion (the Assert class)
 	AssertMsg string
 	ExitCode  uint32
 	Stdout    []byte
@@ -147,7 +153,23 @@ func (m *Machine) Run(maxCycles, injectAt uint64, inject func(*Machine)) (out Ou
 // invoked after every Core.Cycle(), which is how the forensics layer steps
 // a lockstep shadow machine and compares architectural digests. A nil
 // onCycle makes RunObserved identical to Run.
-func (m *Machine) RunObserved(maxCycles, injectAt uint64, inject func(*Machine), onCycle func(*Machine)) (out Outcome) {
+func (m *Machine) RunObserved(maxCycles, injectAt uint64, inject func(*Machine), onCycle func(*Machine)) Outcome {
+	return m.RunWatched(maxCycles, injectAt, inject, onCycle, time.Time{})
+}
+
+// watchdogStride is how many simulated cycles elapse between wall-clock
+// checks in RunWatched. A power of two so the gate is a mask, cheap enough
+// to leave in the per-cycle loop; the first iteration always checks, so an
+// already-expired deadline stops the run before any simulated work.
+const watchdogStride = 4096
+
+// RunWatched is RunObserved with a wall-clock watchdog: if deadline is
+// nonzero and passes while the simulation is still running, the run stops
+// with TimedOut and WallTimedOut set, complementing the simulated-cycle
+// maxCycles limit. The deadline is polled every watchdogStride cycles, so
+// the check costs nothing measurable yet a wedged or pathologically slow
+// sample is bounded by real time, not just simulated time.
+func (m *Machine) RunWatched(maxCycles, injectAt uint64, inject func(*Machine), onCycle func(*Machine), deadline time.Time) (out Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			ae, ok := r.(mem.AssertError)
@@ -159,6 +181,8 @@ func (m *Machine) RunObserved(maxCycles, injectAt uint64, inject func(*Machine),
 			out.AssertMsg = ae.Msg
 		}
 	}()
+	watch := !deadline.IsZero()
+	ticks := uint64(0)
 	for m.Core.Stopped() == cpu.StopNone {
 		if inject != nil && m.Core.Cycles() >= injectAt {
 			inject(m)
@@ -169,6 +193,13 @@ func (m *Machine) RunObserved(maxCycles, injectAt uint64, inject func(*Machine),
 			out.TimedOut = true
 			return out
 		}
+		if watch && ticks&(watchdogStride-1) == 0 && time.Now().After(deadline) {
+			out = m.outcome()
+			out.TimedOut = true
+			out.WallTimedOut = true
+			return out
+		}
+		ticks++
 		m.Core.Cycle()
 		if onCycle != nil {
 			onCycle(m)

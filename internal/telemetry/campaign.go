@@ -30,6 +30,17 @@ const (
 	MetricFates       = "gefin_fates_total" // + {comp="...",fate="..."}
 	MetricOccupancyBP = "gefin_inject_occupancy_bp"
 	MetricDirtyBP     = "gefin_inject_dirty_bp"
+
+	// Robustness and dispatch series (PR 5): recovered sample panics, and
+	// the coordinator's view of a distributed campaign — live workers,
+	// outstanding leases, expiry/reassignment churn and deduplicated
+	// resubmissions.
+	MetricWorkerPanics    = "gefin_worker_panics_total"
+	MetricDispatchWorkers = "gefin_dispatch_workers_live"
+	MetricDispatchLeased  = "gefin_dispatch_cells_leased"
+	MetricDispatchExpired = "gefin_dispatch_leases_expired_total"
+	MetricDispatchRetried = "gefin_dispatch_cells_retried_total"
+	MetricDispatchDeduped = "gefin_dispatch_submits_deduped_total"
 )
 
 // Campaign bundles a metrics registry and an optional tracer behind typed
@@ -102,6 +113,60 @@ func itoa(n int) string {
 		return string([]byte{byte('0' + n)})
 	}
 	return itoa(n/10) + string([]byte{byte('0' + n%10)})
+}
+
+// RecordWorkerPanic counts one recovered sample-worker panic (the sample's
+// cell fails cleanly instead of aborting the process).
+func (c *Campaign) RecordWorkerPanic() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricWorkerPanics).Inc()
+}
+
+// SetDispatchWorkers publishes the coordinator's live-worker count: workers
+// that have leased, heartbeated or submitted recently.
+func (c *Campaign) SetDispatchWorkers(n int64) {
+	if c == nil {
+		return
+	}
+	c.Registry.Gauge(MetricDispatchWorkers).Set(n)
+}
+
+// SetDispatchLeased publishes the number of cells currently out on lease.
+func (c *Campaign) SetDispatchLeased(n int64) {
+	if c == nil {
+		return
+	}
+	c.Registry.Gauge(MetricDispatchLeased).Set(n)
+}
+
+// DispatchLeaseExpired counts one lease whose worker stopped heartbeating
+// before completing its cell.
+func (c *Campaign) DispatchLeaseExpired() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricDispatchExpired).Inc()
+}
+
+// DispatchCellRetried counts one cell returned to the pending queue for
+// reassignment (lease expiry or a worker-reported failure).
+func (c *Campaign) DispatchCellRetried() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricDispatchRetried).Inc()
+}
+
+// DispatchSubmitDeduped counts one result delivered for an already-complete
+// cell and dropped as a no-op (a slow worker re-delivering after its lease
+// was reassigned).
+func (c *Campaign) DispatchSubmitDeduped() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricDispatchDeduped).Inc()
 }
 
 // FlushCell persists one completed cell's trace records and forensics

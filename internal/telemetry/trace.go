@@ -157,6 +157,13 @@ type Trace struct {
 	// Unknown counts records whose "type" the reader does not understand;
 	// they are skipped, not errors, so newer traces stay parseable.
 	Unknown int
+	// Truncated counts a malformed final line, skipped rather than failing
+	// the read: a process killed mid-write (the crash case this package's
+	// per-cell flushing otherwise guards against at cell granularity) can
+	// leave a partial last line, and every complete record before it is
+	// still good data. A malformed line with records after it is still an
+	// error — that is corruption, not truncation.
+	Truncated int
 }
 
 // ReadTrace parses a JSONL trace stream back into sample records, e.g. for
@@ -175,35 +182,49 @@ func ReadTrace(r io.Reader) ([]SampleRecord, error) {
 // ReadTraceTyped parses a JSONL trace stream, dispatching each line on its
 // "type" field. Untyped lines (schema v1) are samples; unknown types are
 // counted and skipped rather than erroring, so readers built today survive
-// record kinds added tomorrow.
+// record kinds added tomorrow. A malformed FINAL line — what a crashed or
+// killed writer leaves behind — is skipped and counted in Trace.Truncated
+// instead of failing the whole read; a malformed line followed by more
+// data still fails with its line number.
 func ReadTraceTyped(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	line := 0
+	// A parse error is held back one line: if another non-empty line
+	// follows, the file is corrupt mid-stream and the held error is
+	// returned; if the stream ends first, the bad line was a crash-truncated
+	// tail and is skipped.
+	var pendingErr error
 	for sc.Scan() {
 		line++
 		b := bytes.TrimSpace(sc.Bytes())
 		if len(b) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
 		var hdr struct {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(b, &hdr); err != nil {
-			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+			pendingErr = fmt.Errorf("telemetry: trace line %d: %w", line, err)
+			continue
 		}
 		switch hdr.Type {
 		case "", RecordSample:
 			var rec SampleRecord
 			if err := json.Unmarshal(b, &rec); err != nil {
-				return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+				pendingErr = fmt.Errorf("telemetry: trace line %d: %w", line, err)
+				continue
 			}
 			tr.Samples = append(tr.Samples, rec)
 		case RecordForensics:
 			var rec FateRecord
 			if err := json.Unmarshal(b, &rec); err != nil {
-				return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+				pendingErr = fmt.Errorf("telemetry: trace line %d: %w", line, err)
+				continue
 			}
 			tr.Fates = append(tr.Fates, rec)
 		default:
@@ -212,6 +233,9 @@ func ReadTraceTyped(r io.Reader) (*Trace, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if pendingErr != nil {
+		tr.Truncated++
 	}
 	return tr, nil
 }

@@ -77,10 +77,63 @@ func TestTracerLatchesFirstError(t *testing.T) {
 	}
 }
 
-func TestReadTraceRejectsMalformedLine(t *testing.T) {
-	_, err := ReadTrace(strings.NewReader("{\"comp\":\"L1D\"}\nnot json\n"))
+func TestReadTraceRejectsMalformedMidStreamLine(t *testing.T) {
+	// A malformed line FOLLOWED BY more records is corruption, not crash
+	// truncation, and still fails with its line number.
+	_, err := ReadTrace(strings.NewReader("{\"comp\":\"L1D\"}\nnot json\n{\"comp\":\"L1I\"}\n"))
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("err = %v, want a line-2 parse error", err)
+	}
+}
+
+// TestReadTraceToleratesTruncatedTail pins the crash-recovery contract: a
+// process killed mid-write leaves a partial final line, and the reader
+// skips and counts it instead of discarding every complete record before
+// it.
+func TestReadTraceToleratesTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	NewTracer(&buf).WriteCell(sampleBatch("sha", 3), nil)
+	whole := buf.String()
+
+	for _, tc := range []struct {
+		name string
+		tail string
+	}{
+		{"mid-json cut", `{"type":"sample","comp":"L1D","work`},
+		{"cut inside a string escape", `{"type":"sample","comp":"L1D\`},
+		{"binary garbage", "\x00\x1f\x7f garbage"},
+		{"typed but unparseable sample", `{"type":"sample","faults":"notanint"}`},
+		{"typed but unparseable forensics", `{"type":"forensics","faults":"notanint"}`},
+	} {
+		tr, err := ReadTraceTyped(strings.NewReader(whole + tc.tail))
+		if err != nil {
+			t.Fatalf("%s: err = %v, want truncated tail tolerated", tc.name, err)
+		}
+		if len(tr.Samples) != 3 {
+			t.Fatalf("%s: %d samples survived, want 3", tc.name, len(tr.Samples))
+		}
+		if tr.Truncated != 1 {
+			t.Fatalf("%s: Truncated = %d, want 1", tc.name, tr.Truncated)
+		}
+	}
+
+	// A clean file reports zero truncation.
+	tr, err := ReadTraceTyped(strings.NewReader(whole))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Truncated != 0 {
+		t.Fatalf("clean trace reported Truncated = %d", tr.Truncated)
+	}
+
+	// Trailing blank lines after a truncated line do not resurrect the
+	// error: blanks are not records.
+	tr, err = ReadTraceTyped(strings.NewReader(whole + "{\"half\n\n\n"))
+	if err != nil {
+		t.Fatalf("trailing blanks after truncation: %v", err)
+	}
+	if tr.Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", tr.Truncated)
 	}
 }
 
