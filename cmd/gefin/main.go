@@ -104,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallel", 0, "cells dispatched concurrently (0 = GOMAXPROCS; sample workers share the cores)")
 		quiet      = fs.Bool("q", false, "suppress per-cell progress")
 		nockpt     = fs.Bool("nockpt", false, "replay every run from cycle 0 instead of fast-forwarding from golden checkpoints")
+		nodelta    = fs.Bool("nodelta", false, "build and fully restore a fresh machine per sample instead of delta-restoring one reused machine per worker (A/B verification knob)")
 		ckpts      = fs.Int("checkpoints", workloads.CheckpointCount, "golden checkpoints per workload (K)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile after the campaign to this file")
@@ -142,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var specs []core.Spec
 	if !joinMode {
 		var code int
-		specs, code = buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt, fmode.mode, *wallTO)
+		specs, code = buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt, *nodelta, fmode.mode, *wallTO)
 		if code != 0 {
 			return code
 		}
@@ -535,7 +536,7 @@ func fateLine(s telemetry.Summary) string {
 // buildSpecs expands the flag set into the campaign grid, validating
 // component and workload lists up front — a typo must fail before the
 // first golden run is built, not hours into the grid.
-func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, samples int, seed uint64, nockpt bool, fmode forensics.Mode, wallTO time.Duration) ([]core.Spec, int) {
+func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, samples int, seed uint64, nockpt, nodelta bool, fmode forensics.Mode, wallTO time.Duration) ([]core.Spec, int) {
 	var specs []core.Spec
 	if all {
 		comps := core.Components()
@@ -565,7 +566,7 @@ func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, sampl
 						Workload: w, Component: c, Faults: k,
 						Samples: samples, Seed: seed,
 						NoCheckpoints: nockpt, Forensics: fmode,
-						WallTimeout:   wallTO,
+						WallTimeout: wallTO,
 					})
 				}
 			}
@@ -578,8 +579,8 @@ func buildSpecs(stderr io.Writer, all bool, comp, workload string, faults, sampl
 		specs = append(specs, core.Spec{
 			Workload: workload, Component: comp, Faults: faults,
 			Samples: samples, Seed: seed,
-			NoCheckpoints: nockpt, Forensics: fmode,
-			WallTimeout:   wallTO,
+			NoCheckpoints: nockpt, NoDelta: nodelta, Forensics: fmode,
+			WallTimeout: wallTO,
 		})
 	}
 	for _, s := range specs {

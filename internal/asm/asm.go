@@ -479,10 +479,13 @@ func (a *assembler) instruction(n int, line string) error {
 		a.emit32(0)
 		a.emit32(0)
 		return nil
-	case "cmp":
+	case "cmp", "cmpi":
 		rn, err := reg(0)
 		if err != nil {
 			return err
+		}
+		if mnemonic == "cmpi" && (len(ops) != 2 || !strings.HasPrefix(ops[1], "#")) {
+			return bad("cmpi needs an immediate operand")
 		}
 		if len(ops) == 2 && strings.HasPrefix(ops[1], "#") {
 			v, err2 := parseInt(ops[1])

@@ -94,6 +94,13 @@ type Cache struct {
 	useClock uint64
 	probe    Probe
 
+	// Dirty tracking for delta restore: when armed (TrackDirty), every
+	// mutated row lands in dirtyRows exactly once and RestoreDirty rewinds
+	// only those rows. Disarmed by default.
+	track     bool
+	rowDirty  []bool
+	dirtyRows []int32
+
 	// Statistics.
 	Hits, Misses, Writebacks uint64
 }
@@ -205,6 +212,7 @@ func (c *Cache) fill(set, tag uint32, pa uint32) (int, int) {
 	}
 	lineBase := pa &^ uint32(c.cfg.LineSize-1)
 	lat += c.next.ReadLine(lineBase, ln.data)
+	c.markRow(row)
 	ln.tag = tag
 	ln.valid = true
 	ln.dirty = false
@@ -214,9 +222,19 @@ func (c *Cache) fill(set, tag uint32, pa uint32) (int, int) {
 	return w, lat
 }
 
+// markRow records row as mutated since TrackDirty was armed.
+func (c *Cache) markRow(row int) {
+	if c.track && !c.rowDirty[row] {
+		c.rowDirty[row] = true
+		c.dirtyRows = append(c.dirtyRows, int32(row))
+	}
+}
+
 func (c *Cache) touch(set uint32, way int) *line {
 	c.useClock++
-	ln := &c.lines[int(set)*c.cfg.Ways+way]
+	row := int(set)*c.cfg.Ways + way
+	c.markRow(row)
+	ln := &c.lines[row]
 	ln.lastUse = c.useClock
 	return ln
 }
@@ -311,6 +329,7 @@ func (c *Cache) FlushAll() {
 				c.probe.OnWriteback(i)
 			}
 			c.next.WriteLine(c.addrOf(set, ln.tag), ln.data)
+			c.markRow(i)
 			ln.dirty = false
 		}
 	}
@@ -337,6 +356,7 @@ func (c *Cache) FlipBit(row, col int) {
 	if row < 0 || row >= len(c.lines) || col < 0 || col >= c.Cols() {
 		panic(fmt.Sprintf("cache %s: FlipBit(%d,%d) out of range", c.cfg.Name, row, col))
 	}
+	c.markRow(row)
 	ln := &c.lines[row]
 	switch {
 	case col == 0:

@@ -96,3 +96,86 @@ func TestCacheSnapshotGeometryMismatchPanics(t *testing.T) {
 	}()
 	other.Restore(s)
 }
+
+// TestCacheDeltaRestoreRoundTrip pins the dirty-tracking contract: after
+// arming at a snapshot-equal state, accesses, refills, fault flips and
+// full flushes are all rewound exactly by RestoreDirty, repeatedly.
+func TestCacheDeltaRestoreRoundTrip(t *testing.T) {
+	c, _ := snapTestCache()
+	fillCache(c)
+	s := c.Snapshot()
+
+	c.TrackDirty()
+	for round := 0; round < 3; round++ {
+		fillCache(c) // hits, misses, refills, evictions
+		c.FlipBit(2, 5)
+		c.FlipBit(0, c.Cols()-1)
+		if round == 1 {
+			c.FlushAll()
+		}
+		c.RestoreDirty(s)
+		if !c.EqualsSnapshot(s) {
+			t.Fatalf("round %d: EqualsSnapshot false after delta restore", round)
+		}
+		if !reflect.DeepEqual(c.Snapshot(), s) {
+			t.Fatalf("round %d: delta-restored cache re-snapshots differently", round)
+		}
+	}
+
+	// Untracked cache: RestoreDirty falls back to a full restore and arms.
+	c2, _ := snapTestCache()
+	fillCache(c2)
+	c2.RestoreDirty(s)
+	if !reflect.DeepEqual(c2.Snapshot(), s) {
+		t.Fatal("untracked RestoreDirty fallback differs from the snapshot")
+	}
+	c2.FlipBit(1, 1)
+	c2.RestoreDirty(s)
+	if !reflect.DeepEqual(c2.Snapshot(), s) {
+		t.Fatal("armed-by-fallback delta restore differs from the snapshot")
+	}
+}
+
+// TestCacheDeltaRestoreNoAliasing: mutating a delta-restored cache never
+// reaches back into the snapshot.
+func TestCacheDeltaRestoreNoAliasing(t *testing.T) {
+	c, _ := snapTestCache()
+	fillCache(c)
+	s := c.Snapshot()
+
+	c.TrackDirty()
+	c.FlipBit(0, 3)
+	c.RestoreDirty(s)
+	for col := 0; col < c.Cols(); col++ {
+		c.FlipBit(0, col) // mutate after the delta restore
+	}
+
+	c3, _ := snapTestCache()
+	c3.Restore(s)
+	if !c3.EqualsSnapshot(s) {
+		t.Fatal("snapshot mutated through a delta-restored cache")
+	}
+}
+
+// TestCacheEqualsSnapshot: the equality check accepts the snapshotted
+// state and rejects flipped bits and perturbed counters.
+func TestCacheEqualsSnapshot(t *testing.T) {
+	c, _ := snapTestCache()
+	fillCache(c)
+	s := c.Snapshot()
+	if !c.EqualsSnapshot(s) {
+		t.Fatal("cache does not equal its own snapshot")
+	}
+	c.FlipBit(3, 0)
+	if c.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a flipped bit")
+	}
+	c.FlipBit(3, 0)
+	if !c.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot false after undoing the flip")
+	}
+	c.Hits++
+	if c.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a perturbed hit counter")
+	}
+}

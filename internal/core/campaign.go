@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mbusim/internal/cpu"
 	"mbusim/internal/forensics"
 	"mbusim/internal/sim"
 	"mbusim/internal/stats"
@@ -49,6 +50,15 @@ type Spec struct {
 	// outcomes; this knob exists for cross-checking and for bounding
 	// memory on very large configurations.
 	NoCheckpoints bool
+
+	// NoDelta forces every checkpointed run to build a fresh machine and
+	// fully restore it from the checkpoint snapshot, instead of reusing one
+	// machine per worker and rewinding only the state the previous sample
+	// dirtied (sim.Machine.RestoreDelta). The two paths produce identical
+	// outcomes; this knob exists for A/B verification of the delta-restore
+	// fast path. Implied by NoCheckpoints (there is no checkpoint to delta
+	// against).
+	NoDelta bool
 
 	// Protect evaluates an error-protection scheme on the target structure
 	// (extension; see Protection). The zero value is no protection, the
@@ -193,10 +203,12 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 	limit := uint64(spec.TimeoutFactor * float64(golden.Cycles))
 
 	// Pre-draw per-run randomness deterministically so results do not
-	// depend on worker scheduling.
+	// depend on worker scheduling. idx is the sample's identity in traces
+	// and progress accounting, fixed before any reordering below.
 	type job struct {
 		injectAt uint64
 		maskSeed uint64
+		idx      int
 	}
 	seedRNG := rand.New(rand.NewPCG(spec.Seed, 0x9E3779B97F4A7C15))
 	jobs := make([]job, spec.Samples)
@@ -204,8 +216,17 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 		jobs[i] = job{
 			injectAt: seedRNG.Uint64N(golden.Cycles),
 			maskSeed: seedRNG.Uint64(),
+			idx:      i,
 		}
 	}
+	// Dispatch jobs in injection-cycle order: samples that restore from the
+	// same golden checkpoint become adjacent, so a worker's delta-restored
+	// machine stays on one baseline for long stretches instead of paying a
+	// full restore at every checkpoint switch. Sample identity travels with
+	// the job, and both the counts and the flushed traces are
+	// order-independent (traces are re-sorted by sample index), so results
+	// are bit-identical to index-order dispatch.
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].injectAt < jobs[j].injectAt })
 
 	// Build the workload's checkpoint set before the workers start so the
 	// one-time construction cost is not paid under the first worker's run.
@@ -263,16 +284,28 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 		go func(wk int) {
 			defer wg.Done()
 			local := &workerCounts[wk]
+			// Each worker owns a pair of delta-restoring machine caches
+			// (faulty + forensics shadow); the NoDelta / NoCheckpoints
+			// escape hatches leave them nil and runOne builds fresh
+			// machines as before.
+			var rst, shadowRst *workloads.Restorer
+			if !spec.NoCheckpoints && !spec.NoDelta {
+				rst = w.NewRestorer()
+				if spec.Forensics == forensics.ModeFull {
+					shadowRst = w.NewRestorer()
+				}
+			}
 			for !failed.Load() && ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
+				j := int(next.Add(1)) - 1
+				if j >= len(jobs) {
 					return
 				}
+				i := jobs[j].idx
 				var start time.Time
 				if tel.Enabled() {
 					start = time.Now()
 				}
-				effect, meta, err := runOneRecovered(w, golden, spec, limit, jobs[i].injectAt, jobs[i].maskSeed, i, obsOcc, tel)
+				effect, meta, err := runOneRecovered(w, golden, spec, limit, jobs[j].injectAt, jobs[j].maskSeed, i, obsOcc, tel, rst, shadowRst)
 				if err != nil {
 					workerErrs[wk] = err
 					failed.Store(true)
@@ -283,7 +316,7 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 					rec := telemetry.SampleRecord{
 						Component: spec.Component, Workload: spec.Workload,
 						Faults: spec.Faults, Sample: i, Seed: spec.Seed,
-						InjectCycle: jobs[i].injectAt, MaskBits: meta.maskBits,
+						InjectCycle: jobs[j].injectAt, MaskBits: meta.maskBits,
 						Checkpoint: meta.checkpoint, CyclesSkipped: meta.cyclesSkipped,
 						Outcome:    effect.Label(),
 						DurationNS: time.Since(start).Nanoseconds(),
@@ -296,7 +329,7 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 						fr := telemetry.FateRecord{
 							Component: spec.Component, Workload: spec.Workload,
 							Faults: spec.Faults, Sample: i, Seed: spec.Seed,
-							InjectCycle:   jobs[i].injectAt,
+							InjectCycle:   jobs[j].injectAt,
 							Mask:          maskPairs(meta.mask),
 							Fate:          meta.report.Fate.Label(),
 							FirstTouchLat: meta.report.FirstTouchLat,
@@ -373,6 +406,23 @@ func run(ctx context.Context, spec Spec, progress Progress, workers int, tel *te
 // maxSpanningTries bounds the rejection sampling of ForceSpanning masks.
 const maxSpanningTries = 1000
 
+// sampleScratch holds the per-sample scratch state of the hot sample path:
+// the mask RNG (reseeded for every sample, so one PCG serves them all), the
+// Fisher-Yates permutation buffer and the mask cell buffer. Pooling it
+// removes every mask-drawing allocation from runOne; the machines
+// themselves are already reused through each worker's Restorer.
+type sampleScratch struct {
+	pcg   *rand.PCG
+	rng   *rand.Rand
+	idx   []int
+	cells []Cell
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	pcg := rand.NewPCG(0, 0)
+	return &sampleScratch{pcg: pcg, rng: rand.New(pcg)}
+}}
+
 // maskPairs encodes a mask as the [row, col] pairs of the trace schema.
 func maskPairs(m Mask) [][2]int {
 	out := make([][2]int, len(m.Cells))
@@ -412,7 +462,7 @@ var testSampleHook func(spec Spec, sample int)
 // cells dispatched across machines, a process abort would kill every cell
 // the process holds; a clean per-cell error lets the campaign retry or
 // fail just the one cell.
-func runOneRecovered(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64, sample int, obsOcc bool, tel *telemetry.Campaign) (effect Effect, meta runMeta, err error) {
+func runOneRecovered(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64, sample int, obsOcc bool, tel *telemetry.Campaign, rst, shadowRst *workloads.Restorer) (effect Effect, meta runMeta, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			tel.RecordWorkerPanic()
@@ -423,22 +473,30 @@ func runOneRecovered(w *workloads.Workload, golden *workloads.Golden, spec Spec,
 	if testSampleHook != nil {
 		testSampleHook(spec, sample)
 	}
-	return runOne(w, golden, spec, limit, injectAt, maskSeed, obsOcc)
+	return runOne(w, golden, spec, limit, injectAt, maskSeed, obsOcc, rst, shadowRst)
 }
 
 // runOne performs a single fault-injection simulation. Unless the spec
 // forbids it, the machine is fast-forwarded from the workload's nearest
 // golden checkpoint at or before the injection cycle instead of replaying
-// the whole golden prefix from cycle 0; the two paths are bit-identical
-// because checkpoints capture the complete machine state and execution is
-// deterministic.
-func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64, obsOcc bool) (Effect, runMeta, error) {
+// the whole golden prefix from cycle 0, and comes from the worker's
+// Restorer (rst), which rewinds one long-lived machine by delta restore
+// instead of building a fresh one per sample. All the paths are
+// bit-identical because checkpoints capture the complete machine state and
+// execution is deterministic.
+func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, injectAt, maskSeed uint64, obsOcc bool, rst, shadowRst *workloads.Restorer) (Effect, runMeta, error) {
 	meta := runMeta{checkpoint: -1}
 	var m *sim.Machine
 	var err error
-	if spec.NoCheckpoints {
+	switch {
+	case spec.NoCheckpoints:
 		m, err = w.NewMachine()
-	} else {
+	case rst != nil:
+		var ck workloads.Checkpoint
+		m, ck, err = rst.MachineAt(injectAt)
+		meta.checkpoint = ck.Index
+		meta.cyclesSkipped = ck.Cycle
+	default:
 		var ck workloads.Checkpoint
 		m, ck, err = w.MachineAt(injectAt)
 		meta.checkpoint = ck.Index
@@ -451,11 +509,20 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 	if err != nil {
 		return 0, meta, err
 	}
-	rng := rand.New(rand.NewPCG(maskSeed, 0xDEADBEEFCAFEF00D))
-	mask := GenerateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster)
+	sc := scratchPool.Get().(*sampleScratch)
+	defer scratchPool.Put(sc)
+	sc.pcg.Seed(maskSeed, 0xDEADBEEFCAFEF00D)
+	rng := sc.rng
+	// Forensics retains the mask beyond the sample (trace records), so it
+	// must own its cells; the hot path borrows the scratch buffer instead.
+	msc := sc
+	if spec.Forensics != forensics.ModeOff {
+		msc = nil
+	}
+	mask := generateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster, msc)
 	if spec.ForceSpanning {
 		for tries := 0; !mask.Spanning(spec.Cluster) && tries < maxSpanningTries; tries++ {
-			mask = GenerateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster)
+			mask = generateMask(rng, target.Rows(), target.Cols(), spec.Faults, spec.Cluster, msc)
 		}
 		if !mask.Spanning(spec.Cluster) {
 			// Silently running a non-spanning mask would violate the
@@ -502,9 +569,12 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 	// earliest bound on architectural visibility.
 	var shadow *sim.Machine
 	if spec.Forensics == forensics.ModeFull {
-		if spec.NoCheckpoints {
+		switch {
+		case spec.NoCheckpoints:
 			shadow, err = w.NewMachine()
-		} else {
+		case shadowRst != nil:
+			shadow, _, err = shadowRst.MachineAt(injectAt)
+		default:
 			shadow, _, err = w.MachineAt(injectAt)
 		}
 		if err != nil {
@@ -553,7 +623,23 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 	if spec.WallTimeout > 0 {
 		deadline = time.Now().Add(spec.WallTimeout)
 	}
-	out := m.RunWatched(limit, injectAt, inject, onCycle, deadline)
+	// Convergence exit: once every trace of the injected fault has been
+	// scrubbed from the machine — overwritten cells, evicted lines, no
+	// timing perturbation left — the rest of the run is, by determinism,
+	// bit-identical to the golden run, so simulating it only re-derives the
+	// golden outcome. Forensics modes run to completion regardless: they
+	// observe the fault's lifecycle, which the exit would truncate.
+	var out sim.Outcome
+	if !spec.NoCheckpoints && spec.Forensics == forensics.ModeOff {
+		out = runToConvergence(w, m, golden, limit, injectAt, inject, deadline)
+	} else {
+		out = m.RunWatched(limit, injectAt, inject, onCycle, deadline)
+	}
+	// Probes are wiring, not snapshot state: detach this sample's tracker
+	// so the worker's reused machine runs the next sample unprobed.
+	if tr != nil {
+		tr.Detach()
+	}
 	if attachErr != nil {
 		return 0, meta, attachErr
 	}
@@ -564,6 +650,45 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 		meta.hasReport = true
 	}
 	return eff, meta, nil
+}
+
+// runToConvergence runs the faulty machine like RunWatched, but pauses at
+// every golden checkpoint cycle the run crosses and compares the machine's
+// complete state against that checkpoint's snapshot. On bit-equality the
+// remainder of the run is deterministically the golden run, so the golden
+// outcome is returned without simulating it (Classify maps it to
+// EffectMasked, exactly as the full run would). The compare is exact —
+// every counter and replacement stamp must match — so a fault that leaves
+// any trace, architectural or timing, runs to completion as before, and the
+// returned outcome is bit-identical to RunWatched's in every case.
+func runToConvergence(w *workloads.Workload, m *sim.Machine, golden *workloads.Golden, limit, injectAt uint64, inject func(*sim.Machine), deadline time.Time) sim.Outcome {
+	cycles, snaps, err := w.GoldenCheckpoints()
+	if err != nil {
+		return m.RunWatched(limit, injectAt, inject, nil, deadline)
+	}
+	// First checkpoint strictly after the injection cycle: earlier ones
+	// cannot witness the fault, later ones are visited in order below.
+	for idx := sort.Search(len(cycles), func(i int) bool { return cycles[i] > injectAt }); idx < len(cycles); idx++ {
+		seg := cycles[idx]
+		if limit > 0 && seg >= limit {
+			break
+		}
+		out := m.RunWatched(seg, injectAt, inject, nil, deadline)
+		inject = nil
+		if !out.TimedOut || out.WallTimedOut {
+			return out // stopped (or was wall-killed) before the crossing
+		}
+		if m.EqualsSnapshot(snaps[idx]) {
+			return sim.Outcome{
+				Stop:      cpu.StopExit,
+				ExitCode:  golden.ExitCode,
+				Stdout:    golden.Stdout,
+				Cycles:    golden.Cycles,
+				Committed: golden.Committed,
+			}
+		}
+	}
+	return m.RunWatched(limit, injectAt, inject, nil, deadline)
 }
 
 // CellKey identifies one campaign cell inside a ResultSet.

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"math/rand/v2"
 	"reflect"
 	"testing"
 
+	"mbusim/internal/forensics"
 	"mbusim/internal/sim"
 	"mbusim/internal/workloads"
 )
@@ -137,5 +139,83 @@ func TestTargetBitsPopulation(t *testing.T) {
 	legacy := &Result{GoldenCycles: 100}
 	if got := legacy.population(); got != 100*1e6 {
 		t.Fatalf("legacy population = %g, want %g", got, 100*1e6)
+	}
+}
+
+// TestCampaignPathEquivalence pins the three machine-management paths of
+// the sample loop against each other at full campaign granularity: the
+// default path (checkpoint fast-forward + per-worker delta-restored
+// machine + convergence exit), the NoDelta path (checkpoint fast-forward
+// into a fresh machine per sample) and the NoCheckpoints path (replay from
+// cycle 0, no convergence exit) must classify every sample identically.
+// L1I cells exercise the predecode-invalidation rule across all paths:
+// I-side corruption must force the slow decode path identically whether
+// the machine was built fresh or rewound by delta restore. The delta and
+// full-restore results must also be byte-identical once serialized.
+func TestCampaignPathEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, comp := range []string{CompL1I, CompL1D} {
+		base := Spec{Workload: "stringSearch", Component: comp, Faults: 2, Samples: 24, Seed: 11}
+
+		def, err := Run(ctx, base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noDelta := base
+		noDelta.NoDelta = true
+		nd, err := Run(ctx, noDelta, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noCkpt := base
+		noCkpt.NoCheckpoints = true
+		nc, err := Run(ctx, noCkpt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if def.Counts != nd.Counts {
+			t.Fatalf("%s: delta %v != full-restore %v", comp, def.Counts, nd.Counts)
+		}
+		if def.Counts != nc.Counts {
+			t.Fatalf("%s: delta %v != no-checkpoints %v", comp, def.Counts, nc.Counts)
+		}
+
+		// Byte-identical serialization: the NoDelta knob is the only
+		// intended difference between the two results.
+		nd.Spec.NoDelta = false
+		rsA, rsB := NewResultSet(), NewResultSet()
+		rsA.Add(def)
+		rsB.Add(nd)
+		encA, err := rsA.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		encB, err := rsB.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encA, encB) {
+			t.Fatalf("%s: delta and full-restore campaigns encode differently:\n%s\n---\n%s", comp, encA, encB)
+		}
+
+		// Forensics rides the same machine paths (plus probes and, in full
+		// mode, a lockstep shadow); classified outcomes must not change.
+		fast := base
+		fast.Forensics = forensics.ModeFast
+		ff, err := Run(ctx, fast, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastND := noDelta
+		fastND.Forensics = forensics.ModeFast
+		fn, err := Run(ctx, fastND, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ff.Counts != def.Counts || fn.Counts != def.Counts {
+			t.Fatalf("%s: forensics changed classifications: off %v fast %v fast-nodelta %v",
+				comp, def.Counts, ff.Counts, fn.Counts)
+		}
 	}
 }

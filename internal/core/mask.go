@@ -33,6 +33,16 @@ type Mask struct {
 // cannot fit the cluster or k exceeds the cluster capacity — configuration
 // errors, not runtime conditions.
 func GenerateMask(rng *rand.Rand, rows, cols, k int, cluster ClusterSpec) Mask {
+	return generateMask(rng, rows, cols, k, cluster, nil)
+}
+
+// generateMask is GenerateMask with an optional scratch holder: when sc is
+// non-nil, its buffers back the Fisher-Yates permutation and the returned
+// mask's cells, so the campaign's hot sample path draws masks without
+// allocating. The returned mask then aliases sc.cells and is only valid
+// until the scratch's next use — callers that retain masks (the forensics
+// trace) must pass nil.
+func generateMask(rng *rand.Rand, rows, cols, k int, cluster ClusterSpec, sc *sampleScratch) Mask {
 	if cluster.Rows <= 0 || cluster.Cols <= 0 {
 		panic("core: invalid cluster")
 	}
@@ -48,11 +58,21 @@ func GenerateMask(rng *rand.Rand, rows, cols, k int, cluster ClusterSpec) Mask {
 	// Choose k distinct cells of the cluster (partial Fisher-Yates over the
 	// cluster's cell indices).
 	n := cluster.Rows * cluster.Cols
-	idx := make([]int, n)
+	var idx []int
+	var cells []Cell
+	if sc != nil {
+		if cap(sc.idx) < n {
+			sc.idx = make([]int, n)
+		}
+		idx = sc.idx[:n]
+		cells = sc.cells[:0]
+	} else {
+		idx = make([]int, n)
+		cells = make([]Cell, 0, k)
+	}
 	for i := range idx {
 		idx[i] = i
 	}
-	cells := make([]Cell, 0, k)
 	for i := 0; i < k; i++ {
 		j := i + rng.IntN(n-i)
 		idx[i], idx[j] = idx[j], idx[i]
@@ -60,6 +80,9 @@ func GenerateMask(rng *rand.Rand, rows, cols, k int, cluster ClusterSpec) Mask {
 			Row: r0 + idx[i]/cluster.Cols,
 			Col: c0 + idx[i]%cluster.Cols,
 		})
+	}
+	if sc != nil {
+		sc.cells = cells // keep any grown capacity for the next draw
 	}
 	return Mask{Cells: cells}
 }

@@ -79,63 +79,75 @@ const (
 	excKPanic
 )
 
+// robEntry is one reorder-buffer slot. The rename stage rewrites a whole
+// entry every dispatch, so word-sized fields are grouped ahead of the byte
+// fields to keep the struct (and rename's store traffic) compact.
 type robEntry struct {
-	seq   uint64
-	pc    uint32
-	inst  isa.Inst
-	valid bool
-	done  bool
+	seq uint64
 
-	exc     excKind
-	excAddr uint32
+	pc       uint32
+	raw      uint32 // encoding, for commit tracing
+	imm      int32
+	predNext uint32
+	excAddr  uint32
+	addrVA   uint32
+	addrPA   uint32
+	storeVal uint32
+
+	op   isa.Op
+	cond isa.Cond
+	exc  excKind
 
 	archDest         uint8 // architectural dest (0..16) or isa.NoReg
 	newPhys, oldPhys uint8
+	memSize          uint8
 
-	predNext uint32
-	isBranch bool
-
-	isLoad, isStore bool
-	memSize         uint8
-	addrVA, addrPA  uint32
-	addrKnown       bool
-	storeVal        uint32
-
-	isSys bool
+	valid     bool
+	done      bool
+	isBranch  bool
+	isLoad    bool
+	isStore   bool
+	isSys     bool
+	memReg    bool // register-offset addressing
+	addrKnown bool
 }
 
+// fetchedInst is one fetch-queue entry. preIdx points into the immutable
+// pretext array when the fetched word matched its predecode line; -1 means
+// the word must be decoded from raw at rename (I-side corruption).
 type fetchedInst struct {
 	pc       uint32
-	inst     isa.Inst
-	exc      excKind
-	excAddr  uint32
 	predNext uint32
+	excAddr  uint32
+	raw      uint32
+	preIdx   int32
+	exc      excKind
 }
 
 type iqEntry struct {
-	slot int
 	seq  uint64
+	slot int32
 	srcs [3]uint8 // physical registers, NoPhys if unused
 }
 
 type wbEntry struct {
-	slot      int
-	seq       uint64
-	destPhys  uint8
-	val       uint32
-	doneCycle uint64
-
-	isBranch   bool
-	isCond     bool
-	isInd      bool
+	seq        uint64
+	doneCycle  uint64
+	slot       int32
+	val        uint32
 	brPC       uint32
-	taken      bool
 	actualNext uint32
+
+	destPhys uint8
+	isBranch bool
+	isCond   bool
+	isInd    bool
+	taken    bool
 }
 
 type pendingLoad struct {
-	slot int
 	seq  uint64
+	slot int32
 }
 
 // Core is the out-of-order CPU core.
@@ -163,11 +175,16 @@ type Core struct {
 	fetchReadyAt uint64
 	fetchFaulted bool
 
+	// Predecoded text segment (see predecode.go). Immutable after
+	// InstallText; shared by reference across snapshots.
+	pretext  []preInst
+	textBase uint32
+
 	iq       []iqEntry
 	inflight []wbEntry
 	pending  []pendingLoad
-	sq       []int // ROB slots of in-flight stores, program order
-	sqHead   int   // consumed prefix of sq
+	sq       []int32 // ROB slots of in-flight stores, program order
+	sqHead   int     // consumed prefix of sq
 	lqCount  int
 	sqCount  int
 
@@ -175,6 +192,26 @@ type Core struct {
 
 	cycle      uint64
 	lastCommit uint64
+
+	// Scheduling hints. These are derived accelerators, not architectural
+	// state: they only let a stage skip a scan that provably cannot act
+	// this cycle, so they are reset (not copied) on restore and excluded
+	// from snapshots.
+	//
+	// wbNextDone is a lower bound on the earliest doneCycle in c.inflight;
+	// writeback skips its scan while cycle < wbNextDone. wakeGen counts
+	// core-side events that can unblock a stalled issue or load scan (IQ
+	// dispatch, store address resolution, store drain, squash); the
+	// register file keeps its own generation for readiness changes. A
+	// stage that scanned and found nothing runnable records the
+	// generations it saw and skips until one of them moves.
+	wbNextDone   uint64
+	wakeGen      uint64
+	issueIdle    bool
+	issueIdleGen uint64
+	issueIdleRF  uint64
+	loadsIdle    bool
+	loadsIdleGen uint64
 
 	stopped  StopKind
 	stopPC   uint32
@@ -279,7 +316,11 @@ func (c *Core) Cycle() {
 }
 
 func (c *Core) robPos(slot int) int {
-	return (slot - c.robHead + c.cfg.ROBSize) % c.cfg.ROBSize
+	p := slot - c.robHead
+	if p < 0 {
+		p += c.cfg.ROBSize
+	}
+	return p
 }
 
 func (c *Core) fqLen() int { return len(c.fetchQ) - c.fqHead }
@@ -299,7 +340,7 @@ func (c *Core) fetch() {
 	}
 	for n := 0; n < c.cfg.FetchWidth && c.fqLen() < c.cfg.FetchQSize; n++ {
 		pc := c.fetchPC
-		fi := fetchedInst{pc: pc, predNext: pc + 4}
+		fi := fetchedInst{pc: pc, predNext: pc + 4, preIdx: -1}
 		if pc&3 != 0 {
 			fi.exc, fi.excAddr = excAlign, pc
 			c.fetchQ = append(c.fetchQ, fi)
@@ -341,27 +382,33 @@ func (c *Core) fetch() {
 			// Miss: stall fetch until the fill completes, then deliver.
 			c.fetchReadyAt = c.cycle + uint64(lat)
 		}
-		inst, err := isa.Decode(word)
-		if err != nil {
-			fi.inst = inst
+		fi.raw = word
+		var pre *preInst
+		var slow preInst
+		if idx := (pc - c.textBase) >> 2; idx < uint32(len(c.pretext)) && c.pretext[idx].raw == word {
+			pre = &c.pretext[idx]
+			fi.preIdx = int32(idx)
+		} else {
+			// I-side corruption (or a PC outside the installed text):
+			// decode the fetched word from scratch.
+			slow = buildPre(pc, word)
+			pre = &slow
+		}
+		if pre.flags&preOK == 0 {
 			fi.exc, fi.excAddr = excUndef, pc
 			c.fetchQ = append(c.fetchQ, fi)
 			c.fetchPC = pc + 4
 			continue
 		}
-		fi.inst = inst
-		// Pre-decode control flow and predict the next PC.
-		switch inst.Op {
-		case isa.OpB:
-			target := pc + 4 + uint32(inst.Imm)*4
-			if inst.Cond == isa.CondAL {
-				fi.predNext = target
-			} else if c.pred.predictCond(pc) {
-				fi.predNext = target
+		// Predict the next PC from the predecoded branch kind.
+		switch pre.brKind {
+		case preBrStatic:
+			fi.predNext = pre.target
+		case preBrCond:
+			if c.pred.predictCond(pc) {
+				fi.predNext = pre.target
 			}
-		case isa.OpBL:
-			fi.predNext = pc + 4 + uint32(inst.Imm)*4
-		case isa.OpBX, isa.OpBLX:
+		case preBrInd:
 			if tgt, ok := c.pred.predictIndirect(pc); ok {
 				fi.predNext = tgt
 			}
@@ -376,91 +423,33 @@ func (c *Core) fetch() {
 
 // --- Rename/dispatch ---
 
-// sources lists the physical registers an instruction reads.
-func (c *Core) sources(in isa.Inst) [3]uint8 {
-	srcs := [3]uint8{NoPhys, NoPhys, NoPhys}
-	n := 0
-	add := func(arch uint8) {
-		srcs[n] = c.renameMap[arch]
-		n++
-	}
-	switch in.Class {
-	case isa.ClassALU:
-		if in.Rn != isa.NoReg {
-			add(in.Rn)
-		}
-		// MOV/MVN track their single source through both Rn and Rm; Rn was
-		// already added above, so only genuine second sources follow.
-		if in.Rm != isa.NoReg && in.Op != isa.OpMOV && in.Op != isa.OpMVN {
-			add(in.Rm)
-		}
-	case isa.ClassCmp:
-		add(in.Rn)
-		if in.Op != isa.OpCMPI {
-			add(in.Rm)
-		}
-	case isa.ClassLoad:
-		add(in.Rn)
-		if in.Op == isa.OpLDRR || in.Op == isa.OpLDRBR {
-			add(in.Rm)
-		}
-	case isa.ClassStore:
-		add(in.Rn)
-		if in.Op == isa.OpSTRR || in.Op == isa.OpSTRBR {
-			add(in.Rm)
-		}
-		add(in.Rd) // store data
-	case isa.ClassBranch:
-		switch in.Op {
-		case isa.OpB:
-			if in.Cond != isa.CondAL {
-				add(isa.RegFlags)
-			}
-		case isa.OpBX, isa.OpBLX:
-			add(in.Rm)
-		}
-	}
-	return srcs
-}
-
-// dest returns the architectural destination register of an instruction,
-// or isa.NoReg.
-func dest(in isa.Inst) uint8 {
-	switch in.Class {
-	case isa.ClassALU:
-		return in.Rd
-	case isa.ClassCmp:
-		return isa.RegFlags
-	case isa.ClassLoad:
-		return in.Rd
-	case isa.ClassBranch:
-		if in.Op == isa.OpBL || in.Op == isa.OpBLX {
-			return isa.RegLR
-		}
-	case isa.ClassSys:
-		return 0 // syscalls return in r0
-	}
-	return isa.NoReg
-}
-
 func (c *Core) rename() {
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.fqLen() == 0 || c.robCount == c.cfg.ROBSize {
 			return
 		}
-		fi := c.fetchQ[c.fqHead]
-		in := fi.inst
+		fi := &c.fetchQ[c.fqHead]
+		ok := fi.exc == excNone
+		var pre *preInst
+		var slow preInst
+		switch {
+		case fi.preIdx >= 0:
+			pre = &c.pretext[fi.preIdx]
+		case ok:
+			// Corrupted but still decodable word: rebuild its predecode.
+			slow = buildPre(fi.pc, fi.raw)
+			pre = &slow
+		default:
+			// Faulted at fetch: the entry carries bookkeeping only.
+			slow = preInst{raw: fi.raw}
+			pre = &slow
+		}
 
-		needsIQ := fi.exc == excNone && (in.Class == isa.ClassALU ||
-			in.Class == isa.ClassCmp || in.Class == isa.ClassLoad ||
-			in.Class == isa.ClassStore ||
-			in.Op == isa.OpB && in.Cond != isa.CondAL ||
-			in.Op == isa.OpBX || in.Op == isa.OpBLX)
-		if needsIQ && len(c.iq) >= c.cfg.IQSize {
+		if ok && pre.flags&preNeedsIQ != 0 && len(c.iq) >= c.cfg.IQSize {
 			return
 		}
-		isLoad := fi.exc == excNone && in.Class == isa.ClassLoad
-		isStore := fi.exc == excNone && in.Class == isa.ClassStore
+		isLoad := ok && pre.flags&preIsLoad != 0
+		isStore := ok && pre.flags&preIsStore != 0
 		if isLoad && c.lqCount >= c.cfg.LQSize {
 			return
 		}
@@ -468,28 +457,35 @@ func (c *Core) rename() {
 			return
 		}
 		archDest := uint8(isa.NoReg)
-		if fi.exc == excNone {
-			archDest = dest(in)
+		if ok {
+			archDest = pre.archDest
 		}
 		if archDest != isa.NoReg && len(c.freeList) == 0 {
 			return // physical registers exhausted; wait for commit
 		}
 
 		c.fqHead++
-		slot := (c.robHead + c.robCount) % c.cfg.ROBSize
+		slot := c.robHead + c.robCount
+		if slot >= c.cfg.ROBSize {
+			slot -= c.cfg.ROBSize
+		}
 		c.robCount++
 		c.seqNext++
 		e := &c.rob[slot]
 		*e = robEntry{
-			seq: c.seqNext, pc: fi.pc, inst: in, valid: true,
+			seq: c.seqNext, pc: fi.pc, raw: pre.raw, valid: true,
+			imm: pre.imm, op: pre.op, cond: pre.cond,
 			exc: fi.exc, excAddr: fi.excAddr,
 			archDest: isa.NoReg, newPhys: NoPhys, oldPhys: NoPhys,
 			predNext: fi.predNext,
 			isLoad:   isLoad, isStore: isStore,
+			memSize: pre.memSize, memReg: pre.flags&preMemReg != 0,
 		}
 		srcs := [3]uint8{NoPhys, NoPhys, NoPhys}
-		if fi.exc == excNone {
-			srcs = c.sources(in)
+		if ok {
+			for i := uint8(0); i < pre.nsrc; i++ {
+				srcs[i] = c.renameMap[pre.srcs[i]]
+			}
 		}
 		if archDest != isa.NoReg {
 			p := c.freeList[len(c.freeList)-1]
@@ -502,30 +498,26 @@ func (c *Core) rename() {
 		}
 
 		switch {
-		case fi.exc != excNone:
+		case !ok:
 			e.done = true
-		case in.Class == isa.ClassNop:
+		case pre.flags&preDoneAtRename != 0:
+			// NOP, SYSCALL (handled at commit), B.AL (resolved at fetch)
+			// and BL (resolved at fetch, link written here).
+			e.isSys = pre.flags&preIsSys != 0
+			e.isBranch = pre.flags&preIsBranch != 0
 			e.done = true
-		case in.Class == isa.ClassSys:
-			e.isSys = true
-			e.done = true // handled at commit
-		case in.Op == isa.OpB && in.Cond == isa.CondAL:
-			e.isBranch = true
-			e.done = true // resolved at fetch
-		case in.Op == isa.OpBL:
-			e.isBranch = true
-			e.done = true
-			c.rf.Write(e.newPhys, fi.pc+4)
+			if pre.op == isa.OpBL {
+				c.rf.Write(e.newPhys, fi.pc+4)
+			}
 		default:
-			if in.Op == isa.OpBLX {
+			if pre.op == isa.OpBLX {
 				// The link value is known at rename even though the
 				// target resolves at execute.
 				c.rf.Write(e.newPhys, fi.pc+4)
 			}
-			if in.Op == isa.OpB || in.Op == isa.OpBX || in.Op == isa.OpBLX {
-				e.isBranch = true
-			}
-			c.iq = append(c.iq, iqEntry{slot: slot, seq: e.seq, srcs: srcs})
+			e.isBranch = pre.flags&preIsBranch != 0
+			c.iq = append(c.iq, iqEntry{slot: int32(slot), seq: e.seq, srcs: srcs})
+			c.wakeGen++
 		}
 		if isLoad {
 			c.lqCount++
@@ -537,70 +529,111 @@ func (c *Core) rename() {
 				c.sq = c.sq[:n]
 				c.sqHead = 0
 			}
-			c.sq = append(c.sq, slot)
+			c.sq = append(c.sq, int32(slot))
 		}
 	}
 }
 
 // --- Issue/execute ---
 
+// issue scans the instruction queue in program order, executing up to
+// IssueWidth ready entries and compacting the queue in place. Entries are
+// only rewritten once the first gap opens, so a cycle that issues nothing
+// costs one pass of readiness checks and zero stores.
 func (c *Core) issue() {
 	issued := 0
-	for i := 0; i < len(c.iq) && issued < c.cfg.IssueWidth; i++ {
+	probed := c.rf.probe != nil
+	// If the previous scan issued nothing and no wake event has happened
+	// since (no dispatch, squash, readiness write or injected flip), this
+	// scan cannot issue anything either — skip it. Never skip while a
+	// forensics probe is attached: the per-cycle readiness reads are
+	// observable events.
+	if !probed {
+		if c.issueIdle && c.issueIdleGen == c.wakeGen && c.issueIdleRF == c.rf.gen {
+			return
+		}
+	}
+	w := 0
+	moved := false
+	i := 0
+	n := len(c.iq)
+	for ; i < n; i++ {
+		if issued == c.cfg.IssueWidth {
+			break
+		}
 		ent := c.iq[i]
 		ready := true
-		for _, s := range ent.srcs {
-			if s != NoPhys && !c.rf.Ready(s) {
-				ready = false
-				break
+		if probed {
+			// Probe attached (forensics on the register file): go through
+			// Ready so every readiness check raises its probe event.
+			for _, s := range ent.srcs {
+				if s != NoPhys && !c.rf.Ready(s) {
+					ready = false
+					break
+				}
+			}
+		} else {
+			for _, s := range ent.srcs {
+				if s != NoPhys && !c.rf.ready[s] {
+					ready = false
+					break
+				}
 			}
 		}
 		if !ready {
 			if c.cfg.InOrder {
-				return // in-order cores stall behind the oldest waiter
+				break // in-order cores stall behind the oldest waiter
 			}
+			if moved {
+				c.iq[w] = ent
+			}
+			w++
 			continue
 		}
-		c.iq = append(c.iq[:i], c.iq[i+1:]...)
-		i--
 		issued++
+		moved = true
 		c.executeOne(ent)
 	}
+	if moved {
+		w += copy(c.iq[w:], c.iq[i:n])
+		c.iq = c.iq[:w]
+	}
+	c.issueIdle = issued == 0
+	c.issueIdleGen = c.wakeGen
+	c.issueIdleRF = c.rf.gen
 }
 
 func (c *Core) executeOne(ent iqEntry) {
 	e := &c.rob[ent.slot]
-	in := e.inst
-	val := func(p uint8) uint32 { return c.rf.Val(p) }
 
 	switch {
 	case e.isLoad:
-		base := val(ent.srcs[0])
+		base := c.rf.Val(ent.srcs[0])
 		var off uint32
-		if in.Op == isa.OpLDRR || in.Op == isa.OpLDRBR {
-			off = val(ent.srcs[1])
+		if e.memReg {
+			off = c.rf.Val(ent.srcs[1])
 		} else {
-			off = uint32(in.Imm)
+			off = uint32(e.imm)
 		}
 		e.addrVA = base + off
-		e.memSize = memSize(in.Op)
 		e.addrKnown = true
 		c.pending = append(c.pending, pendingLoad{slot: ent.slot, seq: ent.seq})
+		c.wakeGen++
 
 	case e.isStore:
-		base := val(ent.srcs[0])
+		base := c.rf.Val(ent.srcs[0])
 		var off uint32
 		dataIdx := 1
-		if in.Op == isa.OpSTRR || in.Op == isa.OpSTRBR {
-			off = val(ent.srcs[1])
+		if e.memReg {
+			off = c.rf.Val(ent.srcs[1])
 			dataIdx = 2
 		} else {
-			off = uint32(in.Imm)
+			off = uint32(e.imm)
 		}
 		e.addrVA = base + off
-		e.memSize = memSize(in.Op)
-		e.storeVal = val(ent.srcs[dataIdx])
+		e.storeVal = c.rf.Val(ent.srcs[dataIdx])
 		e.addrKnown = true
+		c.wakeGen++
 		if e.addrVA&uint32(e.memSize-1) != 0 {
 			e.exc, e.excAddr = excAlign, e.addrVA
 		} else {
@@ -611,7 +644,7 @@ func (c *Core) executeOne(ent iqEntry) {
 				e.addrPA = pa
 			}
 		}
-		c.inflight = append(c.inflight, wbEntry{
+		c.addInflight(wbEntry{
 			slot: ent.slot, seq: ent.seq, destPhys: NoPhys,
 			doneCycle: c.cycle + uint64(c.cfg.AGULat),
 		})
@@ -620,149 +653,57 @@ func (c *Core) executeOne(ent iqEntry) {
 		var actual uint32
 		taken := false
 		isCond, isInd := false, false
-		switch in.Op {
-		case isa.OpB:
+		if e.op == isa.OpB {
 			isCond = true
-			flags := val(ent.srcs[0])
-			taken = isa.EvalCond(in.Cond, flags)
+			flags := c.rf.Val(ent.srcs[0])
+			taken = isa.EvalCond(e.cond, flags)
 			if taken {
-				actual = e.pc + 4 + uint32(in.Imm)*4
+				actual = e.pc + 4 + uint32(e.imm)*4
 			} else {
 				actual = e.pc + 4
 			}
-		case isa.OpBX, isa.OpBLX:
+		} else { // BX, BLX
 			isInd = true
-			actual = val(ent.srcs[0])
+			actual = c.rf.Val(ent.srcs[0])
 			taken = true
 		}
-		c.inflight = append(c.inflight, wbEntry{
+		c.addInflight(wbEntry{
 			slot: ent.slot, seq: ent.seq, destPhys: NoPhys,
 			doneCycle: c.cycle + uint64(c.cfg.ALULat),
 			isBranch:  true, isCond: isCond, isInd: isInd,
 			brPC: e.pc, taken: taken, actualNext: actual,
 		})
 
-	case in.Class == isa.ClassCmp:
-		a := val(ent.srcs[0])
-		var b uint32
-		if in.Op == isa.OpCMPI {
-			b = uint32(in.Imm)
-		} else {
-			b = val(ent.srcs[1])
+	default: // ALU and compares, via the generated dispatch tables
+		a := uint32(0)
+		if ent.srcs[0] != NoPhys {
+			a = c.rf.Val(ent.srcs[0])
 		}
-		var flags uint32
-		if in.Op == isa.OpTST {
-			flags = isa.AndFlags(a, b)
-		} else {
-			flags = isa.SubFlags(a, b)
+		b := uint32(e.imm)
+		if aluRegB[e.op] {
+			b = c.rf.Val(ent.srcs[1])
 		}
-		c.inflight = append(c.inflight, wbEntry{
-			slot: ent.slot, seq: ent.seq, destPhys: e.newPhys, val: flags,
-			doneCycle: c.cycle + uint64(c.cfg.ALULat),
-		})
-
-	default: // ALU
-		result := c.alu(in, ent, val)
-		c.inflight = append(c.inflight, wbEntry{
-			slot: ent.slot, seq: ent.seq, destPhys: e.newPhys, val: result,
-			doneCycle: c.cycle + uint64(c.aluLat(in.Op)),
+		lat := c.cfg.ALULat
+		switch opLatKind[e.op] {
+		case isa.LatMul:
+			lat = c.cfg.MulLat
+		case isa.LatDiv:
+			lat = c.cfg.DivLat
+		}
+		c.addInflight(wbEntry{
+			slot: ent.slot, seq: ent.seq, destPhys: e.newPhys, val: aluFns[e.op](a, b),
+			doneCycle: c.cycle + uint64(lat),
 		})
 	}
 }
 
-func memSize(op isa.Op) uint8 {
-	switch op {
-	case isa.OpLDRB, isa.OpSTRB, isa.OpLDRBR, isa.OpSTRBR:
-		return 1
-	case isa.OpLDRH, isa.OpSTRH:
-		return 2
+// addInflight queues a completion and keeps the writeback gate's bound on
+// the earliest completion cycle current.
+func (c *Core) addInflight(wb wbEntry) {
+	if wb.doneCycle < c.wbNextDone {
+		c.wbNextDone = wb.doneCycle
 	}
-	return 4
-}
-
-func (c *Core) aluLat(op isa.Op) int {
-	switch op {
-	case isa.OpMUL, isa.OpSMLH, isa.OpUMLH:
-		return c.cfg.MulLat
-	case isa.OpSDIV, isa.OpUDIV, isa.OpSREM, isa.OpUREM:
-		return c.cfg.DivLat
-	}
-	return c.cfg.ALULat
-}
-
-func (c *Core) alu(in isa.Inst, ent iqEntry, val func(uint8) uint32) uint32 {
-	a := uint32(0)
-	if ent.srcs[0] != NoPhys {
-		a = val(ent.srcs[0])
-	}
-	b := uint32(in.Imm)
-	reg2 := false
-	switch in.Op {
-	case isa.OpADD, isa.OpSUB, isa.OpRSB, isa.OpAND, isa.OpORR, isa.OpEOR,
-		isa.OpBIC, isa.OpLSL, isa.OpLSR, isa.OpASR, isa.OpROR, isa.OpMUL,
-		isa.OpSDIV, isa.OpUDIV, isa.OpSREM, isa.OpUREM, isa.OpSMLH, isa.OpUMLH:
-		reg2 = true
-	}
-	if reg2 {
-		b = val(ent.srcs[1])
-	}
-	switch in.Op {
-	case isa.OpADD, isa.OpADDI:
-		return a + b
-	case isa.OpSUB, isa.OpSUBI:
-		return a - b
-	case isa.OpRSB:
-		return b - a
-	case isa.OpAND, isa.OpANDI:
-		return a & b
-	case isa.OpORR, isa.OpORRI:
-		return a | b
-	case isa.OpEOR, isa.OpEORI:
-		return a ^ b
-	case isa.OpBIC:
-		return a &^ b
-	case isa.OpLSL, isa.OpLSLI:
-		return a << (b & 31)
-	case isa.OpLSR, isa.OpLSRI:
-		return a >> (b & 31)
-	case isa.OpASR, isa.OpASRI:
-		return uint32(int32(a) >> (b & 31))
-	case isa.OpROR:
-		s := b & 31
-		if s == 0 {
-			return a
-		}
-		return a>>s | a<<(32-s)
-	case isa.OpMUL:
-		return a * b
-	case isa.OpSMLH:
-		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
-	case isa.OpUMLH:
-		return uint32(uint64(a) * uint64(b) >> 32)
-	case isa.OpSDIV:
-		return sdiv(int32(a), int32(b))
-	case isa.OpUDIV:
-		if b == 0 {
-			return 0
-		}
-		return a / b
-	case isa.OpSREM:
-		return srem(int32(a), int32(b))
-	case isa.OpUREM:
-		if b == 0 {
-			return a
-		}
-		return a % b
-	case isa.OpMOV:
-		return a
-	case isa.OpMVN:
-		return ^a
-	case isa.OpMOVZ:
-		return uint32(in.Imm)
-	case isa.OpMOVT:
-		return a&0xFFFF | uint32(in.Imm)<<16
-	}
-	return 0
+	c.inflight = append(c.inflight, wb)
 }
 
 // sdiv implements ARM division semantics: x/0 == 0 and MinInt32/-1 wraps.
@@ -811,6 +752,15 @@ func (c *Core) translate(va uint32, write bool) (pa uint32, lat int, exc excKind
 
 // executeLoads retries pending loads against the store queue each cycle.
 func (c *Core) executeLoads() {
+	// Every pending load left by the previous scan was blocked on the
+	// store queue. Blocking only clears on a wake event (a store address
+	// resolving, a store draining at commit, a squash, a new pending
+	// load), so an unchanged generation means this scan would block on
+	// exactly the same stores. The skipped scan performs no reads, so it
+	// is unobservable even to forensics probes.
+	if len(c.pending) == 0 || (c.loadsIdle && c.loadsIdleGen == c.wakeGen) {
+		return
+	}
 	for i := 0; i < len(c.pending); i++ {
 		p := c.pending[i]
 		e := &c.rob[p.slot]
@@ -847,8 +797,10 @@ func (c *Core) executeLoads() {
 				wb.doneCycle = c.cycle + uint64(c.cfg.AGULat+lat+rlat)
 			}
 		}
-		c.inflight = append(c.inflight, wb)
+		c.addInflight(wb)
 	}
+	c.loadsIdle = true
+	c.loadsIdleGen = c.wakeGen
 }
 
 func leWord(b [4]byte) uint32 {
@@ -898,12 +850,23 @@ func (c *Core) checkStoreQueue(ld *robEntry) (fwd bool, val uint32, blocked bool
 // --- Writeback ---
 
 func (c *Core) writeback() {
+	// No in-flight result can complete before wbNextDone; skip the scan
+	// until then. The bound is maintained on every insert and refreshed by
+	// the scan below, so skipped cycles are exactly those where the scan
+	// would have found nothing.
+	if c.cycle < c.wbNextDone || len(c.inflight) == 0 {
+		return
+	}
 	done := 0
 	for done < c.cfg.WBWidth {
 		// Pick the oldest eligible completion.
 		best := -1
+		minDone := ^uint64(0)
 		for i := range c.inflight {
-			if c.inflight[i].doneCycle > c.cycle {
+			if dc := c.inflight[i].doneCycle; dc > c.cycle {
+				if dc < minDone {
+					minDone = dc
+				}
 				continue
 			}
 			if best < 0 || c.inflight[i].seq < c.inflight[best].seq {
@@ -911,8 +874,10 @@ func (c *Core) writeback() {
 			}
 		}
 		if best < 0 {
+			c.wbNextDone = minDone
 			return
 		}
+		c.wbNextDone = 0
 		wb := c.inflight[best]
 		c.inflight = append(c.inflight[:best], c.inflight[best+1:]...)
 		e := &c.rob[wb.slot]
@@ -943,7 +908,7 @@ func (c *Core) writeback() {
 			}
 			if wb.actualNext != e.predNext {
 				c.Mispredicts++
-				c.squashAfter(wb.slot)
+				c.squashAfter(int(wb.slot))
 				c.fetchPC = wb.actualNext
 			}
 		}
@@ -955,9 +920,13 @@ func (c *Core) writeback() {
 // reorder buffer from youngest to oldest.
 func (c *Core) squashAfter(slot int) {
 	c.Squashes++
+	c.wakeGen++
 	keep := c.robPos(slot) + 1
 	for pos := c.robCount - 1; pos >= keep; pos-- {
-		s := (c.robHead + pos) % c.cfg.ROBSize
+		s := c.robHead + pos
+		if s >= c.cfg.ROBSize {
+			s -= c.cfg.ROBSize
+		}
 		e := &c.rob[s]
 		if e.newPhys != NoPhys {
 			c.renameMap[e.archDest] = e.oldPhys
@@ -1003,8 +972,11 @@ func (c *Core) squashAfter(slot int) {
 
 	// Recompute load/store queue occupancy from surviving entries.
 	c.lqCount, c.sqCount = 0, 0
-	for pos := 0; pos < c.robCount; pos++ {
-		e := &c.rob[(c.robHead+pos)%c.cfg.ROBSize]
+	for pos, s := 0, c.robHead; pos < c.robCount; pos++ {
+		e := &c.rob[s]
+		if s++; s == c.cfg.ROBSize {
+			s = 0
+		}
 		if e.isLoad && !e.done {
 			c.lqCount++
 		}
@@ -1049,9 +1021,10 @@ func (c *Core) commit() {
 			buf[3] = byte(e.storeVal >> 24)
 			c.dcache.Write(e.addrPA, buf[:e.memSize])
 			c.sqCount--
-			if c.sqHead < len(c.sq) && c.sq[c.sqHead] == slot {
+			if c.sqHead < len(c.sq) && int(c.sq[c.sqHead]) == slot {
 				c.sqHead++
 			}
+			c.wakeGen++
 		}
 		if e.isSys {
 			r0, action := c.os.Syscall(c)
@@ -1086,7 +1059,7 @@ func (c *Core) commit() {
 // mapping of the destination register.
 func (c *Core) retire(e *robEntry) {
 	if c.TraceCommit != nil {
-		c.TraceCommit(e.pc, e.inst.Raw)
+		c.TraceCommit(e.pc, e.raw)
 	}
 	if e.newPhys != NoPhys {
 		old := c.archMap[e.archDest]
@@ -1094,7 +1067,9 @@ func (c *Core) retire(e *robEntry) {
 		c.freeList = append(c.freeList, old)
 	}
 	e.valid = false
-	c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+	if c.robHead++; c.robHead == c.cfg.ROBSize {
+		c.robHead = 0
+	}
 	c.robCount--
 	c.Committed++
 	c.lastCommit = c.cycle
@@ -1104,8 +1079,12 @@ func (c *Core) retire(e *robEntry) {
 // instruction in slot has already retired (syscall serialisation).
 func (c *Core) squashAfterCommitted(slot int) {
 	c.Squashes++
+	c.wakeGen++
 	for pos := c.robCount - 1; pos >= 0; pos-- {
-		s := (c.robHead + pos) % c.cfg.ROBSize
+		s := c.robHead + pos
+		if s >= c.cfg.ROBSize {
+			s -= c.cfg.ROBSize
+		}
 		e := &c.rob[s]
 		if e.newPhys != NoPhys {
 			c.renameMap[e.archDest] = e.oldPhys

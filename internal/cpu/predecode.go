@@ -1,0 +1,149 @@
+package cpu
+
+import "mbusim/internal/isa"
+
+// Predecode: the text segment is decoded once, when the program is loaded,
+// into a dense array of preInst records — everything the pipeline needs to
+// know about an instruction, resolved through the generated dispatch
+// tables (exec_gen.go). The fetch stage then replaces the per-cycle
+// isa.Decode call and branch-classification switch with one array index.
+//
+// Correctness under fault injection: the fetch stage compares the word it
+// actually read from the I-side (L1I through the ITLB) against the raw
+// word recorded in the predecode line. Any mismatch — a bit flip in L1I
+// data, a tag or valid-bit flip aliasing another line into this PC, or a
+// corrupted translation fetching the wrong frame — falls back to decoding
+// the fetched word from scratch, so corrupted encodings behave exactly as
+// they would without predecode. The pretext array itself is immutable
+// after InstallText and is shared by reference across snapshots.
+
+type preFlags uint8
+
+const (
+	preOK           preFlags = 1 << iota // decodes without error
+	preNeedsIQ                           // dispatches into the issue queue
+	preIsLoad                            //
+	preIsStore                           //
+	preIsBranch                          //
+	preIsSys                             //
+	preDoneAtRename                      // NOP, SYSCALL, B.AL, BL: no execute stage
+	preMemReg                            // register-offset addressing
+)
+
+// Branch kinds, from the fetch stage's point of view.
+const (
+	preBrNone   uint8 = iota
+	preBrCond         // B with a genuine condition: predicted taken/not-taken
+	preBrStatic       // B.AL and BL: target known at fetch
+	preBrInd          // BX/BLX: target predicted through the BTB
+)
+
+// preInst is one predecoded instruction.
+type preInst struct {
+	raw      uint32 // the encoding this record was decoded from
+	imm      int32
+	target   uint32 // static branch target (B and BL)
+	op       isa.Op
+	cond     isa.Cond
+	flags    preFlags
+	brKind   uint8
+	archDest uint8 // architectural destination, isa.NoReg if none
+	nsrc     uint8
+	srcs     [3]uint8 // architectural source registers, in rename order
+	memSize  uint8
+}
+
+// buildPre decodes one instruction word into its predecoded form. It is
+// the single decode path: InstallText runs it over the text segment and
+// the fetch stage runs it for any word that misses or mismatches the
+// predecode array.
+func buildPre(pc, word uint32) preInst {
+	in, err := isa.Decode(word)
+	p := preInst{raw: word, imm: in.Imm, op: in.Op, cond: in.Cond, archDest: isa.NoReg}
+	if err != nil {
+		return p // preOK clear: undefined instruction
+	}
+	p.flags |= preOK
+
+	switch opDestKind[in.Op] {
+	case isa.DestRd:
+		p.archDest = in.Rd
+	case isa.DestFlags:
+		p.archDest = isa.RegFlags
+	case isa.DestLR:
+		p.archDest = isa.RegLR
+	case isa.DestR0:
+		p.archDest = 0
+	}
+
+	kinds := opSrcKinds[in.Op]
+	n := 0
+	for i := uint8(0); i < opNumSrcs[in.Op]; i++ {
+		switch kinds[i] {
+		case isa.SrcRn:
+			p.srcs[n] = in.Rn
+		case isa.SrcRm:
+			p.srcs[n] = in.Rm
+		case isa.SrcRdData:
+			p.srcs[n] = in.Rd
+		case isa.SrcFlags:
+			if in.Cond == isa.CondAL {
+				continue // B.AL reads no flags
+			}
+			p.srcs[n] = isa.RegFlags
+		}
+		n++
+	}
+	p.nsrc = uint8(n)
+
+	p.memSize = opMemSizeTab[in.Op]
+	if opMemRegTab[in.Op] {
+		p.flags |= preMemReg
+	}
+
+	switch in.Class {
+	case isa.ClassALU, isa.ClassCmp:
+		p.flags |= preNeedsIQ
+	case isa.ClassLoad:
+		p.flags |= preNeedsIQ | preIsLoad
+	case isa.ClassStore:
+		p.flags |= preNeedsIQ | preIsStore
+	case isa.ClassBranch:
+		p.flags |= preIsBranch
+		switch in.Op {
+		case isa.OpB:
+			p.target = pc + 4 + uint32(in.Imm)*4
+			if in.Cond == isa.CondAL {
+				p.brKind = preBrStatic
+				p.flags |= preDoneAtRename
+			} else {
+				p.brKind = preBrCond
+				p.flags |= preNeedsIQ
+			}
+		case isa.OpBL:
+			p.target = pc + 4 + uint32(in.Imm)*4
+			p.brKind = preBrStatic
+			p.flags |= preDoneAtRename
+		case isa.OpBX, isa.OpBLX:
+			p.brKind = preBrInd
+			p.flags |= preNeedsIQ
+		}
+	case isa.ClassSys:
+		p.flags |= preIsSys | preDoneAtRename
+	case isa.ClassNop:
+		p.flags |= preDoneAtRename
+	}
+	return p
+}
+
+// InstallText predecodes the program's text segment (loader use, once per
+// golden run). base is the virtual address of text[0].
+func (c *Core) InstallText(base uint32, text []byte) {
+	c.textBase = base
+	c.pretext = make([]preInst, len(text)/4)
+	for i := range c.pretext {
+		w := uint32(text[4*i]) | uint32(text[4*i+1])<<8 |
+			uint32(text[4*i+2])<<16 | uint32(text[4*i+3])<<24
+		c.pretext[i] = buildPre(base+uint32(4*i), w)
+	}
+}

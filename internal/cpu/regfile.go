@@ -41,6 +41,11 @@ type RegFile struct {
 	vals  []uint32
 	ready []bool
 	probe RegProbe
+
+	// gen counts readiness transitions that could wake a stalled issue
+	// scan (a ready bit set by Write, or any injected flip). It is a
+	// scheduling hint, not architectural state — see Core.wakeGen.
+	gen uint64
 }
 
 // NewRegFile returns a register file with n physical registers, all zero
@@ -79,6 +84,7 @@ func (rf *RegFile) Write(p uint8, v uint32) {
 	}
 	rf.vals[p] = v
 	rf.ready[p] = true
+	rf.gen++
 }
 
 // Alloc marks p as allocated and awaiting its value.
@@ -105,6 +111,7 @@ func (rf *RegFile) FlipBit(row, col int) {
 	if row < 0 || row >= len(rf.vals) || col < 0 || col >= 33 {
 		panic(fmt.Sprintf("regfile: FlipBit(%d,%d) out of range", row, col))
 	}
+	rf.gen++
 	if col == 32 {
 		rf.ready[row] = !rf.ready[row]
 		return

@@ -1,6 +1,10 @@
 package cpu
 
-import "mbusim/internal/isa"
+import (
+	"slices"
+
+	"mbusim/internal/isa"
+)
 
 // Snapshot support: a Core snapshot captures every piece of mutable
 // pipeline state — the physical register file, both rename maps, the free
@@ -36,6 +40,13 @@ func (rf *RegFile) Restore(s *RegFileSnapshot) {
 	copy(rf.ready, s.ready)
 }
 
+// EqualsSnapshot reports whether the register-file state bit-equals the
+// snapshot (convergence-exit support). The wake generation is a scheduling
+// hint, not architectural state, and is deliberately not compared.
+func (rf *RegFile) EqualsSnapshot(s *RegFileSnapshot) bool {
+	return slices.Equal(rf.vals, s.vals) && slices.Equal(rf.ready, s.ready)
+}
+
 // Snapshot is a deep copy of a core's mutable state.
 type Snapshot struct {
 	rf        *RegFileSnapshot
@@ -54,10 +65,15 @@ type Snapshot struct {
 	fetchReadyAt uint64
 	fetchFaulted bool
 
+	// The predecoded text is immutable after InstallText, so snapshots
+	// share it by reference rather than deep-copying it.
+	pretext  []preInst
+	textBase uint32
+
 	iq       []iqEntry
 	inflight []wbEntry
 	pending  []pendingLoad
-	sq       []int
+	sq       []int32
 	sqHead   int
 	lqCount  int
 	sqCount  int
@@ -94,11 +110,13 @@ func (c *Core) Snapshot() *Snapshot {
 		fqHead:       c.fqHead,
 		fetchReadyAt: c.fetchReadyAt,
 		fetchFaulted: c.fetchFaulted,
+		pretext:      c.pretext,
+		textBase:     c.textBase,
 
 		iq:       append([]iqEntry(nil), c.iq...),
 		inflight: append([]wbEntry(nil), c.inflight...),
 		pending:  append([]pendingLoad(nil), c.pending...),
-		sq:       append([]int(nil), c.sq...),
+		sq:       append([]int32(nil), c.sq...),
 		sqHead:   c.sqHead,
 		lqCount:  c.lqCount,
 		sqCount:  c.sqCount,
@@ -141,6 +159,8 @@ func (c *Core) Restore(s *Snapshot) {
 	c.fqHead = s.fqHead
 	c.fetchReadyAt = s.fetchReadyAt
 	c.fetchFaulted = s.fetchFaulted
+	c.pretext = s.pretext
+	c.textBase = s.textBase
 
 	c.iq = append(c.iq[:0], s.iq...)
 	c.inflight = append(c.inflight[:0], s.inflight...)
@@ -155,6 +175,12 @@ func (c *Core) Restore(s *Snapshot) {
 	c.cycle = s.cycle
 	c.lastCommit = s.lastCommit
 
+	// Scheduling hints are derived state: reset them so the first cycle
+	// after a restore rescans everything.
+	c.wbNextDone = 0
+	c.issueIdle = false
+	c.loadsIdle = false
+
 	c.stopped = s.stopped
 	c.stopPC = s.stopPC
 	c.stopAddr = s.stopAddr
@@ -163,3 +189,41 @@ func (c *Core) Restore(s *Snapshot) {
 	c.Mispredicts = s.mispredicts
 	c.Squashes = s.squashes
 }
+
+// EqualsSnapshot reports whether the core's complete snapshotted state
+// bit-equals the snapshot (convergence-exit support). Scheduling hints are
+// excluded for the same reason Restore resets them: they are conservative
+// derived accelerators whose value never changes an outcome. The cheap
+// progress scalars are compared first — any timing perturbation shows up in
+// the commit count or sequence counter long before the queue contents need
+// walking.
+func (c *Core) EqualsSnapshot(s *Snapshot) bool {
+	if c.cycle != s.cycle || c.Committed != s.committed || c.seqNext != s.seqNext ||
+		c.lastCommit != s.lastCommit || c.fetchPC != s.fetchPC ||
+		c.robHead != s.robHead || c.robCount != s.robCount ||
+		c.fqHead != s.fqHead || c.fetchReadyAt != s.fetchReadyAt ||
+		c.fetchFaulted != s.fetchFaulted || c.textBase != s.textBase ||
+		c.sqHead != s.sqHead || c.lqCount != s.lqCount || c.sqCount != s.sqCount ||
+		c.stopped != s.stopped || c.stopPC != s.stopPC || c.stopAddr != s.stopAddr ||
+		c.Mispredicts != s.mispredicts || c.Squashes != s.squashes {
+		return false
+	}
+	if c.renameMap != s.renameMap || c.archMap != s.archMap || *c.pred != s.pred {
+		return false
+	}
+	return c.rf.EqualsSnapshot(s.rf) &&
+		slices.Equal(c.freeList, s.freeList) &&
+		slices.Equal(c.rob, s.rob) &&
+		slices.Equal(c.fetchQ, s.fetchQ) &&
+		slices.Equal(c.iq, s.iq) &&
+		slices.Equal(c.inflight, s.inflight) &&
+		slices.Equal(c.pending, s.pending) &&
+		slices.Equal(c.sq, s.sq)
+}
+
+// RestoreDirty is the core's delta restore. Virtually every pipeline field
+// — the ROB, queues, rename maps, predictor counters, cycle counts —
+// mutates every cycle, so there is nothing for dirty tracking to skip: a
+// delta restore of the core is the full restore (a few KB of copies into
+// preallocated slices, no allocation).
+func (c *Core) RestoreDirty(s *Snapshot) { c.Restore(s) }

@@ -185,6 +185,7 @@ type Tracker struct {
 	firstWB    uint64
 	firstTouch uint64
 	diverge    uint64
+	detach     func() // removes the probe Attach installed
 }
 
 // NewTracker returns a tracker reading the current cycle from now
@@ -212,6 +213,18 @@ func (t *Tracker) Attach(target any, mask []BitCell) error {
 	return nil
 }
 
+// Detach removes the probe Attach installed, returning the target to its
+// unprobed fast path. Campaigns that reuse one machine across samples must
+// detach each sample's tracker before rewinding the machine for the next —
+// probes are wiring, not snapshot state, so a restore does not remove them.
+// Detach is idempotent and a no-op on a never-attached tracker.
+func (t *Tracker) Detach() {
+	if t.detach != nil {
+		t.detach()
+		t.detach = nil
+	}
+}
+
 func (t *Tracker) attachCache(c *cache.Cache, mask []BitCell) {
 	stateBits := c.StateBits()
 	ways := c.Config().Ways
@@ -231,6 +244,7 @@ func (t *Tracker) attachCache(c *cache.Cache, mask []BitCell) {
 		t.cells = append(t.cells, cl)
 	}
 	c.SetProbe(t)
+	t.detach = func() { c.SetProbe(nil) }
 }
 
 func (t *Tracker) attachTLB(tb *tlb.TLB, mask []BitCell) {
@@ -247,6 +261,7 @@ func (t *Tracker) attachTLB(tb *tlb.TLB, mask []BitCell) {
 		t.cells = append(t.cells, cl)
 	}
 	tb.SetProbe(t)
+	t.detach = func() { tb.SetProbe(nil) }
 }
 
 func (t *Tracker) attachRegFile(rf *cpu.RegFile, mask []BitCell) {
@@ -258,6 +273,7 @@ func (t *Tracker) attachRegFile(rf *cpu.RegFile, mask []BitCell) {
 		t.cells = append(t.cells, cl)
 	}
 	rf.SetProbe(t)
+	t.detach = func() { rf.SetProbe(nil) }
 }
 
 // tick returns the current cycle, clamped to 1 so it can never alias the

@@ -2,24 +2,6 @@ package isa
 
 import "fmt"
 
-// opNames maps opcodes to their assembler mnemonics.
-var opNames = map[Op]string{
-	OpADD: "add", OpSUB: "sub", OpRSB: "rsb", OpAND: "and", OpORR: "orr",
-	OpEOR: "eor", OpBIC: "bic", OpLSL: "lsl", OpLSR: "lsr", OpASR: "asr",
-	OpROR: "ror", OpMUL: "mul", OpSDIV: "sdiv", OpUDIV: "udiv",
-	OpSREM: "srem", OpUREM: "urem", OpMOV: "mov", OpMVN: "mvn",
-	OpSMLH: "smulh", OpUMLH: "umulh",
-	OpADDI: "addi", OpSUBI: "subi", OpANDI: "andi", OpORRI: "orri",
-	OpEORI: "eori", OpLSLI: "lsli", OpLSRI: "lsri", OpASRI: "asri",
-	OpMOVZ: "movz", OpMOVT: "movt",
-	OpCMP: "cmp", OpCMPI: "cmp", OpTST: "tst",
-	OpLDR: "ldr", OpLDRB: "ldrb", OpLDRH: "ldrh",
-	OpSTR: "str", OpSTRB: "strb", OpSTRH: "strh",
-	OpLDRR: "ldrr", OpLDRBR: "ldrbr", OpSTRR: "strr", OpSTRBR: "strbr",
-	OpB: "b", OpBL: "bl", OpBX: "bx", OpBLX: "blx",
-	OpSYSCALL: "syscall", OpNOP: "nop",
-}
-
 var condNames = map[Cond]string{
 	CondAL: "", CondEQ: ".eq", CondNE: ".ne", CondLT: ".lt", CondGE: ".ge",
 	CondLE: ".le", CondGT: ".gt", CondLO: ".lo", CondHS: ".hs",
@@ -33,7 +15,7 @@ func Disassemble(pc, w uint32) string {
 	if err != nil {
 		return fmt.Sprintf(".word 0x%08X", w)
 	}
-	name := opNames[in.Op]
+	name := opName[in.Op]
 	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
 	switch in.Op {
 	case OpMOV, OpMVN:

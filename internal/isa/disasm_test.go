@@ -16,7 +16,7 @@ func TestDisassembleForms(t *testing.T) {
 		{EncodeI(OpADDI, 4, 5, -7), 0, "addi r4, r5, #-7"},
 		{EncodeR(OpMOV, 6, 0, 8), 0, "mov r6, r8"},
 		{EncodeI(OpMOVZ, 1, 0, 0x1234), 0, "movz r1, #0x1234"},
-		{EncodeI(OpCMPI, 0, 2, 3), 0, "cmp r2, #3"},
+		{EncodeI(OpCMPI, 0, 2, 3), 0, "cmpi r2, #3"},
 		{EncodeI(OpLDR, 1, 13, 8), 0, "ldr r1, [r13, #8]"},
 		{EncodeR(OpSTRR, 1, 2, 3), 0, "strr r1, [r2, r3]"},
 		{EncodeB(CondNE, -1), 0x100, "b.ne 0x100"},

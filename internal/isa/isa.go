@@ -96,8 +96,6 @@ const (
 	// System.
 	OpSYSCALL Op = 0x3A
 	OpNOP     Op = 0x3B
-
-	numOps = 0x40
 )
 
 // Cond is a branch condition evaluated against the NZCV flags.
@@ -248,21 +246,20 @@ func condField(w uint32) Cond { return Cond(w >> 22 & 0xF) }
 
 // Decode decodes a raw instruction word. It returns ErrUndef for encodings
 // outside the defined space: unknown opcodes, register fields >= NumGPR,
-// invalid condition codes, and nonzero must-be-zero fields.
+// invalid condition codes, and nonzero must-be-zero fields. Dispatch is
+// driven by the generated opFmtTab/opClassTab tables (see spec.go); each
+// format's field checks are shared by every opcode of that format.
 func Decode(w uint32) (Inst, error) {
 	op := opcode(w)
-	in := Inst{Op: op, Raw: w, Rd: NoReg, Rm: NoReg}
+	in := Inst{Op: op, Class: opClassTab[op], Raw: w, Rd: NoReg, Rm: NoReg}
 	undef := func(reason string) (Inst, error) {
 		in.Class = ClassInvalid
 		return in, ErrUndef{Raw: w, Reason: reason}
 	}
 	checkReg := func(r uint8) bool { return r < NumGPR }
 
-	switch op {
-	case OpADD, OpSUB, OpRSB, OpAND, OpORR, OpEOR, OpBIC,
-		OpLSL, OpLSR, OpASR, OpROR, OpMUL, OpSDIV, OpUDIV,
-		OpSREM, OpUREM, OpSMLH, OpUMLH:
-		in.Class = ClassALU
+	switch opFmtTab[op] {
+	case FmtR3:
 		in.Rd, in.Rn, in.Rm = rdField(w), rnField(w), rmField(w)
 		if !checkReg(in.Rd) || !checkReg(in.Rn) || !checkReg(in.Rm) {
 			return undef("register field out of range")
@@ -270,8 +267,7 @@ func Decode(w uint32) (Inst, error) {
 		if w&0x7FF != 0 {
 			return undef("nonzero reserved field")
 		}
-	case OpMOV, OpMVN:
-		in.Class = ClassALU
+	case FmtR2:
 		in.Rd, in.Rm = rdField(w), rmField(w)
 		in.Rn = in.Rm // single-source: track through rn for simplicity
 		if !checkReg(in.Rd) || !checkReg(in.Rm) {
@@ -280,29 +276,25 @@ func Decode(w uint32) (Inst, error) {
 		if w&0x7FF != 0 || rnField(w) != 0 {
 			return undef("nonzero reserved field")
 		}
-	case OpADDI, OpSUBI, OpANDI, OpORRI, OpEORI, OpLSLI, OpLSRI, OpASRI:
-		in.Class = ClassALU
+	case FmtRI:
 		in.Rd, in.Rn, in.Imm = rdField(w), rnField(w), imm16(w)
 		if !checkReg(in.Rd) || !checkReg(in.Rn) {
 			return undef("register field out of range")
 		}
-	case OpMOVZ:
-		in.Class = ClassALU
+	case FmtMOVZ:
 		in.Rd = rdField(w)
 		in.Rn = NoReg
 		in.Imm = int32(w & 0xFFFF) // zero-extended
 		if !checkReg(in.Rd) || rnField(w) != 0 {
 			return undef("bad MOVZ encoding")
 		}
-	case OpMOVT:
-		in.Class = ClassALU
+	case FmtMOVT:
 		in.Rd, in.Rn = rdField(w), rnField(w)
 		in.Imm = int32(w & 0xFFFF)
 		if !checkReg(in.Rd) || in.Rd != in.Rn {
 			return undef("MOVT requires rn == rd")
 		}
-	case OpCMP, OpTST:
-		in.Class = ClassCmp
+	case FmtCmpR:
 		in.Rd = NoReg
 		in.Rn, in.Rm = rnField(w), rmField(w)
 		if !checkReg(in.Rn) || !checkReg(in.Rm) {
@@ -311,56 +303,21 @@ func Decode(w uint32) (Inst, error) {
 		if rdField(w) != 0 || w&0x7FF != 0 {
 			return undef("nonzero reserved field")
 		}
-	case OpCMPI:
-		in.Class = ClassCmp
+	case FmtCmpI:
 		in.Rd = NoReg
 		in.Rn, in.Imm = rnField(w), imm16(w)
 		if !checkReg(in.Rn) || rdField(w) != 0 {
 			return undef("bad CMPI encoding")
 		}
-	case OpLDR, OpLDRB, OpLDRH:
-		in.Class = ClassLoad
-		in.Rd, in.Rn, in.Imm = rdField(w), rnField(w), imm16(w)
-		if !checkReg(in.Rd) || !checkReg(in.Rn) {
-			return undef("register field out of range")
-		}
-	case OpSTR, OpSTRB, OpSTRH:
-		in.Class = ClassStore
-		// rd holds the value to store; it is a source here.
-		in.Rd, in.Rn, in.Imm = rdField(w), rnField(w), imm16(w)
-		if !checkReg(in.Rd) || !checkReg(in.Rn) {
-			return undef("register field out of range")
-		}
-	case OpLDRR, OpLDRBR:
-		in.Class = ClassLoad
-		in.Rd, in.Rn, in.Rm = rdField(w), rnField(w), rmField(w)
-		if !checkReg(in.Rd) || !checkReg(in.Rn) || !checkReg(in.Rm) {
-			return undef("register field out of range")
-		}
-		if w&0x7FF != 0 {
-			return undef("nonzero reserved field")
-		}
-	case OpSTRR, OpSTRBR:
-		in.Class = ClassStore
-		in.Rd, in.Rn, in.Rm = rdField(w), rnField(w), rmField(w)
-		if !checkReg(in.Rd) || !checkReg(in.Rn) || !checkReg(in.Rm) {
-			return undef("register field out of range")
-		}
-		if w&0x7FF != 0 {
-			return undef("nonzero reserved field")
-		}
-	case OpB:
-		in.Class = ClassBranch
+	case FmtB:
 		in.Cond = condField(w)
 		in.Imm = off22(w)
 		if in.Cond >= numConds {
 			return undef("invalid condition code")
 		}
-	case OpBL:
-		in.Class = ClassBranch
+	case FmtBL:
 		in.Imm = off26(w)
-	case OpBX, OpBLX:
-		in.Class = ClassBranch
+	case FmtBX:
 		in.Rm = rmField(w)
 		if !checkReg(in.Rm) {
 			return undef("register field out of range")
@@ -368,17 +325,11 @@ func Decode(w uint32) (Inst, error) {
 		if rdField(w) != 0 || rnField(w) != 0 || w&0x7FF != 0 {
 			return undef("nonzero reserved field")
 		}
-	case OpSYSCALL:
-		in.Class = ClassSys
+	case FmtSys:
 		if w&0x03FF_FFFF != 0 {
 			return undef("nonzero reserved field")
 		}
-	case OpNOP:
-		in.Class = ClassNop
-		if w&0x03FF_FFFF != 0 {
-			return undef("nonzero reserved field")
-		}
-	default:
+	default: // FmtNone: opcode outside the defined space
 		return undef("unknown opcode")
 	}
 	return in, nil

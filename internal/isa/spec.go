@@ -1,0 +1,177 @@
+package isa
+
+//go:generate go run ./gen
+
+// Per-opcode specifications: the single source of truth for the AR32
+// instruction set. Everything a decoder or an interpreter needs to know
+// about an opcode — its encoding format, execution class, operand kinds,
+// destination, memory behaviour, latency class and ALU evaluator — is
+// annotated here once; `go generate` (internal/isa/gen) emits the dense
+// dispatch tables consumed by Decode, Disassemble and the cpu package's
+// execution loop (tables_gen.go here, exec_gen.go in internal/cpu). The
+// generated tables can never drift from these specs: CI regenerates them
+// and fails on any diff, and TestGeneratedTablesMatchSpecs cross-checks
+// them at test time.
+
+// NumOps is the size of the 6-bit primary opcode space.
+const NumOps = 0x40
+
+// Format classifies how an opcode's operand fields are encoded and which
+// of its encodings are defined. Decode dispatches on it; each format's
+// field checks (and its ErrUndef reasons) are fixed, so two opcodes with
+// the same format decode identically up to their opcode field.
+type Format uint8
+
+const (
+	FmtNone Format = iota // unused opcode: every encoding is undefined
+	FmtR3                 // rd, rn, rm; reserved bits [10:0] must be zero
+	FmtR2                 // rd, rm (single-source ALU); rn field and reserved bits must be zero
+	FmtRI                 // rd, rn, signExt(imm16)
+	FmtMOVZ               // rd, zeroExt(imm16); rn field must be zero
+	FmtMOVT               // rd, zeroExt(imm16); rn field must equal rd
+	FmtCmpR               // rn, rm; rd field and reserved bits must be zero
+	FmtCmpI               // rn, signExt(imm16); rd field must be zero
+	FmtB                  // cond, off22
+	FmtBL                 // off26
+	FmtBX                 // rm; rd, rn and reserved bits must be zero
+	FmtSys                // no operands; bits [25:0] must be zero
+)
+
+// DestKind says which architectural register an opcode writes.
+type DestKind uint8
+
+const (
+	DestNone  DestKind = iota
+	DestRd             // the rd field
+	DestFlags          // the NZCV flag register (compares)
+	DestLR             // the link register (BL, BLX)
+	DestR0             // r0 (syscall return value)
+)
+
+// SrcKind names one architectural source operand. The per-op source list
+// is ordered: the cpu's rename stage maps it to physical registers in this
+// exact order, so forensics probe events stay deterministic.
+type SrcKind uint8
+
+const (
+	SrcNone   SrcKind = iota
+	SrcRn             // the rn field
+	SrcRm             // the rm field
+	SrcRdData         // the rd field read as store data
+	SrcFlags          // the NZCV flag register (conditional branches)
+)
+
+// LatKind selects which configured execution latency an opcode pays.
+type LatKind uint8
+
+const (
+	LatALU LatKind = iota
+	LatMul
+	LatDiv
+)
+
+// OpSpec annotates one opcode.
+type OpSpec struct {
+	Op    Op
+	Name  string // assembler mnemonic
+	Class Class
+	Fmt   Format
+
+	Dest DestKind
+	Srcs []SrcKind // ordered architectural sources
+
+	// Eval is the ALU/compare evaluator over operands a (first source
+	// value, 0 if none) and b (second source value for RegB ops, else the
+	// immediate). It is a Go expression — or, if it contains "return", a
+	// function body — compiled into package cpu, which imports isa and
+	// defines the sdiv/srem helpers.
+	Eval string
+	// RegB marks ALU/compare ops whose b operand is a register.
+	RegB bool
+	Lat  LatKind
+
+	// MemSize is the access width in bytes for loads and stores.
+	MemSize uint8
+	// MemReg marks register-offset addressing (address = rn + rm).
+	MemReg bool
+}
+
+// specs lists every defined opcode. Opcodes absent from this list decode
+// as undefined instructions (FmtNone).
+var specs = []OpSpec{
+	// R-type ALU.
+	{Op: OpADD, Name: "add", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a + b", RegB: true},
+	{Op: OpSUB, Name: "sub", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a - b", RegB: true},
+	{Op: OpRSB, Name: "rsb", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "b - a", RegB: true},
+	{Op: OpAND, Name: "and", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a & b", RegB: true},
+	{Op: OpORR, Name: "orr", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a | b", RegB: true},
+	{Op: OpEOR, Name: "eor", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a ^ b", RegB: true},
+	{Op: OpBIC, Name: "bic", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a &^ b", RegB: true},
+	{Op: OpLSL, Name: "lsl", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a << (b & 31)", RegB: true},
+	{Op: OpLSR, Name: "lsr", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a >> (b & 31)", RegB: true},
+	{Op: OpASR, Name: "asr", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "uint32(int32(a) >> (b & 31))", RegB: true},
+	{Op: OpROR, Name: "ror", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, RegB: true,
+		Eval: "s := b & 31\nif s == 0 {\n\treturn a\n}\nreturn a>>s | a<<(32-s)"},
+	{Op: OpMUL, Name: "mul", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "a * b", RegB: true, Lat: LatMul},
+	{Op: OpSDIV, Name: "sdiv", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "sdiv(int32(a), int32(b))", RegB: true, Lat: LatDiv},
+	{Op: OpUDIV, Name: "udiv", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, RegB: true, Lat: LatDiv,
+		Eval: "if b == 0 {\n\treturn 0\n}\nreturn a / b"},
+	{Op: OpSREM, Name: "srem", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "srem(int32(a), int32(b))", RegB: true, Lat: LatDiv},
+	{Op: OpUREM, Name: "urem", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, RegB: true, Lat: LatDiv,
+		Eval: "if b == 0 {\n\treturn a\n}\nreturn a % b"},
+	// MOV/MVN track their single source through rn (Decode aliases rn=rm).
+	{Op: OpMOV, Name: "mov", Class: ClassALU, Fmt: FmtR2, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a"},
+	{Op: OpMVN, Name: "mvn", Class: ClassALU, Fmt: FmtR2, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "^a"},
+	{Op: OpSMLH, Name: "smulh", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, RegB: true, Lat: LatMul,
+		Eval: "uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)"},
+	{Op: OpUMLH, Name: "umulh", Class: ClassALU, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "uint32(uint64(a) * uint64(b) >> 32)", RegB: true, Lat: LatMul},
+
+	// I-type ALU.
+	{Op: OpADDI, Name: "addi", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a + b"},
+	{Op: OpSUBI, Name: "subi", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a - b"},
+	{Op: OpANDI, Name: "andi", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a & b"},
+	{Op: OpORRI, Name: "orri", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a | b"},
+	{Op: OpEORI, Name: "eori", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a ^ b"},
+	{Op: OpLSLI, Name: "lsli", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a << (b & 31)"},
+	{Op: OpLSRI, Name: "lsri", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a >> (b & 31)"},
+	{Op: OpASRI, Name: "asri", Class: ClassALU, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "uint32(int32(a) >> (b & 31))"},
+	{Op: OpMOVZ, Name: "movz", Class: ClassALU, Fmt: FmtMOVZ, Dest: DestRd, Eval: "b"},
+	{Op: OpMOVT, Name: "movt", Class: ClassALU, Fmt: FmtMOVT, Dest: DestRd, Srcs: []SrcKind{SrcRn}, Eval: "a&0xFFFF | b<<16"},
+
+	// Compares: write the flag register only.
+	{Op: OpCMP, Name: "cmp", Class: ClassCmp, Fmt: FmtCmpR, Dest: DestFlags, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "isa.SubFlags(a, b)", RegB: true},
+	{Op: OpCMPI, Name: "cmpi", Class: ClassCmp, Fmt: FmtCmpI, Dest: DestFlags, Srcs: []SrcKind{SrcRn}, Eval: "isa.SubFlags(a, b)"},
+	{Op: OpTST, Name: "tst", Class: ClassCmp, Fmt: FmtCmpR, Dest: DestFlags, Srcs: []SrcKind{SrcRn, SrcRm}, Eval: "isa.AndFlags(a, b)", RegB: true},
+
+	// Memory.
+	{Op: OpLDR, Name: "ldr", Class: ClassLoad, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, MemSize: 4},
+	{Op: OpLDRB, Name: "ldrb", Class: ClassLoad, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, MemSize: 1},
+	{Op: OpLDRH, Name: "ldrh", Class: ClassLoad, Fmt: FmtRI, Dest: DestRd, Srcs: []SrcKind{SrcRn}, MemSize: 2},
+	{Op: OpSTR, Name: "str", Class: ClassStore, Fmt: FmtRI, Srcs: []SrcKind{SrcRn, SrcRdData}, MemSize: 4},
+	{Op: OpSTRB, Name: "strb", Class: ClassStore, Fmt: FmtRI, Srcs: []SrcKind{SrcRn, SrcRdData}, MemSize: 1},
+	{Op: OpSTRH, Name: "strh", Class: ClassStore, Fmt: FmtRI, Srcs: []SrcKind{SrcRn, SrcRdData}, MemSize: 2},
+	{Op: OpLDRR, Name: "ldrr", Class: ClassLoad, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, MemSize: 4, MemReg: true},
+	{Op: OpLDRBR, Name: "ldrbr", Class: ClassLoad, Fmt: FmtR3, Dest: DestRd, Srcs: []SrcKind{SrcRn, SrcRm}, MemSize: 1, MemReg: true},
+	{Op: OpSTRR, Name: "strr", Class: ClassStore, Fmt: FmtR3, Srcs: []SrcKind{SrcRn, SrcRm, SrcRdData}, MemSize: 4, MemReg: true},
+	{Op: OpSTRBR, Name: "strbr", Class: ClassStore, Fmt: FmtR3, Srcs: []SrcKind{SrcRn, SrcRm, SrcRdData}, MemSize: 1, MemReg: true},
+
+	// Control flow. The flags source of OpB is dropped at predecode when
+	// the condition is AL; BL and BLX write the link register.
+	{Op: OpB, Name: "b", Class: ClassBranch, Fmt: FmtB, Srcs: []SrcKind{SrcFlags}},
+	{Op: OpBL, Name: "bl", Class: ClassBranch, Fmt: FmtBL, Dest: DestLR},
+	{Op: OpBX, Name: "bx", Class: ClassBranch, Fmt: FmtBX, Srcs: []SrcKind{SrcRm}},
+	{Op: OpBLX, Name: "blx", Class: ClassBranch, Fmt: FmtBX, Dest: DestLR, Srcs: []SrcKind{SrcRm}},
+
+	// System.
+	{Op: OpSYSCALL, Name: "syscall", Class: ClassSys, Fmt: FmtSys, Dest: DestR0},
+	{Op: OpNOP, Name: "nop", Class: ClassNop, Fmt: FmtSys},
+}
+
+// Specs returns the specification of every defined opcode, in opcode
+// order. The slice is freshly allocated; callers may not mutate the
+// shared Srcs backing arrays.
+func Specs() []OpSpec {
+	out := make([]OpSpec, len(specs))
+	copy(out, specs)
+	return out
+}

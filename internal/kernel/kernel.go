@@ -67,6 +67,13 @@ type Kernel struct {
 	ExitCode  uint32
 	KillMsg   string // why the process was killed, for diagnostics
 	PanicMsg  string // why the kernel panicked
+
+	// dirty marks that kernel state may have changed since TrackDirty was
+	// armed. Every post-boot mutation (brk growth, stdout, exit/kill/panic
+	// records, frame allocation) originates in Syscall, so one flag there
+	// covers them all; page-table writes live in simulated RAM and are
+	// tracked by the memory system, not here.
+	dirty bool
 }
 
 // New creates a kernel over the given memory system.
@@ -205,6 +212,7 @@ func (k *Kernel) Load(prog *asm.Program) (entry, sp uint32, err error) {
 // Syscall implements cpu.OS. It dispatches on r7 with arguments in r0-r2,
 // following the ARM EABI convention.
 func (k *Kernel) Syscall(c *cpu.Core) (uint32, cpu.SysAction) {
+	k.dirty = true
 	num := c.ArchReg(isa.RegSys)
 	switch num {
 	case SysExit:

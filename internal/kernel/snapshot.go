@@ -1,5 +1,7 @@
 package kernel
 
+import "bytes"
+
 // Snapshot is a deep copy of the kernel's mutable state. The memory-system
 // handles (ram, l2, dcache) are wiring, not state: a restored kernel keeps
 // the handles of the machine it is restored into. Snapshots are immutable
@@ -47,4 +49,29 @@ func (k *Kernel) Restore(s *Snapshot) {
 	k.ExitCode = s.exitCode
 	k.KillMsg = s.killMsg
 	k.PanicMsg = s.panicMsg
+}
+
+// EqualsSnapshot reports whether the kernel state bit-equals the snapshot
+// (convergence-exit support).
+func (k *Kernel) EqualsSnapshot(s *Snapshot) bool {
+	return k.ptRoot == s.ptRoot && k.nextFrame == s.nextFrame &&
+		k.booted == s.booted && k.heapStart == s.heapStart && k.brk == s.brk &&
+		k.Truncated == s.truncated && k.ExitCode == s.exitCode &&
+		k.KillMsg == s.killMsg && k.PanicMsg == s.panicMsg &&
+		bytes.Equal(k.Stdout, s.stdout)
+}
+
+// TrackDirty arms dirty tracking: RestoreDirty becomes a no-op until the
+// next system call mutates kernel state. Call it only when the kernel
+// state equals the snapshot RestoreDirty will later be given.
+func (k *Kernel) TrackDirty() { k.dirty = false }
+
+// RestoreDirty rewinds the kernel to snapshot s if any system call ran
+// since TrackDirty was last armed, then re-arms tracking. Only correct
+// when the kernel state equalled s at arm time.
+func (k *Kernel) RestoreDirty(s *Snapshot) {
+	if k.dirty {
+		k.Restore(s)
+		k.dirty = false
+	}
 }

@@ -63,3 +63,76 @@ _start:
 		t.Fatalf("snapshot mutated through a restored kernel: stdout=%q", k2.Stdout)
 	}
 }
+
+// TestKernelDeltaRestoreRoundTrip pins the kernel's one-bit dirty
+// tracking: every post-boot kernel mutation originates in Syscall, which
+// marks the kernel dirty before mutating (so a mid-syscall panic cannot
+// leave unmarked mutated state), and RestoreDirty rewinds exactly when —
+// and only when — the mark is set.
+func TestKernelDeltaRestoreRoundTrip(t *testing.T) {
+	k, _, _ := newKernelEnv()
+	prog := mustProg(t, `
+_start:
+    nop
+.data
+val: .word 42
+`)
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	k.Stdout = append(k.Stdout, []byte("hello")...)
+	s := k.Snapshot()
+
+	k.TrackDirty()
+	for round := 0; round < 3; round++ {
+		// Mutate the way Syscall does: mark first, then mutate.
+		k.dirty = true
+		k.sysBrk(k.HeapStart() + 5*tlb.PageSize)
+		k.Stdout = append(k.Stdout, []byte(" world")...)
+		k.ExitCode = 9
+		k.RestoreDirty(s)
+		if !k.EqualsSnapshot(s) {
+			t.Fatalf("round %d: EqualsSnapshot false after delta restore", round)
+		}
+		if !reflect.DeepEqual(k.Snapshot(), s) {
+			t.Fatalf("round %d: delta-restored kernel re-snapshots differently", round)
+		}
+	}
+
+	// With no syscall since arming, RestoreDirty must be a no-op — that is
+	// the whole point of the single-bit scheme.
+	k.RestoreDirty(s)
+	if !k.EqualsSnapshot(s) {
+		t.Fatal("no-op RestoreDirty perturbed kernel state")
+	}
+}
+
+// TestKernelEqualsSnapshot: the equality check accepts the snapshotted
+// state and rejects output and allocator differences.
+func TestKernelEqualsSnapshot(t *testing.T) {
+	k, _, _ := newKernelEnv()
+	prog := mustProg(t, `
+_start:
+    nop
+`)
+	if _, _, err := k.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	k.Stdout = append(k.Stdout, 'x')
+	s := k.Snapshot()
+	if !k.EqualsSnapshot(s) {
+		t.Fatal("kernel does not equal its own snapshot")
+	}
+	k.Stdout = append(k.Stdout, 'y')
+	if k.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed appended stdout")
+	}
+	k.Stdout = k.Stdout[:len(k.Stdout)-1]
+	if !k.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot false after truncating stdout back")
+	}
+	k.ExitCode = 3
+	if k.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a changed exit code")
+	}
+}

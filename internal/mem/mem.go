@@ -35,6 +35,14 @@ type RAM struct {
 	// highWater is the exclusive upper bound of bytes ever written, used
 	// by the snapshot layer to bound its scan and restore work.
 	highWater uint32
+
+	// Dirty tracking for delta restore: when armed (TrackDirty), every
+	// write marks its snapChunk-sized chunk in the bitmap, and
+	// RestoreDirty rewinds only the marked chunks instead of the whole
+	// written span. Disarmed by default, so single-use machines pay one
+	// predictable branch per write.
+	track      bool
+	chunkDirty []uint64 // 1 bit per snapChunk of RAM
 }
 
 // DefaultLatency is the DRAM access latency in CPU cycles.
@@ -65,6 +73,11 @@ func (r *RAM) check(pa uint32, n int) {
 func (r *RAM) touch(pa uint32, n int) {
 	if end := pa + uint32(n); end > r.highWater {
 		r.highWater = end
+	}
+	if r.track && n > 0 {
+		for ch := pa / snapChunk; ch <= (pa+uint32(n)-1)/snapChunk; ch++ {
+			r.chunkDirty[ch>>6] |= 1 << (ch & 63)
+		}
 	}
 }
 

@@ -1,5 +1,10 @@
 package mem
 
+import (
+	"bytes"
+	"math/bits"
+)
+
 // Snapshot support: RAM is by far the largest piece of machine state
 // (8 MB), but a workload only ever writes a small, mostly-contiguous
 // prefix of it (frames are allocated sequentially and the stack pages are
@@ -72,6 +77,107 @@ func (r *RAM) Restore(s *Snapshot) {
 	}
 	r.latency = s.latency
 	r.highWater = s.highWater
+}
+
+// TrackDirty arms dirty tracking: from now on every write marks its chunk,
+// and RestoreDirty can rewind the RAM to the snapshot it currently equals
+// by touching only the marked chunks. Arming (or re-arming) clears the
+// dirty set, so call it only when the RAM bit-equals the snapshot that
+// RestoreDirty will later be given.
+func (r *RAM) TrackDirty() {
+	words := (len(r.bytes)/snapChunk + 63) / 64
+	if len(r.chunkDirty) != words {
+		r.chunkDirty = make([]uint64, words)
+	} else {
+		for i := range r.chunkDirty {
+			r.chunkDirty[i] = 0
+		}
+	}
+	r.track = true
+}
+
+// RestoreDirty rewinds the RAM to snapshot s by restoring only the chunks
+// written since TrackDirty was last armed, then re-arms tracking. It is
+// only correct when the RAM bit-equalled s at arm time (every untracked
+// chunk still holds s's contents); the delta-restore layer guarantees that
+// by arming right after a full Restore of the same snapshot.
+func (r *RAM) RestoreDirty(s *Snapshot) {
+	if uint32(len(r.bytes)) != s.size {
+		Assertf(false, "mem: delta restore of %d-byte snapshot into %d-byte RAM", s.size, len(r.bytes))
+	}
+	if !r.track {
+		r.Restore(s)
+		r.TrackDirty()
+		return
+	}
+	// Walk the dirty bitmap and the snapshot's sorted chunk offsets in one
+	// merged pass: a dirty chunk the snapshot stored is copied back, a
+	// dirty chunk it skipped (all-zero at snapshot time) is zeroed.
+	si := 0
+	for wi, word := range r.chunkDirty {
+		if word == 0 {
+			continue
+		}
+		for word != 0 {
+			bit := word & (-word)
+			ch := uint32(wi)<<6 + uint32(bits.TrailingZeros64(word))
+			word &^= bit
+			start := ch * snapChunk
+			end := start + snapChunk
+			if end > s.size {
+				end = s.size
+			}
+			for si < len(s.chunks) && s.chunks[si] < start {
+				si++
+			}
+			if si < len(s.chunks) && s.chunks[si] == start {
+				// Every stored chunk is snapChunk long except possibly the
+				// final one at the RAM boundary, so the payload offset is a
+				// multiplication, not a scan.
+				off := si * snapChunk
+				copy(r.bytes[start:end], s.data[off:off+int(end-start)])
+			} else {
+				zero(r.bytes[start:end])
+			}
+		}
+		r.chunkDirty[wi] = 0
+	}
+	r.latency = s.latency
+	r.highWater = s.highWater
+}
+
+// EqualsSnapshot reports whether the RAM contents bit-equal the snapshot.
+// The campaign's convergence exit uses this to detect that a faulty run's
+// state has re-joined the golden run at a checkpoint cycle. Bytes above the
+// high-water mark are zero by construction (every write raises the mark),
+// so once the marks match, comparing below them is exhaustive.
+func (r *RAM) EqualsSnapshot(s *Snapshot) bool {
+	if uint32(len(r.bytes)) != s.size || r.latency != s.latency || r.highWater != s.highWater {
+		return false
+	}
+	prev := uint32(0)
+	off := 0
+	for _, start := range s.chunks {
+		if !allZero(r.bytes[prev:start]) {
+			return false
+		}
+		end := start + snapChunk
+		if end > s.size {
+			end = s.size
+		}
+		n := int(end - start)
+		if !bytes.Equal(r.bytes[start:end], s.data[off:off+n]) {
+			return false
+		}
+		off += n
+		prev = end
+	}
+	// The final stored chunk may extend past the high-water mark, in which
+	// case everything written is already compared.
+	if prev >= s.highWater {
+		return true
+	}
+	return allZero(r.bytes[prev:s.highWater])
 }
 
 func allZero(b []byte) bool {

@@ -81,3 +81,95 @@ func TestRAMHighWaterTracksWrites(t *testing.T) {
 		t.Fatalf("highWater after read = %d, want 576", r.highWater)
 	}
 }
+
+// TestRAMDeltaRestoreRoundTrip pins the dirty-tracking contract: after
+// arming at a snapshot-equal state, any pattern of writes — re-dirtying
+// stored chunks, dirtying chunks the snapshot skipped as all-zero, writing
+// above the high-water mark, straddling chunk boundaries — is rewound
+// exactly by RestoreDirty, repeatedly, without a full restore.
+func TestRAMDeltaRestoreRoundTrip(t *testing.T) {
+	r := NewRAM(64 << 10)
+	r.WriteWord(0, 0x11223344)
+	r.WriteWord(4096, 0xA5A5A5A5)
+	r.WriteBytes(9000, []byte{1, 2, 3, 4, 5})
+	s := r.Snapshot()
+	want := append([]byte(nil), r.bytes...)
+
+	r.TrackDirty()
+	for round := 0; round < 3; round++ {
+		r.WriteWord(0, 0xFFFFFFFF)
+		r.WriteWord(2048, 0xDEADBEEF)          // chunk stored by the snapshot
+		r.WriteWord(20480, 0x0BADF00D)         // chunk all-zero at snapshot time
+		r.WriteWord(60000, 7)                  // above the high-water mark
+		r.WriteBytes(8190, []byte{9, 9, 9, 9}) // straddles a chunk boundary
+		r.RestoreDirty(s)
+		if !bytes.Equal(r.bytes, want) {
+			t.Fatalf("round %d: delta-restored RAM differs from snapshotted contents", round)
+		}
+		if !r.EqualsSnapshot(s) {
+			t.Fatalf("round %d: EqualsSnapshot false after delta restore", round)
+		}
+	}
+
+	// Untracked RAM: RestoreDirty falls back to a full restore and arms.
+	r2 := NewRAM(64 << 10)
+	r2.WriteWord(512, 5)
+	r2.RestoreDirty(s)
+	if !bytes.Equal(r2.bytes, want) {
+		t.Fatal("untracked RestoreDirty fallback differs from snapshotted contents")
+	}
+	r2.WriteWord(512, 6)
+	r2.RestoreDirty(s)
+	if !bytes.Equal(r2.bytes, want) {
+		t.Fatal("armed-by-fallback delta restore differs from snapshotted contents")
+	}
+}
+
+// TestRAMDeltaRestoreNoAliasing: mutating a delta-restored RAM never
+// reaches back into the snapshot.
+func TestRAMDeltaRestoreNoAliasing(t *testing.T) {
+	r := NewRAM(16 << 10)
+	r.WriteWord(128, 0x01020304)
+	s := r.Snapshot()
+	want := append([]byte(nil), r.bytes...)
+
+	r.TrackDirty()
+	r.WriteWord(128, 0xFFFFFFFF)
+	r.RestoreDirty(s)
+	r.WriteWord(128, 0xEEEEEEEE) // mutate after the delta restore
+
+	r3 := NewRAM(16 << 10)
+	r3.Restore(s)
+	if !bytes.Equal(r3.bytes, want) {
+		t.Fatal("snapshot mutated through a delta-restored RAM")
+	}
+}
+
+// TestRAMEqualsSnapshot: the equality check accepts the snapshotted state
+// and rejects any byte or scalar difference.
+func TestRAMEqualsSnapshot(t *testing.T) {
+	r := NewRAM(64 << 10)
+	r.WriteWord(4096, 0xA5A5A5A5)
+	r.WriteBytes(9000, []byte{1, 2, 3})
+	s := r.Snapshot()
+	if !r.EqualsSnapshot(s) {
+		t.Fatal("RAM does not equal its own snapshot")
+	}
+	r.WriteWord(4096, 0xA5A5A5A4)
+	if r.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a changed word in a stored chunk")
+	}
+	r.WriteWord(4096, 0xA5A5A5A5)
+	if !r.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot false after undoing the change")
+	}
+	r.WriteWord(128, 1) // chunk the snapshot recorded as all-zero
+	if r.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a write into an all-zero chunk")
+	}
+	r.WriteWord(128, 0)
+	r.WriteWord(60000, 1) // raises the high-water mark
+	if r.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a raised high-water mark")
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+// Delta restore: a fault-injection campaign restores the same golden
+// checkpoint thousands of times, and each sample only dirties a small
+// slice of the machine — the cache rows it touched, the RAM chunks it
+// wrote, a handful of TLB entries. Every component therefore tracks which
+// of its rows/chunks/entries changed since tracking was armed, and
+// RestoreDelta rewinds only those instead of copying the whole machine
+// (the core itself is the exception: its pipeline state all changes every
+// cycle, so it is always fully restored — it is a few KB).
+//
+// The contract is strict: delta restore is only correct when the machine
+// bit-equalled the baseline snapshot at arm time, because everything the
+// tracking did NOT mark is assumed to still hold the baseline's values.
+// The Dirty handle encodes that contract — it remembers which machine and
+// which snapshot it was armed against, and RestoreDelta silently falls
+// back to a full restore (re-arming afterwards) whenever the handle does
+// not match. Campaign code can therefore call RestoreDelta unconditionally
+// and the fallback covers the first sample on a machine and every
+// checkpoint switch.
+
+// Dirty is the delta-restore handle returned by TrackDirty: proof that
+// dirty tracking is armed on a machine whose state equals a particular
+// baseline snapshot. It is invalidated (superseded) by the next TrackDirty
+// or RestoreDelta call on the machine.
+type Dirty struct {
+	m    *Machine
+	base *Snapshot
+}
+
+// TrackDirty arms dirty tracking on every component and returns the handle
+// that RestoreDelta needs. base must be the snapshot the machine's state
+// currently equals — typically the snapshot just passed to RestoreFrom.
+func (m *Machine) TrackDirty(base *Snapshot) *Dirty {
+	m.RAM.TrackDirty()
+	m.L1I.TrackDirty()
+	m.L1D.TrackDirty()
+	m.L2.TrackDirty()
+	m.ITLB.TrackDirty()
+	m.DTLB.TrackDirty()
+	m.Kern.TrackDirty()
+	return &Dirty{m: m, base: base}
+}
+
+// RestoreDelta rewinds the machine to snapshot s, restoring only the state
+// mutated since dirty was armed, and returns the handle for the next
+// interval. If dirty is nil, belongs to another machine, or was armed
+// against a different baseline than s, RestoreDelta falls back to a full
+// RestoreFrom and arms tracking fresh — the result is identical either
+// way, only the cost differs.
+func (m *Machine) RestoreDelta(s *Snapshot, dirty *Dirty) *Dirty {
+	if dirty == nil || dirty.m != m || dirty.base != s {
+		m.RestoreFrom(s)
+		return m.TrackDirty(s)
+	}
+	m.RAM.RestoreDirty(s.ram)
+	m.L1I.RestoreDirty(s.l1i)
+	m.L1D.RestoreDirty(s.l1d)
+	m.L2.RestoreDirty(s.l2)
+	m.ITLB.RestoreDirty(s.itlb)
+	m.DTLB.RestoreDirty(s.dtlb)
+	m.Walker.RestoreDirty(s.walker)
+	m.Kern.RestoreDirty(s.kern)
+	m.Core.RestoreDirty(s.core)
+	return dirty
+}

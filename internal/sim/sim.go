@@ -115,6 +115,7 @@ func (m *Machine) Load(prog *asm.Program) error {
 	if err != nil {
 		return err
 	}
+	m.Core.InstallText(prog.TextBase, prog.Text)
 	m.Core.SetPC(entry)
 	m.Core.SetArchReg(13, sp)
 	return nil
@@ -129,14 +130,14 @@ type Outcome struct {
 	// cycle limit — the host-side pathological-slowness case.
 	WallTimedOut bool
 	Assert       bool // simulated-hardware assertion (the Assert class)
-	AssertMsg string
-	ExitCode  uint32
-	Stdout    []byte
-	Truncated bool
-	Cycles    uint64
-	Committed uint64
-	KillMsg   string
-	PanicMsg  string
+	AssertMsg    string
+	ExitCode     uint32
+	Stdout       []byte
+	Truncated    bool
+	Cycles       uint64
+	Committed    uint64
+	KillMsg      string
+	PanicMsg     string
 }
 
 // Run executes the loaded program until it stops or maxCycles elapse

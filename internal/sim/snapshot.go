@@ -60,6 +60,27 @@ func (m *Machine) RestoreFrom(s *Snapshot) {
 	m.Core.Restore(s.core)
 }
 
+// EqualsSnapshot reports whether the machine's complete mutable state —
+// every field a Snapshot captures, including performance counters and
+// replacement metadata — bit-equals the snapshot. Determinism then
+// guarantees that the machine's future execution is identical to that of
+// the machine the snapshot was taken from; the campaign's convergence exit
+// uses this to cut a faulty run short once every trace of its fault has
+// been scrubbed. Components are ordered so that a perturbed machine fails
+// on cheap scalar compares (core progress counters) before the byte arrays
+// are walked.
+func (m *Machine) EqualsSnapshot(s *Snapshot) bool {
+	return m.Core.EqualsSnapshot(s.core) &&
+		m.Kern.EqualsSnapshot(s.kern) &&
+		m.Walker.EqualsSnapshot(s.walker) &&
+		m.ITLB.EqualsSnapshot(s.itlb) &&
+		m.DTLB.EqualsSnapshot(s.dtlb) &&
+		m.L1I.EqualsSnapshot(s.l1i) &&
+		m.L1D.EqualsSnapshot(s.l1d) &&
+		m.L2.EqualsSnapshot(s.l2) &&
+		m.RAM.EqualsSnapshot(s.ram)
+}
+
 // RestoreMachine builds a fresh machine in the snapshot's configuration
 // and restores the snapshot into it. The result is independent of both the
 // snapshot and every other machine restored from it.

@@ -126,3 +126,115 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Fatalf("sibling restore was corrupted:\n got %+v\nwant %+v", got, want)
 	}
 }
+
+// TestDeltaRestoreContinuesBitIdentically is the machine-level contract of
+// the delta-restore fast path: one machine, rewound by RestoreDelta
+// between faulted runs, reproduces the exact outcome of a fresh machine
+// fully restored from the same snapshot — including after runs that
+// dirtied caches, TLBs, RAM, the kernel and the core.
+func TestDeltaRestoreContinuesBitIdentically(t *testing.T) {
+	m := loadSnapshotProg(t)
+	m.Run(750, 0, nil)
+	snap := m.Snapshot()
+
+	inject := func(mm *Machine) {
+		mm.L1D.FlipBit(3, 40)
+		mm.DTLB.FlipBit(1, 31)
+		mm.Core.RegFile().FlipBit(9, 5)
+	}
+	want := RestoreMachine(snap).Run(200_000, 900, inject)
+
+	dirty := m.TrackDirty(snap)
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			dirty = m.RestoreDelta(snap, dirty)
+			if !m.EqualsSnapshot(snap) {
+				t.Fatalf("round %d: machine differs from snapshot after RestoreDelta", round)
+			}
+		}
+		got := m.Run(200_000, 900, inject)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: delta-restored run diverged:\n got %+v\nwant %+v", round, got, want)
+		}
+	}
+}
+
+// TestRestoreDeltaFallsBack: RestoreDelta silently falls back to a full
+// restore when the dirty handle is nil, armed against a different
+// snapshot, or owned by another machine — the caller never has to care.
+func TestRestoreDeltaFallsBack(t *testing.T) {
+	m := loadSnapshotProg(t)
+	m.Run(500, 0, nil)
+	s1 := m.Snapshot()
+	m.Run(900, 0, nil)
+	s2 := m.Snapshot()
+
+	// Handle armed on s2, restore requested against s1: must fall back.
+	dirty := m.TrackDirty(s2)
+	m.Run(1200, 0, nil)
+	dirty = m.RestoreDelta(s1, dirty)
+	if !m.EqualsSnapshot(s1) {
+		t.Fatal("cross-snapshot RestoreDelta did not restore s1 exactly")
+	}
+
+	// Nil handle: full restore plus arming.
+	m.Run(1200, 0, nil)
+	dirty = m.RestoreDelta(s2, nil)
+	if !m.EqualsSnapshot(s2) {
+		t.Fatal("nil-handle RestoreDelta did not restore s2 exactly")
+	}
+
+	// Handle owned by another machine: must fall back, not corrupt.
+	other := RestoreMachine(s2)
+	otherDirty := other.TrackDirty(s2)
+	m.Run(1500, 0, nil)
+	_ = m.RestoreDelta(s2, otherDirty)
+	if !m.EqualsSnapshot(s2) {
+		t.Fatal("foreign-handle RestoreDelta did not restore s2 exactly")
+	}
+	_ = dirty
+}
+
+// TestEqualsSnapshotDetectsEveryComponent: EqualsSnapshot must notice a
+// single perturbed bit or counter in each machine component — soundness of
+// the campaign's convergence exit depends on it — and accept the state
+// again once the perturbation is undone.
+func TestEqualsSnapshotDetectsEveryComponent(t *testing.T) {
+	m := loadSnapshotProg(t)
+	m.Run(800, 0, nil)
+	s := m.Snapshot()
+	if !m.EqualsSnapshot(s) {
+		t.Fatal("machine does not equal its own snapshot")
+	}
+
+	perturb := []struct {
+		name     string
+		do, undo func()
+	}{
+		{"L1I", func() { m.L1I.FlipBit(0, 0) }, func() { m.L1I.FlipBit(0, 0) }},
+		{"L1D", func() { m.L1D.FlipBit(2, 7) }, func() { m.L1D.FlipBit(2, 7) }},
+		{"L2", func() { m.L2.FlipBit(5, 3) }, func() { m.L2.FlipBit(5, 3) }},
+		{"ITLB", func() { m.ITLB.FlipBit(1, 31) }, func() { m.ITLB.FlipBit(1, 31) }},
+		{"DTLB", func() { m.DTLB.FlipBit(2, 15) }, func() { m.DTLB.FlipBit(2, 15) }},
+		{"RF", func() { m.Core.RegFile().FlipBit(4, 9) }, func() { m.Core.RegFile().FlipBit(4, 9) }},
+		{"Walker", func() { m.Walker.Walks++ }, func() { m.Walker.Walks-- }},
+		{"Kernel", func() { m.Kern.Stdout = append(m.Kern.Stdout, 'z') },
+			func() { m.Kern.Stdout = m.Kern.Stdout[:len(m.Kern.Stdout)-1] }},
+	}
+	old := m.RAM.ReadWord(0)
+	perturb = append(perturb, struct {
+		name     string
+		do, undo func()
+	}{"RAM", func() { m.RAM.WriteWord(0, old^1) }, func() { m.RAM.WriteWord(0, old) }})
+
+	for _, p := range perturb {
+		p.do()
+		if m.EqualsSnapshot(s) {
+			t.Fatalf("%s: EqualsSnapshot missed the perturbation", p.name)
+		}
+		p.undo()
+		if !m.EqualsSnapshot(s) {
+			t.Fatalf("%s: EqualsSnapshot false after undoing the perturbation", p.name)
+		}
+	}
+}

@@ -58,3 +58,71 @@ func TestTLBSnapshotSizeMismatchPanics(t *testing.T) {
 	}()
 	New("DTLB", 8).Restore(s)
 }
+
+// TestTLBDeltaRestoreRoundTrip pins the dirty-tracking contract: after
+// arming at a snapshot-equal state, inserts, invalidations, lookups and
+// fault flips are all rewound exactly by RestoreDirty, repeatedly.
+func TestTLBDeltaRestoreRoundTrip(t *testing.T) {
+	tl := New("DTLB", 32)
+	for i := 0; i < 10; i++ {
+		tl.Insert(uint32(i), uint32(i+100), true, i%2 == 0)
+	}
+	tl.Lookup(3)
+	s := tl.Snapshot()
+
+	tl.TrackDirty()
+	for round := 0; round < 3; round++ {
+		tl.Insert(99, 7, false, false)
+		tl.FlipBit(4, 31)
+		tl.Lookup(5) // moves the MRU hint and the hit counter
+		tl.Lookup(2000)
+		if round == 1 {
+			tl.Invalidate()
+		}
+		tl.RestoreDirty(s)
+		if !tl.EqualsSnapshot(s) {
+			t.Fatalf("round %d: EqualsSnapshot false after delta restore", round)
+		}
+		if !reflect.DeepEqual(tl.Snapshot(), s) {
+			t.Fatalf("round %d: delta-restored TLB re-snapshots differently", round)
+		}
+	}
+
+	// Untracked TLB: RestoreDirty falls back to a full restore and arms.
+	t2 := New("DTLB", 32)
+	t2.Insert(7, 7, true, true)
+	t2.RestoreDirty(s)
+	if !reflect.DeepEqual(t2.Snapshot(), s) {
+		t.Fatal("untracked RestoreDirty fallback differs from the snapshot")
+	}
+	t2.FlipBit(0, 0)
+	t2.RestoreDirty(s)
+	if !reflect.DeepEqual(t2.Snapshot(), s) {
+		t.Fatal("armed-by-fallback delta restore differs from the snapshot")
+	}
+}
+
+// TestTLBEqualsSnapshot: the equality check accepts the snapshotted state
+// and rejects entry and metadata differences.
+func TestTLBEqualsSnapshot(t *testing.T) {
+	tl := New("ITLB", 32)
+	tl.Insert(1, 2, true, true)
+	tl.Insert(3, 4, false, true)
+	tl.Lookup(1)
+	s := tl.Snapshot()
+	if !tl.EqualsSnapshot(s) {
+		t.Fatal("TLB does not equal its own snapshot")
+	}
+	tl.FlipBit(0, 15)
+	if tl.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a flipped entry bit")
+	}
+	tl.FlipBit(0, 15)
+	if !tl.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot false after undoing the flip")
+	}
+	tl.Lookup(3) // moves the MRU hint
+	if tl.EqualsSnapshot(s) {
+		t.Fatal("EqualsSnapshot missed a moved MRU hint")
+	}
+}

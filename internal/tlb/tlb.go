@@ -114,6 +114,13 @@ type TLB struct {
 	// the entry bits are re-read and re-validated on every lookup)
 	probe Probe
 
+	// Dirty tracking for delta restore: when armed (TrackDirty), every
+	// mutated entry is marked in the bitmap and RestoreDirty rewinds only
+	// those entries (the scalars are always restored; they change on every
+	// lookup). Disarmed by default.
+	track   bool
+	touched []uint64 // 1 bit per entry
+
 	Hits, MissCount uint64
 }
 
@@ -162,11 +169,19 @@ func unpack(e uint32) Translation {
 	}
 }
 
+// markEntry records entry i as mutated since TrackDirty was armed.
+func (t *TLB) markEntry(i int) {
+	if t.track {
+		t.touched[i>>6] |= 1 << (i & 63)
+	}
+}
+
 // Insert installs a translation, evicting round-robin.
 func (t *TLB) Insert(vpn, pfn uint32, writable, user bool) {
 	if t.probe != nil {
 		t.probe.OnTLBInsert(t.nextRR)
 	}
+	t.markEntry(t.nextRR)
 	t.entries[t.nextRR] = Pack(vpn, pfn, writable, user)
 	t.nextRR = (t.nextRR + 1) % len(t.entries)
 }
@@ -177,6 +192,7 @@ func (t *TLB) Invalidate() {
 		t.probe.OnTLBInvalidate()
 	}
 	for i := range t.entries {
+		t.markEntry(i)
 		t.entries[i] = 0
 	}
 }
@@ -200,6 +216,7 @@ func (t *TLB) FlipBit(row, col int) {
 	if row < 0 || row >= len(t.entries) || col < 0 || col >= EntryBits {
 		panic(fmt.Sprintf("tlb %s: FlipBit(%d,%d) out of range", t.name, row, col))
 	}
+	t.markEntry(row)
 	t.entries[row] ^= 1 << col
 }
 

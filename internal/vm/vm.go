@@ -144,6 +144,17 @@ func (w *Walker) Restore(s *WalkerSnapshot) {
 	w.Walks = s.walks
 }
 
+// EqualsSnapshot reports whether the walker state bit-equals the snapshot
+// (convergence-exit support).
+func (w *Walker) EqualsSnapshot(s *WalkerSnapshot) bool {
+	return w.root == s.root && w.Walks == s.walks
+}
+
+// RestoreDirty is the walker's delta restore. Its mutable state is two
+// scalar words, so tracking which changed would cost more than restoring
+// both unconditionally — the walk counter changes on every TLB miss anyway.
+func (w *Walker) RestoreDirty(s *WalkerSnapshot) { w.Restore(s) }
+
 // Refill walks vpn and, on success, installs the translation into t.
 func (w *Walker) Refill(t *tlb.TLB, vpn uint32) (tr tlb.Translation, lat int, fault WalkFault) {
 	tr, lat, fault = w.Walk(vpn)

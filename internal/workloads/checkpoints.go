@@ -65,7 +65,24 @@ func (w *Workload) buildCheckpoints() {
 			}
 			w.ckpts = append(w.ckpts, checkpoint{cycle: m.Core.Cycles(), snap: m.Snapshot()})
 		}
+		for _, c := range w.ckpts {
+			w.ckptCycles = append(w.ckptCycles, c.cycle)
+			w.ckptSnaps = append(w.ckptSnaps, c.snap)
+		}
 	})
+}
+
+// GoldenCheckpoints returns the cycles and snapshots of the workload's
+// golden checkpoint set in ascending cycle order, building the set on
+// first use. The returned slices are shared and must not be modified; the
+// snapshots are immutable. The campaign's convergence exit compares a
+// faulty machine against snaps[i] when its run crosses cycles[i].
+func (w *Workload) GoldenCheckpoints() (cycles []uint64, snaps []*sim.Snapshot, err error) {
+	w.buildCheckpoints()
+	if w.ckptErr != nil {
+		return nil, nil, w.ckptErr
+	}
+	return w.ckptCycles, w.ckptSnaps, nil
 }
 
 // CheckpointCycles returns the cycles of the workload's golden checkpoint
@@ -108,4 +125,43 @@ func (w *Workload) MachineAt(cycle uint64) (*sim.Machine, Checkpoint, error) {
 	}
 	ck := w.ckpts[i]
 	return sim.RestoreMachine(ck.snap), Checkpoint{Index: i, Cycle: ck.cycle}, nil
+}
+
+// Restorer hands out checkpoint-restored machines like MachineAt, but owns
+// one machine that it rewinds by delta restore between calls instead of
+// building a fresh machine each time. Consecutive requests that resolve to
+// the same checkpoint pay only for the state the previous run dirtied; a
+// checkpoint switch (or the first call) transparently falls back to a full
+// restore. The returned machine is bit-identical to MachineAt's — enforced
+// by TestCheckpointEquivalence — but it is only valid until the next
+// MachineAt call on the same Restorer, and the caller must detach any
+// probes it installed before that call. A Restorer is not safe for
+// concurrent use; campaigns create one per worker.
+type Restorer struct {
+	w     *Workload
+	m     *sim.Machine
+	dirty *sim.Dirty
+}
+
+// NewRestorer returns a Restorer for the workload, creating no machine yet.
+func (w *Workload) NewRestorer() *Restorer { return &Restorer{w: w} }
+
+// MachineAt returns the Restorer's machine rewound to the latest golden
+// checkpoint at or before cycle, and which checkpoint that was.
+func (r *Restorer) MachineAt(cycle uint64) (*sim.Machine, Checkpoint, error) {
+	w := r.w
+	w.buildCheckpoints()
+	if w.ckptErr != nil {
+		return nil, Checkpoint{}, w.ckptErr
+	}
+	i := sort.Search(len(w.ckpts), func(i int) bool { return w.ckpts[i].cycle > cycle }) - 1
+	if i < 0 {
+		i = 0
+	}
+	ck := w.ckpts[i]
+	if r.m == nil {
+		r.m = sim.New(ck.snap.Cfg)
+	}
+	r.dirty = r.m.RestoreDelta(ck.snap, r.dirty)
+	return r.m, Checkpoint{Index: i, Cycle: ck.cycle}, nil
 }

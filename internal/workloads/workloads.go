@@ -31,6 +31,11 @@ type Workload struct {
 	ckptOnce sync.Once
 	ckpts    []checkpoint
 	ckptErr  error
+
+	// Flattened views of ckpts, built once alongside it, so the campaign's
+	// per-sample convergence checks borrow them without allocating.
+	ckptCycles []uint64
+	ckptSnaps  []*sim.Snapshot
 }
 
 // Golden holds the fault-free reference run of a workload.
