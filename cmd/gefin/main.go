@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -117,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		leaseTTL   = fs.Duration("lease-ttl", 15*time.Second, "coordinator: a worker silent this long loses its lease and the cell is reassigned")
 		retries    = fs.Int("retries", 5, "coordinator: reassignments allowed per cell before the campaign fails naming it")
 		wallTO     = fs.Duration("wall-timeout", 0, "per-sample wall-clock budget; a sample exceeding it is recorded as a timeout (0 = no watchdog)")
+		cacheDir   = fs.String("cache-dir", defaultCacheDir(), "worker: disk cache for checkpoint artifacts fetched from the coordinator (empty = no disk cache)")
+		noArtifact = fs.Bool("no-artifacts", false, "worker: skip the checkpoint-artifact cache and derive every golden reference locally")
 	)
 	var fmode forensicsFlag
 	fs.Var(&fmode, "forensics", "track every injected bit's fate (fast: component probes; full: + lockstep shadow-machine divergence, ~2x cost)")
@@ -212,6 +215,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		tel = telemetry.NewCampaign(tracer)
 	}
+	// Count every golden reference this process actually derives by running
+	// the full fault-free simulation. In a distributed campaign the counter,
+	// summed across the fleet, proves how many golden runs were really paid
+	// for — the number the artifact cache exists to minimize. Nil-safe: with
+	// telemetry off the hook is a no-op.
+	workloads.OnGoldenDerived = func(string) { tel.GoldenDerived() }
 	if *metricsOn != "" {
 		ln, err := net.Listen("tcp", *metricsOn)
 		if err != nil {
@@ -245,7 +254,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go statusLoop(stderr, tel, *status, start, statusDone)
 	}
 	if joinMode {
-		return runWorker(ctx, stdout, stderr, *joinAddr, *workerID, *quiet, tel, start)
+		dir := *cacheDir
+		if *noArtifact {
+			dir = ""
+		}
+		return runWorker(ctx, stdout, stderr, *joinAddr, *workerID, *quiet, tel, start,
+			!*noArtifact, dir)
 	}
 	if *serveAddr != "" {
 		return runServe(ctx, cancel, stdout, stderr, *serveAddr, specs, pending, rs,
@@ -357,6 +371,16 @@ func runServe(ctx context.Context, cancel context.CancelFunc, stdout, stderr io.
 		return 1
 	}
 	mux := coord.Mux()
+	// Serve checkpoint artifacts next to the lease endpoints: each
+	// workload's golden reference and checkpoint set is derived once, here,
+	// on first request, and every worker installs the verified artifact
+	// instead of re-deriving it.
+	arts, err := dispatch.NewArtifactServer(specs, tel)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	mux.Handle(dispatch.PathArtifact, arts)
 	// The dispatch port doubles as the telemetry endpoint: /metrics shows
 	// the live-worker and lease gauges next to the campaign counters.
 	mux.Handle("/", telemetry.Handler(tel.Registry))
@@ -405,7 +429,8 @@ func runServe(ctx context.Context, cancel context.CancelFunc, stdout, stderr io.
 // coordinator reports the campaign done. A SIGINT/SIGTERM drains: the
 // in-flight cell is handed back so the coordinator reassigns it at once.
 func runWorker(ctx context.Context, stdout, stderr io.Writer,
-	addr, id string, quiet bool, tel *telemetry.Campaign, start time.Time) int {
+	addr, id string, quiet bool, tel *telemetry.Campaign, start time.Time,
+	useArtifacts bool, cacheDir string) int {
 	if id == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -416,9 +441,13 @@ func runWorker(ctx context.Context, stdout, stderr io.Writer,
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
+	var arts *dispatch.ArtifactCache
+	if useArtifacts {
+		arts = &dispatch.ArtifactCache{Dir: cacheDir, URL: addr, Tel: tel}
+	}
 	done := 0
 	w := &dispatch.Worker{
-		ID: id, URL: addr, Tel: tel,
+		ID: id, URL: addr, Tel: tel, Artifacts: arts,
 		OnCell: func(cell int, spec core.Spec, res *core.Result) {
 			done++
 			if !quiet {
@@ -449,7 +478,12 @@ func runWorker(ctx context.Context, stdout, stderr io.Writer,
 // distributed worker.
 func cellLine(done, total int, spec core.Spec, res *core.Result, start time.Time) string {
 	elapsed := time.Since(start)
-	eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+	// No completed cells means no per-cell pace to extrapolate (a division
+	// by zero here renders as an "eta 2562047h..." absurdity, not a crash).
+	eta := "--"
+	if done > 0 {
+		eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Round(time.Second).String()
+	}
 	return fmt.Sprintf("[%3d/%3d] %-8s %-13s %d-bit: AVF=%6.2f%% masked=%5.1f%% sdc=%5.1f%% crash=%5.1f%% timeout=%5.1f%% assert=%5.1f%% ±%.2f%% (%v elapsed, eta %v)",
 		done, total, spec.Component, spec.Workload, spec.Faults,
 		100*res.AVF(),
@@ -459,7 +493,7 @@ func cellLine(done, total int, spec core.Spec, res *core.Result, start time.Time
 		100*res.Fraction(core.EffectTimeout),
 		100*res.Fraction(core.EffectAssert),
 		100*res.AdjustedMargin(0.99),
-		elapsed.Round(time.Millisecond), eta.Round(time.Second))
+		elapsed.Round(time.Millisecond), eta)
 }
 
 // statusLoop prints a registry-driven summary line every interval until
@@ -483,12 +517,23 @@ func statusLoop(w io.Writer, tel *telemetry.Campaign, interval time.Duration, st
 // telemetry registry.
 func statusLine(s telemetry.Summary, elapsed time.Duration) string {
 	var b strings.Builder
-	rate := float64(s.Samples) / elapsed.Seconds()
+	// Elapsed time can be zero (or negative, under clock steps) on the
+	// first tick; dividing by it renders throughput as "+Inf/s". No
+	// measurement window means no rate — print a placeholder and skip the
+	// ETA, which would be equally meaningless.
+	rate := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(s.Samples) / secs
+	}
 	fmt.Fprintf(&b, "status: %d", s.Samples)
 	if s.SamplesExpected > 0 {
 		fmt.Fprintf(&b, "/%d", s.SamplesExpected)
 	}
-	fmt.Fprintf(&b, " samples (%.1f/s)", rate)
+	if rate > 0 {
+		fmt.Fprintf(&b, " samples (%.1f/s)", rate)
+	} else {
+		b.WriteString(" samples (--/s)")
+	}
 	if s.Samples > 0 {
 		b.WriteString(" |")
 		for _, e := range core.Effects() {
@@ -531,6 +576,17 @@ func fateLine(s telemetry.Summary) string {
 	}
 	fmt.Fprintf(&b, " (n=%d)", total)
 	return b.String()
+}
+
+// defaultCacheDir is where worker processes cache checkpoint artifacts
+// between runs: the OS user cache directory, or no disk cache when the
+// platform does not define one.
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "mbusim", "artifacts")
 }
 
 // buildSpecs expands the flag set into the campaign grid, validating

@@ -239,6 +239,45 @@ func TestStatusLine(t *testing.T) {
 	}
 }
 
+// TestStatusLineZeroElapsed: on the first tick the elapsed window can
+// round to zero; the throughput must render as a placeholder, not "+Inf/s",
+// and the meaningless ETA must be suppressed.
+func TestStatusLineZeroElapsed(t *testing.T) {
+	s := telemetry.Summary{Samples: 50, SamplesExpected: 100}
+	for _, elapsed := range []time.Duration{0, -time.Second} {
+		line := statusLine(s, elapsed)
+		if strings.Contains(line, "Inf") || strings.Contains(line, "NaN") {
+			t.Errorf("degenerate rate leaked: %s", line)
+		}
+		if !strings.Contains(line, "(--/s)") {
+			t.Errorf("placeholder rate missing: %s", line)
+		}
+		if strings.Contains(line, "eta") {
+			t.Errorf("eta rendered without a measured rate: %s", line)
+		}
+	}
+}
+
+// TestCellLineNoCompletedCells: with zero completed cells there is no pace
+// to extrapolate; the ETA must render as a placeholder instead of the
+// division-by-zero absurdity ("eta 2562047h47m16s").
+func TestCellLineNoCompletedCells(t *testing.T) {
+	res := &core.Result{Spec: core.Spec{Workload: "sha", Component: "L1D", Faults: 1}}
+	res.Counts[core.EffectMasked] = 4
+	line := cellLine(0, 10, res.Spec, res, time.Now().Add(-time.Second))
+	if !strings.Contains(line, "eta --") {
+		t.Errorf("placeholder eta missing: %s", line)
+	}
+	if strings.Contains(line, "2562047") {
+		t.Errorf("overflow eta leaked: %s", line)
+	}
+	// The normal path still extrapolates.
+	line = cellLine(5, 10, res.Spec, res, time.Now().Add(-10*time.Second))
+	if !strings.Contains(line, "eta 10s") {
+		t.Errorf("normal eta broken: %s", line)
+	}
+}
+
 // TestJoinServeFlagConflicts: worker mode takes its grid and its output
 // from the coordinator, so combining -join with coordinator-side flags is
 // a configuration error, caught before any golden run is built.

@@ -85,6 +85,37 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Normalize returns the spec in canonical form: defaults filled in
+// (Cluster, TimeoutFactor) and the protection reduced to its effective
+// identity — ProtectNone discards the interleave degree (Filter never
+// consults it) and an interleave below 1 becomes 1, which it already
+// means. Two specs that normalize equal run byte-identical campaigns.
+func (s Spec) Normalize() Spec {
+	s = s.withDefaults()
+	if s.Protect.Kind == ProtectNone {
+		s.Protect = Protection{}
+	} else if s.Protect.Interleave < 1 {
+		s.Protect.Interleave = 1
+	}
+	return s
+}
+
+// Equivalent reports whether two specs describe the same campaign cell with
+// the same outcome distribution: every field that can change a classified
+// result must match after normalization. NoCheckpoints, NoDelta and
+// Forensics are excluded — they select execution strategy and observation
+// only, and the simulator guarantees identical outcomes across them — so a
+// result produced under one may stand in for the others. This is the
+// identity that resume (ResultSet.Covers) and distributed submit
+// verification trust.
+func (s Spec) Equivalent(o Spec) bool {
+	a, b := s.Normalize(), o.Normalize()
+	a.NoCheckpoints, b.NoCheckpoints = false, false
+	a.NoDelta, b.NoDelta = false, false
+	a.Forensics, b.Forensics = 0, 0
+	return a == b
+}
+
 // Result aggregates one campaign cell.
 type Result struct {
 	Spec         Spec

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // resultSetJSON is the serialised form of a ResultSet: a flat list of cell
@@ -106,13 +107,17 @@ func LoadResultSet(path string) (*ResultSet, error) {
 }
 
 // Covers reports whether the set already holds a result for the spec's cell
-// produced by an equivalent campaign: same component, workload and
-// cardinality, with matching Samples and Seed. Seeded determinism then
-// guarantees re-running the cell would reproduce the stored counts exactly,
-// so a resumed campaign may skip it.
+// produced by an equivalent campaign (Spec.Equivalent: every
+// outcome-affecting field matches after normalization, not just the cell
+// key). Seeded determinism then guarantees re-running the cell would
+// reproduce the stored counts exactly, so a resumed campaign may skip it.
+// A stored result for the same cell under a different cluster geometry,
+// timeout, spanning mode or protection scheme does NOT cover the spec —
+// those knobs change the outcome distribution, and resuming over them
+// would silently keep stale counts.
 func (rs *ResultSet) Covers(spec Spec) bool {
 	r, ok := rs.Cells[CellKey{spec.Component, spec.Workload, spec.Faults}]
-	return ok && r.Spec.Samples == spec.Samples && r.Spec.Seed == spec.Seed
+	return ok && r.Spec.Equivalent(spec)
 }
 
 // Pending filters a grid down to the cells the set does not cover — the
@@ -134,11 +139,7 @@ func (rs *ResultSet) sortedKeys() []CellKey {
 		keys = append(keys, k)
 	}
 	// Deterministic order: component, workload, faults.
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && lessKey(keys[j], keys[j-1]); j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
 	return keys
 }
 

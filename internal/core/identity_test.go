@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mbusim/internal/forensics"
+)
+
+// The canonical spec identity (Normalize/Equivalent) is what -resume and
+// the coordinator's submit verification trust. These tests pin its two
+// contracts: every outcome-affecting field distinguishes specs, and every
+// outcome-neutral knob (plus default-filling) does not.
+
+func baseSpec() Spec {
+	return Spec{
+		Workload: "sha", Component: CompL1D, Faults: 2,
+		Samples: 40, Seed: 7,
+	}
+}
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	n := baseSpec().Normalize()
+	if n.Cluster != DefaultCluster {
+		t.Fatalf("zero cluster not defaulted: %+v", n.Cluster)
+	}
+	if n.TimeoutFactor != 4 {
+		t.Fatalf("zero timeout factor not defaulted: %v", n.TimeoutFactor)
+	}
+
+	// ProtectNone discards the meaningless interleave; a real scheme
+	// canonicalizes interleave 0 to 1 (they mean the same thing).
+	s := baseSpec()
+	s.Protect = Protection{Kind: ProtectNone, Interleave: 4}
+	if got := s.Normalize().Protect; got != (Protection{}) {
+		t.Fatalf("ProtectNone kept interleave: %+v", got)
+	}
+	s.Protect = Protection{Kind: ProtectSECDED}
+	if got := s.Normalize().Protect; got.Interleave != 1 {
+		t.Fatalf("interleave 0 not canonicalized to 1: %+v", got)
+	}
+}
+
+func TestSpecEquivalentRejectsOutcomeFields(t *testing.T) {
+	// Each mutation changes a field that alters the outcome distribution;
+	// all must break equivalence.
+	muts := map[string]func(*Spec){
+		"workload":      func(s *Spec) { s.Workload = "CRC32" },
+		"component":     func(s *Spec) { s.Component = CompL2 },
+		"faults":        func(s *Spec) { s.Faults = 3 },
+		"samples":       func(s *Spec) { s.Samples = 41 },
+		"seed":          func(s *Spec) { s.Seed = 8 },
+		"cluster":       func(s *Spec) { s.Cluster = ClusterSpec{Rows: 2, Cols: 8} },
+		"timeoutFactor": func(s *Spec) { s.TimeoutFactor = 8 },
+		"wallTimeout":   func(s *Spec) { s.WallTimeout = time.Second },
+		"forceSpanning": func(s *Spec) { s.ForceSpanning = true },
+		"protect":       func(s *Spec) { s.Protect = Protection{Kind: ProtectParity} },
+		"interleave": func(s *Spec) {
+			s.Protect = Protection{Kind: ProtectSECDED, Interleave: 4}
+		},
+	}
+	for name, mut := range muts {
+		a, b := baseSpec(), baseSpec()
+		if name == "interleave" {
+			// Same kind, different interleave: the degree alone must matter.
+			a.Protect = Protection{Kind: ProtectSECDED, Interleave: 2}
+		}
+		mut(&b)
+		if a.Equivalent(b) {
+			t.Errorf("%s: changed field treated as equivalent", name)
+		}
+	}
+}
+
+func TestSpecEquivalentAcceptsNeutralKnobs(t *testing.T) {
+	muts := map[string]func(*Spec){
+		"noCheckpoints": func(s *Spec) { s.NoCheckpoints = true },
+		"noDelta":       func(s *Spec) { s.NoDelta = true },
+		"forensics":     func(s *Spec) { s.Forensics = forensics.ModeFull },
+		"defaultCluster": func(s *Spec) {
+			s.Cluster = DefaultCluster // explicit default == zero value
+		},
+		"defaultTimeout": func(s *Spec) { s.TimeoutFactor = 4 },
+	}
+	for name, mut := range muts {
+		a, b := baseSpec(), baseSpec()
+		mut(&b)
+		if !a.Equivalent(b) {
+			t.Errorf("%s: outcome-neutral knob broke equivalence", name)
+		}
+	}
+	// Interleave 0 and 1 mean the same physical layout.
+	a, b := baseSpec(), baseSpec()
+	a.Protect = Protection{Kind: ProtectSECDED, Interleave: 0}
+	b.Protect = Protection{Kind: ProtectSECDED, Interleave: 1}
+	if !a.Equivalent(b) {
+		t.Error("interleave 0 vs 1 broke equivalence")
+	}
+}
+
+// TestCoversOutcomeFields pins the resume bug this identity fixed: a stored
+// result must NOT cover a spec whose cluster geometry, timeout, spanning
+// mode or protection differ — those change the counts, and -resume would
+// silently keep stale ones.
+func TestCoversOutcomeFields(t *testing.T) {
+	rs := NewResultSet()
+	rs.Add(fakeResult(CompL1D, "sha", 2, 40, 7))
+	spec := baseSpec()
+	if !rs.Covers(spec) {
+		t.Fatal("matching spec not covered")
+	}
+	for name, mut := range map[string]func(*Spec){
+		"cluster":       func(s *Spec) { s.Cluster = ClusterSpec{Rows: 4, Cols: 4} },
+		"timeoutFactor": func(s *Spec) { s.TimeoutFactor = 2 },
+		"wallTimeout":   func(s *Spec) { s.WallTimeout = time.Minute },
+		"forceSpanning": func(s *Spec) { s.ForceSpanning = true },
+		"protect":       func(s *Spec) { s.Protect = Protection{Kind: ProtectSECDED} },
+	} {
+		m := spec
+		mut(&m)
+		if rs.Covers(m) {
+			t.Errorf("%s: changed outcome field still covered", name)
+		}
+	}
+	// Execution-strategy knobs leave the outcome distribution untouched, so
+	// the stored result still stands.
+	for name, mut := range map[string]func(*Spec){
+		"noCheckpoints": func(s *Spec) { s.NoCheckpoints = true },
+		"noDelta":       func(s *Spec) { s.NoDelta = true },
+		"forensics":     func(s *Spec) { s.Forensics = forensics.ModeFast },
+	} {
+		m := spec
+		mut(&m)
+		if !rs.Covers(m) {
+			t.Errorf("%s: neutral knob broke coverage", name)
+		}
+	}
+}

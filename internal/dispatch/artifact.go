@@ -1,0 +1,254 @@
+package dispatch
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mbusim/internal/core"
+	"mbusim/internal/telemetry"
+	"mbusim/internal/workloads"
+)
+
+// Checkpoint-artifact distribution: without it, every worker process opens
+// a distributed campaign by re-deriving the golden reference and checkpoint
+// set of every workload it touches — the exact same multi-hundred-million-
+// cycle simulations the coordinator and every other worker also run. The
+// coordinator instead derives each workload once, packages the result as a
+// content-addressed artifact (workloads.Artifact), and serves it over the
+// dispatch HTTP surface; workers compute the key they expect from their own
+// build and configuration, check a local disk cache, fetch on miss, verify
+// the content hash, and install. Every verification failure — wrong key,
+// corrupt bytes, mismatched image — degrades to local derivation, so the
+// artifact path can only ever save work, never change results.
+
+// ArtifactServer serves encoded checkpoint artifacts for the workloads of
+// a campaign grid, deriving and encoding each workload's artifact at most
+// once, on first request. Mount it on the coordinator's mux at
+// PathArtifact.
+type ArtifactServer struct {
+	tel     *telemetry.Campaign
+	entries map[string]*artifactEntry // content address -> entry
+}
+
+type artifactEntry struct {
+	w    *workloads.Workload
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// NewArtifactServer builds a server for every distinct workload in the
+// grid, computing their keys (which compiles each workload, cheap) but
+// deriving nothing yet.
+func NewArtifactServer(specs []core.Spec, tel *telemetry.Campaign) (*ArtifactServer, error) {
+	s := &ArtifactServer{tel: tel, entries: make(map[string]*artifactEntry)}
+	seen := make(map[string]bool)
+	for _, spec := range specs {
+		if seen[spec.Workload] {
+			continue
+		}
+		seen[spec.Workload] = true
+		w, err := workloads.ByName(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		key, err := w.ArtifactKey()
+		if err != nil {
+			return nil, err
+		}
+		s.entries[key] = &artifactEntry{w: w}
+	}
+	return s, nil
+}
+
+// ServeHTTP answers GET PathArtifact+key with the encoded artifact, 404
+// for a key this build and configuration would not produce (the requester
+// falls back to deriving locally), and 500 if derivation itself failed.
+func (s *ArtifactServer) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	key := r.URL.Path[len(PathArtifact):]
+	e, ok := s.entries[key]
+	if !ok {
+		http.Error(rw, "unknown artifact", http.StatusNotFound)
+		return
+	}
+	e.once.Do(func() {
+		a, err := workloads.ExportArtifact(e.w)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.data = a.Encode()
+	})
+	if e.err != nil {
+		http.Error(rw, e.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.tel.ArtifactServed()
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(e.data)
+}
+
+// ArtifactCache brings workloads up from cached checkpoint artifacts on
+// the worker side: disk cache first, then a fetch from the coordinator,
+// then — on any miss or verification failure — silent fallback to local
+// derivation. All methods are safe for concurrent use.
+type ArtifactCache struct {
+	// Dir is the disk cache directory, created on demand. Empty disables
+	// the disk layer (fetch-and-install only).
+	Dir string
+	// URL is the coordinator base URL; empty disables fetching (disk-only).
+	URL string
+	// Client is the HTTP client for fetches; nil means http.DefaultClient.
+	Client *http.Client
+	// Tel, when non-nil, receives the artifact counters.
+	Tel *telemetry.Campaign
+
+	mu    sync.Mutex
+	tried map[string]bool // workload name -> Ensure already ran
+}
+
+func (c *ArtifactCache) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// Ensure makes one attempt to bring the named workload up from an artifact
+// before its golden state is first needed. It never returns an error for a
+// missing or bad artifact — that is the fallback path, counted in
+// telemetry, and the workload simply derives locally — only for an unknown
+// workload name. Repeat calls for the same workload are no-ops.
+func (c *ArtifactCache) Ensure(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tried[name] {
+		return nil
+	}
+	if c.tried == nil {
+		c.tried = make(map[string]bool)
+	}
+	c.tried[name] = true
+
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	key, err := w.ArtifactKey()
+	if err != nil {
+		// The workload does not compile; the campaign will report that
+		// through the normal path.
+		return nil
+	}
+	if c.installFromDisk(w, key) {
+		return nil
+	}
+	if c.fetchAndInstall(w, key) {
+		return nil
+	}
+	c.Tel.ArtifactFallback()
+	return nil
+}
+
+// cachePath is the disk location of an artifact ("" when disk caching is
+// off). The key is a hex digest, so it is always a safe filename.
+func (c *ArtifactCache) cachePath(key string) string {
+	if c.Dir == "" {
+		return ""
+	}
+	return filepath.Join(c.Dir, key+".mba")
+}
+
+// installFromDisk tries the disk cache. A file that fails verification or
+// install is deleted so the subsequent fetch can replace it.
+func (c *ArtifactCache) installFromDisk(w *workloads.Workload, key string) bool {
+	path := c.cachePath(key)
+	if path == "" {
+		return false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	if err := decodeAndInstall(w, data); err != nil {
+		c.Tel.ArtifactCorrupt()
+		os.Remove(path)
+		return false
+	}
+	c.Tel.ArtifactCacheHit()
+	return true
+}
+
+// fetchAndInstall downloads the artifact from the coordinator, installs it,
+// and writes it to the disk cache (atomically, so a concurrent process or
+// a crash never exposes a partial file — though verification would catch
+// one anyway).
+func (c *ArtifactCache) fetchAndInstall(w *workloads.Workload, key string) bool {
+	if c.URL == "" {
+		return false
+	}
+	resp, err := c.client().Get(c.URL + PathArtifact + key)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false
+	}
+	if err := decodeAndInstall(w, data); err != nil {
+		c.Tel.ArtifactCorrupt()
+		return false
+	}
+	c.Tel.ArtifactFetched()
+	if path := c.cachePath(key); path != "" {
+		_ = writeFileAtomic(path, data)
+	}
+	return true
+}
+
+// decodeAndInstall verifies an encoded artifact end-to-end and seeds the
+// workload from it.
+func decodeAndInstall(w *workloads.Workload, data []byte) error {
+	a, err := workloads.DecodeArtifact(data)
+	if err != nil {
+		return err
+	}
+	return workloads.InstallArtifact(w, a)
+}
+
+// writeFileAtomic writes data via a temp file and rename. Cache writes are
+// best-effort: a lost cache entry costs one re-fetch, never correctness.
+func writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -362,13 +362,14 @@ func (c *Coordinator) submit(req *SubmitRequest) (rep *SubmitReply) {
 		return &SubmitReply{Status: StatusDuplicate, CampaignDone: c.overLocked()}
 	}
 	// Verify the result actually answers this cell's spec, on the same
-	// identity the resume logic uses (ResultSet.Covers): cell key plus
-	// Samples and Seed. A strict struct compare would be wrong here —
-	// core.Run normalizes zero Cluster/TimeoutFactor fields to their
-	// defaults before recording the spec in the result.
-	if got, want := req.Result.Spec, c.specs[cell]; got.Component != want.Component ||
-		got.Workload != want.Workload || got.Faults != want.Faults ||
-		got.Samples != want.Samples || got.Seed != want.Seed {
+	// identity the resume logic uses (core.Spec.Equivalent): every
+	// outcome-affecting field must match after normalization, so a worker
+	// running a stale grid — same cell key but a different cluster
+	// geometry, timeout, spanning mode or protection — is discarded
+	// instead of poisoning the result set. A strict struct compare would
+	// be wrong here: core.Run fills in zero Cluster/TimeoutFactor defaults
+	// before recording the spec in the result.
+	if !req.Result.Spec.Equivalent(c.specs[cell]) {
 		// A confused or restarted-with-a-different-grid worker. Discard.
 		return &SubmitReply{Status: StatusStale}
 	}

@@ -24,6 +24,13 @@ const (
 	PathHeartbeat = "/dispatch/heartbeat"
 	PathSubmit    = "/dispatch/submit"
 	PathAbandon   = "/dispatch/abandon"
+
+	// PathArtifact is the checkpoint-artifact endpoint (ArtifactServer):
+	// GET PathArtifact + key returns the encoded artifact with that content
+	// address, 404 if the coordinator's build would not produce it. It is
+	// the one non-JSON, non-POST route — artifacts are binary and the key
+	// already says exactly what the bytes must hash to.
+	PathArtifact = "/dispatch/artifact/"
 )
 
 // Reply statuses.

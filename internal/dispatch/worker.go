@@ -32,6 +32,12 @@ type Worker struct {
 	// OnCell, when non-nil, observes each cell this worker completed and
 	// submitted (progress display).
 	OnCell func(cell int, spec core.Spec, res *core.Result)
+	// Artifacts, when non-nil, brings each leased cell's workload up from a
+	// cached or coordinator-served checkpoint artifact before the cell
+	// runs, instead of re-deriving the golden reference locally. Failures
+	// inside it fall back to local derivation; nil skips the artifact path
+	// entirely.
+	Artifacts *ArtifactCache
 	// Backoff shapes reconnection delays; zero value = defaults.
 	Backoff Backoff
 	// MaxDowntime is how long the coordinator may stay unreachable before
@@ -130,6 +136,12 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 			}
 		}
 	}()
+
+	if w.Artifacts != nil {
+		// Best-effort: a failed Ensure leaves the workload to derive its
+		// golden state locally inside the run below.
+		_ = w.Artifacts.Ensure(l.Spec.Workload)
+	}
 
 	var res *core.Result
 	runErr := core.RunGridWithTelemetry(cellCtx, []core.Spec{l.Spec}, 0,

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"mbusim/internal/cache"
+	"mbusim/internal/cpu"
+	"mbusim/internal/kernel"
+	"mbusim/internal/mem"
+	"mbusim/internal/tlb"
+	"mbusim/internal/vm"
+	"mbusim/internal/wire"
+)
+
+// SnapshotFormat versions the binary wire encoding of machine snapshots —
+// the field sequences in the EncodeWire/DecodeSnapshotWire pairs of every
+// component package plus this one. It is hashed into every checkpoint
+// artifact key, so bumping it (required whenever any snapshotted field is
+// added, removed, or reordered) silently invalidates every cached
+// artifact instead of letting an old build's bytes decode into the wrong
+// fields.
+const SnapshotFormat = 1
+
+func encodeConfig(w *wire.Writer, cfg Config) {
+	w.Int(cfg.CPU.FetchWidth)
+	w.Int(cfg.CPU.IssueWidth)
+	w.Int(cfg.CPU.WBWidth)
+	w.Int(cfg.CPU.CommitWidth)
+	w.Int(cfg.CPU.ROBSize)
+	w.Int(cfg.CPU.IQSize)
+	w.Int(cfg.CPU.PhysRegs)
+	w.Int(cfg.CPU.LQSize)
+	w.Int(cfg.CPU.SQSize)
+	w.Int(cfg.CPU.FetchQSize)
+	w.Int(cfg.CPU.ALULat)
+	w.Int(cfg.CPU.MulLat)
+	w.Int(cfg.CPU.DivLat)
+	w.Int(cfg.CPU.AGULat)
+	w.U64(cfg.CPU.DeadlockLimit)
+	w.Bool(cfg.CPU.InOrder)
+
+	w.Int(cfg.L1Size)
+	w.Int(cfg.L1Ways)
+	w.Int(cfg.L2Size)
+	w.Int(cfg.L2Ways)
+	w.Int(cfg.LineSize)
+	w.Int(cfg.L1Lat)
+	w.Int(cfg.L2Lat)
+	w.Int(cfg.TLBEntries)
+	w.Int(cfg.PABits)
+	w.Bool(cfg.WalkerDirect)
+}
+
+func decodeConfig(r *wire.Reader) Config {
+	var cfg Config
+	cfg.CPU.FetchWidth = r.Int()
+	cfg.CPU.IssueWidth = r.Int()
+	cfg.CPU.WBWidth = r.Int()
+	cfg.CPU.CommitWidth = r.Int()
+	cfg.CPU.ROBSize = r.Int()
+	cfg.CPU.IQSize = r.Int()
+	cfg.CPU.PhysRegs = r.Int()
+	cfg.CPU.LQSize = r.Int()
+	cfg.CPU.SQSize = r.Int()
+	cfg.CPU.FetchQSize = r.Int()
+	cfg.CPU.ALULat = r.Int()
+	cfg.CPU.MulLat = r.Int()
+	cfg.CPU.DivLat = r.Int()
+	cfg.CPU.AGULat = r.Int()
+	cfg.CPU.DeadlockLimit = r.U64()
+	cfg.CPU.InOrder = r.Bool()
+
+	cfg.L1Size = r.Int()
+	cfg.L1Ways = r.Int()
+	cfg.L2Size = r.Int()
+	cfg.L2Ways = r.Int()
+	cfg.LineSize = r.Int()
+	cfg.L1Lat = r.Int()
+	cfg.L2Lat = r.Int()
+	cfg.TLBEntries = r.Int()
+	cfg.PABits = r.Int()
+	cfg.WalkerDirect = r.Bool()
+	return cfg
+}
+
+// EncodeWire appends the complete machine snapshot — configuration plus
+// every component's state — to w in the artifact wire format. The core's
+// predecoded text is deliberately excluded (it is derived from the program
+// image); a decoded snapshot must have a text bound with BindProgram
+// before it can be restored into a machine.
+func (s *Snapshot) EncodeWire(w *wire.Writer) {
+	encodeConfig(w, s.Cfg)
+	s.ram.EncodeWire(w)
+	s.l1i.EncodeWire(w)
+	s.l1d.EncodeWire(w)
+	s.l2.EncodeWire(w)
+	s.itlb.EncodeWire(w)
+	s.dtlb.EncodeWire(w)
+	s.walker.EncodeWire(w)
+	s.kern.EncodeWire(w)
+	s.core.EncodeWire(w)
+}
+
+// DecodeSnapshotWire reads a machine snapshot encoded by EncodeWire.
+func DecodeSnapshotWire(r *wire.Reader) (*Snapshot, error) {
+	s := &Snapshot{Cfg: decodeConfig(r)}
+	var err error
+	if s.ram, err = mem.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.l1i, err = cache.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.l1d, err = cache.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.l2, err = cache.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.itlb, err = tlb.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.dtlb, err = tlb.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.walker, err = vm.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.kern, err = kernel.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	if s.core, err = cpu.DecodeSnapshotWire(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BindProgram attaches the predecoded text of a live machine (one that
+// has Load-ed the program image the snapshot was taken under) to a decoded
+// snapshot, making it restorable. Snapshots taken in-process already share
+// their core's pretext and never need binding.
+func (s *Snapshot) BindProgram(m *Machine) error {
+	return s.core.BindText(m.Core)
+}

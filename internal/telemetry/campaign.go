@@ -41,6 +41,20 @@ const (
 	MetricDispatchExpired = "gefin_dispatch_leases_expired_total"
 	MetricDispatchRetried = "gefin_dispatch_cells_retried_total"
 	MetricDispatchDeduped = "gefin_dispatch_submits_deduped_total"
+
+	// Checkpoint-artifact series (PR 7): how each process came by its
+	// workloads' golden state. GoldenDerived counts full fault-free golden
+	// runs actually executed here — the expensive event the artifact store
+	// exists to avoid; summing it across a fleet proves how many were paid
+	// for in total. The artifact counters split the cheap path: served by
+	// the coordinator, satisfied from the worker's disk cache, fetched over
+	// HTTP, rejected as corrupt, or fallen back to local derivation.
+	MetricGoldenDerived     = "gefin_golden_derived_total"
+	MetricArtifactServed    = "gefin_artifact_served_total"
+	MetricArtifactCacheHits = "gefin_artifact_cache_hits_total"
+	MetricArtifactFetches   = "gefin_artifact_fetches_total"
+	MetricArtifactCorrupt   = "gefin_artifact_corrupt_total"
+	MetricArtifactFallbacks = "gefin_artifact_fallbacks_total"
 )
 
 // Campaign bundles a metrics registry and an optional tracer behind typed
@@ -167,6 +181,60 @@ func (c *Campaign) DispatchSubmitDeduped() {
 		return
 	}
 	c.Registry.Counter(MetricDispatchDeduped).Inc()
+}
+
+// GoldenDerived counts one full golden reference run executed in this
+// process (as opposed to installed from a cached artifact).
+func (c *Campaign) GoldenDerived() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricGoldenDerived).Inc()
+}
+
+// ArtifactServed counts one checkpoint artifact served to a worker.
+func (c *Campaign) ArtifactServed() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricArtifactServed).Inc()
+}
+
+// ArtifactCacheHit counts one workload brought up from the local artifact
+// disk cache, no golden run and no network.
+func (c *Campaign) ArtifactCacheHit() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricArtifactCacheHits).Inc()
+}
+
+// ArtifactFetched counts one artifact downloaded from the coordinator and
+// installed.
+func (c *Campaign) ArtifactFetched() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricArtifactFetches).Inc()
+}
+
+// ArtifactCorrupt counts one cached or fetched artifact rejected by
+// verification (bad hash, bad structure, wrong image).
+func (c *Campaign) ArtifactCorrupt() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricArtifactCorrupt).Inc()
+}
+
+// ArtifactFallback counts one workload that fell back to local golden
+// derivation after the artifact path failed (no coordinator artifact,
+// fetch error, or verification failure).
+func (c *Campaign) ArtifactFallback() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricArtifactFallbacks).Inc()
 }
 
 // FlushCell persists one completed cell's trace records and forensics

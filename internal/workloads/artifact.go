@@ -1,0 +1,324 @@
+package workloads
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"mbusim/internal/asm"
+	"mbusim/internal/sim"
+	"mbusim/internal/wire"
+)
+
+// Checkpoint artifacts: the expensive part of bringing up a workload is not
+// compiling it (milliseconds) but deriving its golden reference — a full
+// fault-free run of up to 500M simulated cycles — and replaying it again to
+// record the checkpoint set. In a distributed campaign every worker used to
+// pay that tax per process. An Artifact captures the derived state (golden
+// run + checkpoint snapshots) in a versioned binary encoding, keyed by a
+// content address over everything the state is a pure function of: the
+// wire-format version, the workload name, the compiled image, and the
+// checkpoint count. Any party holding the same source and configuration
+// computes the same key, so a worker can ask the coordinator for "the
+// artifact I would have derived" and install it instead — and a key
+// mismatch (different simulator build, source, or K) degrades safely to
+// local derivation rather than ever installing the wrong state.
+
+// ArtifactFormat versions the artifact container layout (magic, header,
+// payload field order, hash trailer). The snapshot payload is versioned
+// separately by sim.SnapshotFormat; both are folded into the key.
+const ArtifactFormat = 1
+
+// artifactMagic opens every encoded artifact.
+var artifactMagic = [4]byte{'M', 'B', 'U', 'A'}
+
+// Artifact is a workload's derived state in portable form.
+type Artifact struct {
+	Workload  string
+	ImageHash [32]byte // HashImage of the compiled program
+	K         int      // CheckpointCount the set was built with
+	Golden    Golden
+	Cycles    []uint64        // checkpoint cycles, ascending, Cycles[0] == 0
+	Snaps     []*sim.Snapshot // checkpoint snapshots, parallel to Cycles
+}
+
+// HashImage returns a deterministic digest of a compiled program's
+// execution-relevant content: text, data, load addresses and entry point.
+// Symbols are omitted — they carry no execution semantics.
+func HashImage(p *asm.Program) [32]byte {
+	h := sha256.New()
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], p.TextBase)
+	binary.LittleEndian.PutUint32(hdr[4:], p.DataBase)
+	binary.LittleEndian.PutUint32(hdr[8:], p.Entry)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(p.Text)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(p.Data)))
+	h.Write(hdr[:])
+	h.Write(p.Text)
+	h.Write(p.Data)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// artifactKey computes the content address for a (name, image, K) triple.
+func artifactKey(name string, imageHash [32]byte, k int) string {
+	h := sha256.New()
+	var ver [16]byte
+	binary.LittleEndian.PutUint64(ver[0:], ArtifactFormat)
+	binary.LittleEndian.PutUint64(ver[8:], sim.SnapshotFormat)
+	h.Write(ver[:])
+	h.Write([]byte(name))
+	h.Write(imageHash[:])
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], uint64(k))
+	h.Write(kb[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Key returns the artifact's content address.
+func (a *Artifact) Key() string {
+	return artifactKey(a.Workload, a.ImageHash, a.K)
+}
+
+// ArtifactKey returns the content address of the artifact this process
+// would derive for the workload under its current configuration: its
+// compiled image, the current CheckpointCount, and this build's snapshot
+// format. It compiles the workload (cheap) but derives nothing.
+func (w *Workload) ArtifactKey() (string, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return "", err
+	}
+	k := CheckpointCount
+	if k < 1 {
+		k = 1
+	}
+	return artifactKey(w.Name, HashImage(prog), k), nil
+}
+
+// ExportArtifact packages the workload's derived state, deriving it first
+// if this process has not already (one golden run + one checkpoint replay).
+func ExportArtifact(w *Workload) (*Artifact, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	g, err := w.Reference()
+	if err != nil {
+		return nil, err
+	}
+	cycles, snaps, err := w.GoldenCheckpoints()
+	if err != nil {
+		return nil, err
+	}
+	k := CheckpointCount
+	if k < 1 {
+		k = 1
+	}
+	return &Artifact{
+		Workload:  w.Name,
+		ImageHash: HashImage(prog),
+		K:         k,
+		Golden:    *g,
+		Cycles:    cycles,
+		Snaps:     snaps,
+	}, nil
+}
+
+// Encode serializes the artifact: magic, format version, payload, then a
+// sha256 trailer over everything before it. The trailer is what cached and
+// fetched copies are verified against, so corruption anywhere in the bytes
+// is caught before any field is trusted.
+func (a *Artifact) Encode() []byte {
+	var w wire.Writer
+	w.String(a.Workload)
+	w.Blob(a.ImageHash[:])
+	w.Int(a.K)
+	w.U64(a.Golden.Cycles)
+	w.U64(a.Golden.Committed)
+	w.Blob(a.Golden.Stdout)
+	w.U32(a.Golden.ExitCode)
+	w.Int(len(a.Cycles))
+	for _, c := range a.Cycles {
+		w.U64(c)
+	}
+	for _, s := range a.Snaps {
+		s.EncodeWire(&w)
+	}
+	payload := w.Bytes()
+
+	out := make([]byte, 0, len(artifactMagic)+8+len(payload)+sha256.Size)
+	out = append(out, artifactMagic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, ArtifactFormat)
+	out = append(out, payload...)
+	sum := sha256.Sum256(out)
+	return append(out, sum[:]...)
+}
+
+// maxArtifactCheckpoints bounds the checkpoint count a decoded artifact may
+// claim, far above any sane configuration.
+const maxArtifactCheckpoints = 1 << 12
+
+// DecodeArtifact parses and verifies an encoded artifact. It rejects bad
+// magic, an unknown format version, a content hash that does not match the
+// bytes, and any structural inconsistency — a caller that gets a non-nil
+// Artifact back holds exactly what Encode was given.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	headerLen := len(artifactMagic) + 8
+	if len(data) < headerLen+sha256.Size {
+		return nil, fmt.Errorf("workloads: artifact truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], artifactMagic[:]) {
+		return nil, fmt.Errorf("workloads: bad artifact magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint64(data[4:12]); v != ArtifactFormat {
+		return nil, fmt.Errorf("workloads: unsupported artifact format %d (want %d)", v, ArtifactFormat)
+	}
+	body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("workloads: artifact content hash mismatch")
+	}
+
+	r := wire.NewReader(body[headerLen:])
+	a := &Artifact{Workload: r.String()}
+	ih := r.Blob()
+	a.K = r.Int()
+	a.Golden.Cycles = r.U64()
+	a.Golden.Committed = r.U64()
+	a.Golden.Stdout = r.Blob()
+	a.Golden.ExitCode = r.U32()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("workloads: artifact header: %w", err)
+	}
+	if len(ih) != len(a.ImageHash) {
+		return nil, fmt.Errorf("workloads: artifact image hash is %d bytes", len(ih))
+	}
+	copy(a.ImageHash[:], ih)
+	if n < 1 || n > maxArtifactCheckpoints {
+		return nil, fmt.Errorf("workloads: artifact checkpoint count %d out of range", n)
+	}
+	a.Cycles = make([]uint64, n)
+	for i := range a.Cycles {
+		a.Cycles[i] = r.U64()
+	}
+	a.Snaps = make([]*sim.Snapshot, n)
+	for i := range a.Snaps {
+		s, err := sim.DecodeSnapshotWire(r)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: artifact checkpoint %d: %w", i, err)
+		}
+		a.Snaps[i] = s
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("workloads: artifact payload: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("workloads: %d trailing bytes after artifact payload", r.Len())
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// validate checks the artifact's internal consistency.
+func (a *Artifact) validate() error {
+	if a.Workload == "" {
+		return fmt.Errorf("workloads: artifact has no workload name")
+	}
+	if len(a.Cycles) == 0 || len(a.Cycles) != len(a.Snaps) {
+		return fmt.Errorf("workloads: artifact has %d cycles for %d snapshots",
+			len(a.Cycles), len(a.Snaps))
+	}
+	if a.Cycles[0] != 0 {
+		return fmt.Errorf("workloads: artifact first checkpoint at cycle %d, want 0", a.Cycles[0])
+	}
+	for i := 1; i < len(a.Cycles); i++ {
+		if a.Cycles[i] <= a.Cycles[i-1] {
+			return fmt.Errorf("workloads: artifact checkpoint cycles not ascending at %d", i)
+		}
+	}
+	if last := a.Cycles[len(a.Cycles)-1]; last >= a.Golden.Cycles {
+		return fmt.Errorf("workloads: artifact checkpoint at cycle %d beyond golden run (%d cycles)",
+			last, a.Golden.Cycles)
+	}
+	return nil
+}
+
+// InstallArtifact seeds the workload's derived state from a verified
+// artifact, so later Reference/GoldenCheckpoints/MachineAt calls find it
+// already built and no golden run happens in this process. It compiles the
+// workload locally (cheap) and refuses the artifact unless the image hash,
+// checkpoint count, and machine configuration all match what this process
+// would have derived itself — on any mismatch the workload is left
+// untouched and the caller falls back to local derivation. Installing into
+// a workload whose state was already derived (or installed) is an error if
+// the golden runs disagree and a no-op otherwise.
+func InstallArtifact(w *Workload, a *Artifact) error {
+	if a.Workload != w.Name {
+		return fmt.Errorf("workloads: artifact is for %q, not %q", a.Workload, w.Name)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return err
+	}
+	if HashImage(prog) != a.ImageHash {
+		return fmt.Errorf("workloads: artifact image hash does not match compiled %s", w.Name)
+	}
+	k := CheckpointCount
+	if k < 1 {
+		k = 1
+	}
+	if a.K != k {
+		return fmt.Errorf("workloads: artifact built with %d checkpoints, this process wants %d", a.K, k)
+	}
+	// The snapshots carry no predecoded text (it is derived from the
+	// image); bind the locally compiled program into each before they are
+	// ever restored. A freshly exported in-process artifact shares live
+	// snapshots that are already bound — binding again is a harmless
+	// re-check. Reject snapshots taken under a different machine
+	// configuration: Restorer rebuilds machines from snap.Cfg, so a wrong
+	// config would silently change the simulated hardware.
+	m, err := w.NewMachine()
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	for i, s := range a.Snaps {
+		if s.Cfg != cfg {
+			return fmt.Errorf("workloads: artifact checkpoint %d has a different machine configuration", i)
+		}
+		if err := s.BindProgram(m); err != nil {
+			return fmt.Errorf("workloads: artifact checkpoint %d: %w", i, err)
+		}
+	}
+
+	installedGolden := false
+	w.goldenOnce.Do(func() {
+		g := a.Golden
+		w.golden = &g
+		installedGolden = true
+	})
+	if !installedGolden {
+		if w.goldenErr != nil {
+			return fmt.Errorf("workloads: %s golden already failed: %w", w.Name, w.goldenErr)
+		}
+		if w.golden.Cycles != a.Golden.Cycles || w.golden.ExitCode != a.Golden.ExitCode ||
+			!bytes.Equal(w.golden.Stdout, a.Golden.Stdout) {
+			return fmt.Errorf("workloads: artifact golden disagrees with the one already derived for %s", w.Name)
+		}
+	}
+	w.ckptOnce.Do(func() {
+		w.ckpts = make([]checkpoint, len(a.Snaps))
+		for i := range a.Snaps {
+			w.ckpts[i] = checkpoint{cycle: a.Cycles[i], snap: a.Snaps[i]}
+		}
+		w.ckptCycles = a.Cycles
+		w.ckptSnaps = a.Snaps
+	})
+	return nil
+}

@@ -23,10 +23,19 @@ type Workload struct {
 	Name   string
 	Source string
 
-	once   sync.Once
-	prog   *asm.Program
-	golden *Golden
-	err    error
+	// Compilation and golden derivation are separate once-guards: compiling
+	// is milliseconds, the golden run is hundreds of millions of simulated
+	// cycles. The artifact layer (InstallArtifact) exploits the split — it
+	// needs the compiled image to verify the artifact's hash and to build
+	// machines, but seeds golden and checkpoints from the artifact instead
+	// of deriving them.
+	compileOnce sync.Once
+	prog        *asm.Program
+	compileErr  error
+
+	goldenOnce sync.Once
+	golden     *Golden
+	goldenErr  error
 
 	ckptOnce sync.Once
 	ckpts    []checkpoint
@@ -37,6 +46,14 @@ type Workload struct {
 	ckptCycles []uint64
 	ckptSnaps  []*sim.Snapshot
 }
+
+// OnGoldenDerived, when non-nil, is called each time a workload's golden
+// reference is actually derived by running the full fault-free simulation
+// in this process — as opposed to being installed from a cached artifact.
+// The gefin binary wires it to a telemetry counter so a distributed
+// campaign can prove fleet-wide how many golden runs it really paid for.
+// Set it before any campaign runs; it must be safe for concurrent calls.
+var OnGoldenDerived func(name string)
 
 // Golden holds the fault-free reference run of a workload.
 type Golden struct {
@@ -91,23 +108,35 @@ func All() []*Workload {
 	return ws
 }
 
-// prepare compiles the workload and captures its golden run, once.
-func (w *Workload) prepare() {
-	w.once.Do(func() {
+// compile compiles the workload's MiniC source, once.
+func (w *Workload) compile() {
+	w.compileOnce.Do(func() {
 		prog, err := minic.CompileProgram(w.Source)
 		if err != nil {
-			w.err = fmt.Errorf("workloads: compile %s: %w", w.Name, err)
+			w.compileErr = fmt.Errorf("workloads: compile %s: %w", w.Name, err)
 			return
 		}
 		w.prog = prog
+	})
+}
+
+// deriveGolden captures the fault-free reference run, once. InstallArtifact
+// wins the same once-guard with a cached golden instead, skipping the run.
+func (w *Workload) deriveGolden() {
+	w.goldenOnce.Do(func() {
+		w.compile()
+		if w.compileErr != nil {
+			w.goldenErr = w.compileErr
+			return
+		}
 		m := sim.New(sim.DefaultConfig())
-		if err := m.Load(prog); err != nil {
-			w.err = fmt.Errorf("workloads: load %s: %w", w.Name, err)
+		if err := m.Load(w.prog); err != nil {
+			w.goldenErr = fmt.Errorf("workloads: load %s: %w", w.Name, err)
 			return
 		}
 		out := m.Run(500_000_000, 0, nil)
 		if out.Stop.String() != "exit" || out.ExitCode != 0 || out.TimedOut {
-			w.err = fmt.Errorf("workloads: golden run of %s failed: stop=%v exit=%d timeout=%v kill=%q panic=%q",
+			w.goldenErr = fmt.Errorf("workloads: golden run of %s failed: stop=%v exit=%d timeout=%v kill=%q panic=%q",
 				w.Name, out.Stop, out.ExitCode, out.TimedOut, out.KillMsg, out.PanicMsg)
 			return
 		}
@@ -117,19 +146,25 @@ func (w *Workload) prepare() {
 			Stdout:    out.Stdout,
 			ExitCode:  out.ExitCode,
 		}
+		if OnGoldenDerived != nil {
+			OnGoldenDerived(w.Name)
+		}
 	})
 }
 
 // Program returns the compiled binary image (compiled once, cached).
 func (w *Workload) Program() (*asm.Program, error) {
-	w.prepare()
-	return w.prog, w.err
+	w.compile()
+	return w.prog, w.compileErr
 }
 
 // Reference returns the golden fault-free run (computed once, cached).
 func (w *Workload) Reference() (*Golden, error) {
-	w.prepare()
-	return w.golden, w.err
+	w.deriveGolden()
+	if w.goldenErr != nil {
+		return nil, w.goldenErr
+	}
+	return w.golden, nil
 }
 
 // NewMachine builds a fresh machine with the workload loaded, ready to run.
