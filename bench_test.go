@@ -409,6 +409,41 @@ func BenchmarkCampaignTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignEvents is BenchmarkCampaignTelemetry with the campaign
+// event log also attached (written to io.Discard): the number isolates the
+// cost of structured event emission — sequence assignment, JSON encoding,
+// one Write per event — on top of the metrics registry and sample trace.
+// Compare against Telemetry for the event-log overhead; events are per-cell
+// (not per-sample), so it should be noise at realistic sample counts.
+func BenchmarkCampaignEvents(b *testing.B) {
+	spec := core.Spec{
+		Workload: "sha", Component: core.CompL1D, Faults: 2,
+		Samples: benchSamples * 2, Seed: 7,
+	}
+	if _, err := core.Run(context.Background(), spec, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := telemetry.NewCampaign(telemetry.NewTracer(io.Discard))
+		tel.Events = telemetry.NewEventLog(io.Discard, 0)
+		tel.Emit(telemetry.Event{Type: telemetry.EventCampaignStart, Cell: -1, Cells: 1})
+		var res *core.Result
+		err := core.RunGridWithTelemetry(context.Background(), []core.Spec{spec}, 1,
+			func(_ int, r *core.Result) { res = r }, tel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tel.Emit(telemetry.Event{Type: telemetry.EventCampaignDone, Cell: -1, Cells: 1})
+		if res.Samples() != spec.Samples {
+			b.Fatalf("campaign classified %d runs, want %d", res.Samples(), spec.Samples)
+		}
+		if got := tel.Events.LastSeq(); got != 3 {
+			b.Fatalf("event log recorded %d events, want 3", got)
+		}
+	}
+}
+
 // BenchmarkCampaignForensics measures the fault-lifecycle tracking overhead
 // on top of BenchmarkCampaignTelemetry: fast mode arms the component access
 // probes per sample, full mode additionally replays a lockstep shadow

@@ -110,8 +110,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile after the campaign to this file")
 		tracePath  = fs.String("trace", "", "write a JSONL trace (one record per injection sample) to this file, flushed per cell")
-		metricsOn  = fs.String("metrics-addr", "", "serve live campaign metrics on host:port (/metrics Prometheus text, /debug/vars expvar, /debug/pprof)")
+		metricsOn  = fs.String("metrics-addr", "", "serve live campaign metrics on host:port (/metrics Prometheus text, /healthz, /debug/vars expvar, /debug/pprof)")
 		status     = fs.Duration("status", 0, "print a periodic campaign summary to stderr at this interval (works with -q; 0 disables)")
+		eventsPath = fs.String("events", "", "append the campaign event log (JSONL, one event per line) to this file; with -resume an existing log is continued, sequence numbers stay strictly monotonic")
+		watchURL   = fs.String("watch", "", "observe a running coordinator at host:port: stream its campaign event log and render a live fleet dashboard (takes no grid flags)")
 		serveAddr  = fs.String("serve", "", "coordinate a distributed campaign: listen on host:port and lease grid cells to -join workers instead of running them in-process")
 		joinAddr   = fs.String("join", "", "work for a coordinator at host:port: lease cells, run them, submit results (takes no grid flags)")
 		workerID   = fs.String("worker-id", "", "worker identity reported to the coordinator (default host:pid)")
@@ -127,6 +129,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	workloads.CheckpointCount = *ckpts
+
+	// Watch mode is a pure observer: it connects to a coordinator's event
+	// stream and renders, running no cells and owning no results.
+	if *watchURL != "" {
+		if *serveAddr != "" || *joinAddr != "" {
+			fmt.Fprintln(stderr, "-watch observes a campaign from outside: drop -serve/-join")
+			return 2
+		}
+		return runWatch(stdout, stderr, *watchURL)
+	}
 
 	// Worker mode needs no grid flags: the coordinator's leases carry the
 	// specs. Validate before buildSpecs so `gefin -join host:port` alone is
@@ -195,14 +207,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// Telemetry: -trace, -metrics-addr, -status or -forensics enables the
-	// campaign registry (the core hot path stays untouched when all are
-	// absent). Forensics needs the registry for its fate counters; pair it
-	// with -trace to also get the per-sample forensics records. A
-	// coordinator always carries the registry: its dispatch gauges are the
-	// only view into a fleet of remote workers.
+	start := time.Now()
+
+	// Telemetry: -trace, -metrics-addr, -status, -events or -forensics
+	// enables the campaign registry (the core hot path stays untouched when
+	// all are absent). Forensics needs the registry for its fate counters;
+	// pair it with -trace to also get the per-sample forensics records. A
+	// coordinator always carries the registry — its dispatch gauges are the
+	// only view into a fleet of remote workers — and so does a worker, whose
+	// registry snapshots ride its heartbeats into the coordinator's /metrics.
 	var tel *telemetry.Campaign
-	if *tracePath != "" || *metricsOn != "" || *status > 0 || fmode.mode != forensics.ModeOff || *serveAddr != "" {
+	if *tracePath != "" || *metricsOn != "" || *status > 0 || *eventsPath != "" ||
+		fmode.mode != forensics.ModeOff || *serveAddr != "" || joinMode {
 		var tracer *telemetry.Tracer
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
@@ -215,20 +231,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		tel = telemetry.NewCampaign(tracer)
 	}
+	// The event log: durable when -events names a file (-resume continues an
+	// existing log, fresh campaigns start one). A coordinator without -events
+	// still keeps an in-memory log so /dispatch/events and -watch work.
+	if *eventsPath != "" {
+		if !*resume {
+			if err := os.Remove(*eventsPath); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		evlog, err := telemetry.OpenEventLog(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer evlog.Close()
+		tel.Events = evlog
+	} else if *serveAddr != "" {
+		tel.Events = telemetry.NewEventLog(nil, 0)
+	}
 	// Count every golden reference this process actually derives by running
 	// the full fault-free simulation. In a distributed campaign the counter,
 	// summed across the fleet, proves how many golden runs were really paid
 	// for — the number the artifact cache exists to minimize. Nil-safe: with
 	// telemetry off the hook is a no-op.
 	workloads.OnGoldenDerived = func(string) { tel.GoldenDerived() }
+
+	// health feeds /healthz on the metrics port and (coordinator mode) the
+	// dispatch port: the process role plus a cheap campaign digest.
+	role := "local"
+	switch {
+	case joinMode:
+		role = "worker"
+	case *serveAddr != "":
+		role = "coordinator"
+	}
+	health := func() telemetry.Health {
+		h := telemetry.Health{Role: role, UptimeSeconds: time.Since(start).Seconds()}
+		if tel.Enabled() {
+			s := tel.Summarize()
+			c := map[string]any{"samples": s.Samples, "cells": s.Cells}
+			if s.SamplesExpected > 0 {
+				c["samples_expected"] = s.SamplesExpected
+			}
+			if s.CellsExpected > 0 {
+				c["cells_expected"] = s.CellsExpected
+			}
+			if s.Fleet() {
+				c["workers_live"] = s.WorkersLive
+				c["workers_seen"] = s.WorkersSeen
+				c["cells_leased"] = s.CellsLeased
+			}
+			h.Campaign = c
+		}
+		return h
+	}
 	if *metricsOn != "" {
 		ln, err := net.Listen("tcp", *metricsOn)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "metrics: serving http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
-		srv := &http.Server{Handler: telemetry.Handler(tel.Registry)}
+		fmt.Fprintf(stderr, "metrics: serving http://%s/metrics (healthz /healthz, expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
+		srv := &http.Server{Handler: telemetry.Handler(tel.Registry, health)}
 		go srv.Serve(ln)
 		defer srv.Close()
 	}
@@ -244,7 +310,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer cancel()
 
 	var (
-		start    = time.Now()
 		done     = 0
 		flushErr error
 	)
@@ -263,8 +328,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *serveAddr != "" {
 		return runServe(ctx, cancel, stdout, stderr, *serveAddr, specs, pending, rs,
-			*outPath, *leaseTTL, *retries, tel, *quiet, start)
+			*outPath, *leaseTTL, *retries, tel, health, *quiet, start)
 	}
+	tel.Emit(telemetry.Event{Type: telemetry.EventCampaignStart, Cell: -1, Cells: len(pending)})
 	err := core.RunGridWithTelemetry(ctx, pending, *parallel, func(i int, res *core.Result) {
 		rs.Add(res)
 		done++
@@ -297,6 +363,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, ")")
 		return 1
 	}
+	tel.Emit(telemetry.Event{Type: telemetry.EventCampaignDone, Cell: -1, Cells: done})
 	if !*quiet {
 		fmt.Fprintf(stdout, "campaign complete: %d cells in %v\n", done, time.Since(start).Round(time.Second))
 	}
@@ -338,12 +405,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 // campaign is resumable and mergeable with single-process ones.
 func runServe(ctx context.Context, cancel context.CancelFunc, stdout, stderr io.Writer,
 	addr string, specs, pending []core.Spec, rs *core.ResultSet, outPath string,
-	ttl time.Duration, maxRetries int, tel *telemetry.Campaign, quiet bool, start time.Time) int {
+	ttl time.Duration, maxRetries int, tel *telemetry.Campaign,
+	health func() telemetry.Health, quiet bool, start time.Time) int {
 
 	var (
 		done     = 0
 		flushErr error
 	)
+	// Publish the grid shape so -status and /healthz show fleet-wide totals,
+	// and open the event log with campaign_start — before dispatch.New, so a
+	// resumed-already-complete grid's immediate campaign_done orders after it.
+	totalSamples := 0
+	for _, s := range pending {
+		totalSamples += s.Samples
+	}
+	tel.SetGridShape(len(pending), totalSamples, 0, 0)
+	tel.Emit(telemetry.Event{Type: telemetry.EventCampaignStart, Cell: -1, Cells: len(pending)})
 	coord, err := dispatch.New(specs, rs, dispatch.Options{
 		LeaseTTL:   ttl,
 		MaxRetries: maxRetries,
@@ -382,8 +459,9 @@ func runServe(ctx context.Context, cancel context.CancelFunc, stdout, stderr io.
 	}
 	mux.Handle(dispatch.PathArtifact, arts)
 	// The dispatch port doubles as the telemetry endpoint: /metrics shows
-	// the live-worker and lease gauges next to the campaign counters.
-	mux.Handle("/", telemetry.Handler(tel.Registry))
+	// the live-worker and lease gauges (and every federated worker series)
+	// next to the campaign counters, /healthz answers probes.
+	mux.Handle("/", telemetry.Handler(tel.Registry, health))
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	defer srv.Close()
@@ -548,6 +626,12 @@ func statusLine(s telemetry.Summary, elapsed time.Duration) string {
 	}
 	if total := s.CheckpointHits + s.CheckpointMiss; total > 0 {
 		fmt.Fprintf(&b, " | ckpt hit %.0f%%", 100*float64(s.CheckpointHits)/float64(total))
+	}
+	if s.Fleet() {
+		fmt.Fprintf(&b, " | fleet %d/%d workers live, %d leased", s.WorkersLive, s.WorkersSeen, s.CellsLeased)
+		if s.LeasesExpired > 0 || s.CellsRetried > 0 {
+			fmt.Fprintf(&b, ", %d expired, %d retried", s.LeasesExpired, s.CellsRetried)
+		}
 	}
 	if rate > 0 && s.SamplesExpected > s.Samples {
 		eta := time.Duration(float64(s.SamplesExpected-s.Samples) / rate * float64(time.Second))

@@ -9,6 +9,14 @@
 // rates, plus a per-checkpoint-index restore profile across the campaign.
 //
 //	logparse -trace trace.jsonl
+//
+// With -events it analyzes a campaign event log (written by gefin -events):
+// per-cell lifecycle timelines (lease through submit, including expiries and
+// retries), per-worker utilization, the straggler cells, and — with -results
+// pointing at the campaign's results file — a cross-check that the event log
+// and the ResultSet tell the same story. Inconsistencies exit nonzero.
+//
+//	logparse -events events.jsonl -results results.json
 package main
 
 import (
@@ -44,8 +52,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	samples := fs.Int("samples", 120, "per-cell sample count used by the campaign")
 	tracePath := fs.String("trace", "", "analyze a gefin JSONL injection trace instead of parsing a log (- reads stdin)")
+	eventsPath := fs.String("events", "", "analyze a gefin campaign event log instead of parsing a log (- reads stdin)")
+	resultsPath := fs.String("results", "", "with -events: cross-check the event log against this results JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *tracePath != "" && *eventsPath != "" {
+		fmt.Fprintln(stderr, "-trace and -events are separate modes: pick one")
+		return 2
+	}
+	if *eventsPath != "" {
+		return analyzeEvents(*eventsPath, *resultsPath, stdin, stdout, stderr)
 	}
 	if *tracePath != "" {
 		return analyzeTrace(*tracePath, stdin, stdout, stderr)
@@ -190,6 +207,280 @@ func analyzeTrace(path string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(trace.Fates) > 0 {
 		fmt.Fprintf(stdout, "\nmasking mechanisms (%d forensics records):\n", len(trace.Fates))
 		fmt.Fprint(stdout, report.ForensicsTable(trace.Fates))
+	}
+	return 0
+}
+
+// cellStory accumulates one cell's lifecycle from the event stream.
+type cellStory struct {
+	cell     int
+	comp     string
+	workload string
+	faults   int
+	leases   int
+	expiries int
+	retries  int
+	firstNS  int64  // first lease timestamp (0: never leased)
+	doneNS   int64  // cell_done timestamp (0: never completed)
+	dones    int    // cell_done count (must be exactly 1 for a finished cell)
+	worker   string // worker that completed it
+	samples  int
+}
+
+// analyzeEvents digests a campaign event log: validates ordering, rebuilds
+// each cell's lease→run→submit timeline, reports per-worker utilization and
+// straggler cells, and (with resultsPath) cross-checks the log against the
+// campaign's results file. Any inconsistency — non-monotonic sequence
+// numbers, a cell completed twice, a results/log mismatch — exits 1.
+func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.Writer) int {
+	r := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	el, err := telemetry.ReadEvents(r)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	evs := el.Events
+	if len(evs) == 0 {
+		fmt.Fprintln(stderr, "event log holds no events")
+		return 1
+	}
+	if el.Truncated > 0 {
+		fmt.Fprintf(stderr, "note: skipped %d truncated final line(s)\n", el.Truncated)
+	}
+
+	bad := 0
+	complain := func(format string, args ...any) {
+		bad++
+		fmt.Fprintf(stderr, "inconsistent: "+format+"\n", args...)
+	}
+	var lastSeq uint64
+	for _, ev := range evs {
+		if ev.Seq <= lastSeq {
+			complain("event seq %d after %d (must be strictly monotonic)", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+
+	// Fold the stream into per-cell stories and per-worker tallies.
+	type workerStat struct {
+		cells  int
+		busyNS int64
+		leased map[int]int64 // cell -> lease timestamp currently open
+	}
+	var (
+		cells     = make(map[int]*cellStory)
+		workers   = make(map[string]*workerStat)
+		starts    int
+		doneEvent *telemetry.Event
+	)
+	story := func(ev telemetry.Event) *cellStory {
+		s, ok := cells[ev.Cell]
+		if !ok {
+			s = &cellStory{cell: ev.Cell, comp: ev.Comp, workload: ev.Workload, faults: ev.Faults}
+			cells[ev.Cell] = s
+		}
+		return s
+	}
+	wstat := func(id string) *workerStat {
+		w, ok := workers[id]
+		if !ok {
+			w = &workerStat{leased: make(map[int]int64)}
+			workers[id] = w
+		}
+		return w
+	}
+	for i := range evs {
+		ev := evs[i]
+		switch ev.Type {
+		case telemetry.EventCampaignStart:
+			starts++
+		case telemetry.EventCellLeased:
+			s := story(ev)
+			s.leases++
+			if s.firstNS == 0 {
+				s.firstNS = ev.TimeNS
+			}
+			wstat(ev.Worker).leased[ev.Cell] = ev.TimeNS
+		case telemetry.EventLeaseExpired:
+			story(ev).expiries++
+			w := wstat(ev.Worker)
+			delete(w.leased, ev.Cell) // expiry: silent worker, not busy time
+		case telemetry.EventCellRetried:
+			story(ev).retries++
+		case telemetry.EventCellDone:
+			s := story(ev)
+			s.dones++
+			s.doneNS = ev.TimeNS
+			s.worker = ev.Worker
+			s.samples = ev.Samples
+			if ev.Worker != "" {
+				w := wstat(ev.Worker)
+				w.cells++
+				if t, ok := w.leased[ev.Cell]; ok {
+					w.busyNS += ev.TimeNS - t
+					delete(w.leased, ev.Cell)
+				}
+			}
+		case telemetry.EventCampaignDone:
+			doneEvent = &evs[i]
+		}
+	}
+	if starts > 1 {
+		fmt.Fprintf(stderr, "note: %d campaign_start events (restarted/resumed campaign)\n", starts)
+	}
+
+	doneCells := 0
+	for _, s := range cells {
+		if s.dones > 1 {
+			complain("cell %d (%s/%s/%d-bit) completed %d times", s.cell, s.comp, s.workload, s.faults, s.dones)
+		}
+		if s.dones > 0 {
+			doneCells++
+		}
+	}
+	if doneEvent != nil && doneEvent.Detail == "" && doneEvent.Cells != doneCells {
+		// A resumed campaign legitimately reports more completed cells than
+		// this log saw finish; fewer means lost events.
+		if doneEvent.Cells < doneCells {
+			complain("campaign_done reports %d cells but the log records %d completions", doneEvent.Cells, doneCells)
+		}
+	}
+
+	span := time.Duration(evs[len(evs)-1].TimeNS - evs[0].TimeNS)
+	fmt.Fprintf(stdout, "%d events over %v: %d cells completed", len(evs), span.Round(time.Millisecond), doneCells)
+	switch {
+	case doneEvent == nil:
+		fmt.Fprint(stdout, ", campaign still running (no campaign_done)")
+	case doneEvent.Detail != "":
+		fmt.Fprintf(stdout, ", campaign FAILED: %s", doneEvent.Detail)
+	default:
+		fmt.Fprint(stdout, ", campaign complete")
+	}
+	fmt.Fprintln(stdout)
+
+	// Per-cell timelines, in cell order.
+	order := make([]int, 0, len(cells))
+	for c := range cells {
+		order = append(order, c)
+	}
+	sort.Ints(order)
+	if len(order) > 0 {
+		fmt.Fprintf(stdout, "\n%-5s %-8s %-13s %s %8s %8s %8s %9s  %s\n",
+			"cell", "comp", "workload", "k", "leases", "expired", "retried", "lifetime", "completed by")
+	}
+	for _, c := range order {
+		s := cells[c]
+		life, by := "--", "--"
+		if s.dones > 0 {
+			if s.firstNS > 0 {
+				life = time.Duration(s.doneNS - s.firstNS).Round(time.Millisecond).String()
+			}
+			by = s.worker
+			if by == "" {
+				by = "local"
+			}
+		}
+		fmt.Fprintf(stdout, "%-5d %-8s %-13s %d %8d %8d %8d %9s  %s\n",
+			s.cell, s.comp, s.workload, s.faults, s.leases, s.expiries, s.retries, life, by)
+	}
+
+	// Per-worker utilization: share of the campaign span spent holding a
+	// lease that ended in a completed cell.
+	ids := make([]string, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if len(ids) > 0 {
+		fmt.Fprintf(stdout, "\nworkers (%d):\n", len(ids))
+		for _, id := range ids {
+			w := workers[id]
+			util := 0.0
+			if span > 0 {
+				util = 100 * float64(w.busyNS) / float64(span)
+			}
+			fmt.Fprintf(stdout, "  %-20s %3d cells, %5.1f%% busy\n", id, w.cells, util)
+		}
+	}
+
+	// Stragglers: the slowest completed cells by first-lease→done lifetime.
+	type straggler struct {
+		s    *cellStory
+		life int64
+	}
+	var slow []straggler
+	for _, s := range cells {
+		if s.dones > 0 && s.firstNS > 0 {
+			slow = append(slow, straggler{s, s.doneNS - s.firstNS})
+		}
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].life > slow[j].life })
+	if len(slow) > 3 {
+		slow = slow[:3]
+	}
+	if len(slow) > 0 {
+		fmt.Fprintln(stdout, "\nstragglers:")
+		for _, st := range slow {
+			fmt.Fprintf(stdout, "  cell %d %s/%s/%d-bit: %v (%d leases)\n",
+				st.s.cell, st.s.comp, st.s.workload, st.s.faults,
+				time.Duration(st.life).Round(time.Millisecond), st.s.leases)
+		}
+	}
+
+	// Cross-check against the results file: every completion in the log must
+	// be in the results, and vice versa (a resumed campaign's earlier session
+	// is in the same continued log, so both directions must agree).
+	if resultsPath != "" {
+		rs, err := core.LoadResultSet(resultsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		for _, s := range cells {
+			if s.dones == 0 {
+				continue
+			}
+			key := core.CellKey{Component: s.comp, Workload: s.workload, Faults: s.faults}
+			res, ok := rs.Cells[key]
+			switch {
+			case !ok:
+				complain("log says cell %d (%s/%s/%d-bit) completed, results file has no such cell",
+					s.cell, s.comp, s.workload, s.faults)
+			case s.samples > 0 && res.Samples() != s.samples:
+				complain("cell %d (%s/%s/%d-bit): log recorded %d samples, results file has %d",
+					s.cell, s.comp, s.workload, s.faults, s.samples, res.Samples())
+			}
+		}
+		for key := range rs.Cells {
+			found := false
+			for _, s := range cells {
+				if s.dones > 0 && s.comp == key.Component && s.workload == key.Workload && s.faults == key.Faults {
+					found = true
+					break
+				}
+			}
+			if !found {
+				complain("results file has %s/%s/%d-bit, log never recorded it completing",
+					key.Component, key.Workload, key.Faults)
+			}
+		}
+		if bad == 0 {
+			fmt.Fprintf(stdout, "\ncross-check: event log and %s agree (%d cells)\n", resultsPath, len(rs.Cells))
+		}
+	}
+
+	if bad > 0 {
+		fmt.Fprintf(stderr, "%d inconsistencies\n", bad)
+		return 1
 	}
 	return 0
 }

@@ -129,6 +129,19 @@ func RunGridWithTelemetry(ctx context.Context, specs []Spec, parallel int, onCel
 						onCell(job.idx, res)
 						tel.RecordCellFlush(time.Since(flushStart))
 					}
+					s := specs[job.idx]
+					ev := telemetry.Event{Type: telemetry.EventCellDone,
+						Cell: job.idx, Comp: s.Component, Workload: s.Workload,
+						Faults: s.Faults, Samples: res.Samples()}
+					for _, e := range Effects() {
+						if n := res.Counts[e]; n > 0 {
+							if ev.Counts == nil {
+								ev.Counts = make(map[string]int)
+							}
+							ev.Counts[e.Label()] = n
+						}
+					}
+					tel.Emit(ev)
 				}
 				mu.Unlock()
 			}

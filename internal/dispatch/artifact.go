@@ -91,6 +91,8 @@ func (s *ArtifactServer) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tel.ArtifactServed()
+	s.tel.Emit(telemetry.Event{Type: telemetry.EventArtifactFetch, Cell: -1,
+		Workload: e.w.Name, Detail: key})
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.Write(e.data)
 }

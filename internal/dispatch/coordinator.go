@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -68,11 +69,16 @@ type Coordinator struct {
 	lastErr  []string // last worker-reported failure per cell
 	leases   map[uint64]*lease
 	workers  map[string]time.Time // worker -> last contact
+	joined   map[string]bool      // worker ids ever seen (join events fire once)
 	nextID   uint64
 	pending  int // cells not yet done
 	failErr  error
 	finished sync.Once
 	done     chan struct{}
+
+	// fed merges the metric snapshots workers piggyback on heartbeats and
+	// submits into the coordinator's registry (per-worker + fleet labels).
+	fed *telemetry.Federator
 
 	// now is the coordinator's clock, swappable so tests drive lease
 	// expiry deterministically without sleeping.
@@ -98,6 +104,10 @@ func New(specs []core.Spec, rs *core.ResultSet, opts Options) (*Coordinator, err
 	if rs == nil {
 		rs = core.NewResultSet()
 	}
+	var reg *telemetry.Registry
+	if opts.Tel != nil {
+		reg = opts.Tel.Registry
+	}
 	c := &Coordinator{
 		opts:    opts,
 		specs:   specs,
@@ -107,8 +117,10 @@ func New(specs []core.Spec, rs *core.ResultSet, opts Options) (*Coordinator, err
 		lastErr: make([]string, len(specs)),
 		leases:  make(map[uint64]*lease),
 		workers: make(map[string]time.Time),
+		joined:  make(map[string]bool),
 		done:    make(chan struct{}),
 		now:     time.Now,
+		fed:     telemetry.NewFederator(reg),
 	}
 	for i, s := range specs {
 		if rs.Covers(s) {
@@ -146,12 +158,52 @@ func (c *Coordinator) Err() error {
 	return c.failErr
 }
 
+// emit appends one event to the campaign event log, when one is attached.
+func (c *Coordinator) emit(ev telemetry.Event) { c.opts.Tel.Emit(ev) }
+
+// cellEvent builds an event pre-filled with a cell's identity.
+func (c *Coordinator) cellEvent(typ string, cell int) telemetry.Event {
+	s := c.specs[cell]
+	return telemetry.Event{Type: typ, Cell: cell,
+		Comp: s.Component, Workload: s.Workload, Faults: s.Faults}
+}
+
+// touchWorkerLocked records contact from a worker, emitting worker_join
+// the first time an id is ever seen. Callers hold mu.
+func (c *Coordinator) touchWorkerLocked(worker string) {
+	c.workers[worker] = c.now()
+	if !c.joined[worker] {
+		c.joined[worker] = true
+		c.opts.Tel.DispatchWorkerSeen()
+		c.emit(telemetry.Event{Type: telemetry.EventWorkerJoin, Worker: worker, Cell: -1})
+	}
+}
+
+// dropWorkerLocked removes a worker from the live set, emitting
+// worker_leave with the reason. Callers hold mu.
+func (c *Coordinator) dropWorkerLocked(worker, why string) {
+	if _, ok := c.workers[worker]; !ok {
+		return
+	}
+	delete(c.workers, worker)
+	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+	c.emit(telemetry.Event{Type: telemetry.EventWorkerLeave, Worker: worker, Cell: -1, Detail: why})
+}
+
 // finish closes done exactly once. Callers hold mu (or are in New).
 func (c *Coordinator) finish(err error) {
 	if err != nil && c.failErr == nil {
 		c.failErr = err
 	}
-	c.finished.Do(func() { close(c.done) })
+	c.finished.Do(func() {
+		ev := telemetry.Event{Type: telemetry.EventCampaignDone, Cell: -1,
+			Cells: len(c.specs) - c.pending}
+		if c.failErr != nil {
+			ev.Detail = c.failErr.Error()
+		}
+		c.emit(ev)
+		close(c.done)
+	})
 }
 
 // Wait runs the lease-expiry sweeper until the campaign completes or ctx
@@ -190,12 +242,17 @@ func (c *Coordinator) sweepLocked() {
 		if now.After(l.deadline) {
 			delete(c.leases, id)
 			c.opts.Tel.DispatchLeaseExpired()
+			ev := c.cellEvent(telemetry.EventLeaseExpired, l.cell)
+			ev.Worker = l.worker
+			ev.Lease = id
+			ev.Detail = "worker went silent past TTL"
+			c.emit(ev)
 			c.requeueLocked(l.cell, fmt.Sprintf("lease %d on worker %s expired", id, l.worker))
 		}
 	}
 	for w, last := range c.workers {
 		if now.Sub(last) > workerLiveWindow*c.opts.LeaseTTL {
-			delete(c.workers, w)
+			c.dropWorkerLocked(w, "silent past live window")
 		}
 	}
 	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
@@ -213,6 +270,10 @@ func (c *Coordinator) requeueLocked(cell int, why string) {
 	c.state[cell] = cellPending
 	c.retries[cell]++
 	c.opts.Tel.DispatchCellRetried()
+	ev := c.cellEvent(telemetry.EventCellRetried, cell)
+	ev.Retries = c.retries[cell]
+	ev.Detail = why
+	c.emit(ev)
 	if c.retries[cell] > c.opts.MaxRetries {
 		s := c.specs[cell]
 		err := fmt.Errorf("dispatch: cell %s/%s/%d-bit exceeded %d retries (last: %s)",
@@ -233,7 +294,56 @@ func (c *Coordinator) Mux() *http.ServeMux {
 	mux.HandleFunc(PathHeartbeat, handle(c.heartbeat))
 	mux.HandleFunc(PathSubmit, handle(c.submit))
 	mux.HandleFunc(PathAbandon, handle(c.abandon))
+	mux.HandleFunc(PathEvents, c.events)
 	return mux
+}
+
+// maxEventWait caps how long one /dispatch/events long-poll may hang; the
+// client just re-polls with the same since on an empty body.
+const maxEventWait = 30 * time.Second
+
+// events serves GET PathEvents?since=<seq>[&wait=<dur>]: JSONL of every
+// event with Seq > since, long-polling up to wait (default 10s) when none
+// exist yet. 404 when no event log is attached.
+func (c *Coordinator) events(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var log *telemetry.EventLog
+	if c.opts.Tel != nil {
+		log = c.opts.Tel.Events
+	}
+	if log == nil {
+		http.Error(w, "event log disabled", http.StatusNotFound)
+		return
+	}
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	wait := 10 * time.Second
+	if s := r.URL.Query().Get("wait"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		wait = min(d, maxEventWait)
+	}
+	evs := log.WaitSince(r.Context(), since, wait)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
 }
 
 // handle adapts a typed request/reply function to an http.HandlerFunc.
@@ -257,13 +367,12 @@ func (c *Coordinator) lease(req *LeaseRequest) *LeaseReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sweepLocked()
-	c.workers[req.Worker] = c.now()
+	c.touchWorkerLocked(req.Worker)
 	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
 	if c.pending == 0 || c.failErr != nil {
 		// The worker is leaving: drop it from the live set so Drain knows
 		// when every tail worker has been told the campaign is over.
-		delete(c.workers, req.Worker)
-		c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+		c.dropWorkerLocked(req.Worker, "campaign over")
 		return &LeaseReply{Status: StatusDone}
 	}
 	for i, st := range c.state {
@@ -276,6 +385,13 @@ func (c *Coordinator) lease(req *LeaseRequest) *LeaseReply {
 		c.leases[l.id] = l
 		c.state[i] = cellLeased
 		c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+		ev := c.cellEvent(telemetry.EventCellLeased, i)
+		ev.Worker = req.Worker
+		ev.Lease = l.id
+		if c.retries[i] > 0 {
+			ev.Retries = c.retries[i]
+		}
+		c.emit(ev)
 		return &LeaseReply{Status: StatusLease, LeaseID: l.id, Cell: i,
 			Spec: c.specs[i], TTL: c.opts.LeaseTTL}
 	}
@@ -287,12 +403,17 @@ func (c *Coordinator) lease(req *LeaseRequest) *LeaseReply {
 func (c *Coordinator) heartbeat(req *HeartbeatRequest) *HeartbeatReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.workers[req.Worker] = c.now()
+	c.touchWorkerLocked(req.Worker)
+	c.fed.Merge(req.Worker, req.Metrics)
 	l, ok := c.leases[req.LeaseID]
 	if !ok || l.worker != req.Worker {
 		return &HeartbeatReply{Status: StatusExpired}
 	}
 	l.deadline = c.now().Add(c.opts.LeaseTTL)
+	ev := c.cellEvent(telemetry.EventHeartbeat, l.cell)
+	ev.Worker = req.Worker
+	ev.Lease = req.LeaseID
+	c.emit(ev)
 	return &HeartbeatReply{Status: StatusOK}
 }
 
@@ -316,13 +437,13 @@ func (c *Coordinator) abandon(req *AbandonRequest) *AbandonReply {
 func (c *Coordinator) submit(req *SubmitRequest) (rep *SubmitReply) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.workers[req.Worker] = c.now()
+	c.touchWorkerLocked(req.Worker)
+	c.fed.Merge(req.Worker, req.Metrics)
 	// Any reply carrying CampaignDone sends the worker away: drop it from
 	// the live set so Drain can tell when the fleet has been notified.
 	defer func() {
 		if rep.CampaignDone {
-			delete(c.workers, req.Worker)
-			c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+			c.dropWorkerLocked(req.Worker, "campaign over")
 		}
 	}()
 
@@ -387,6 +508,17 @@ func (c *Coordinator) submit(req *SubmitRequest) (rep *SubmitReply) {
 	c.state[cell] = cellDone
 	c.pending--
 	c.opts.Tel.FlushCell(nil, nil) // completed-cells counter
+	ev := c.cellEvent(telemetry.EventCellDone, cell)
+	ev.Worker = req.Worker
+	ev.Lease = req.LeaseID
+	ev.Samples = req.Result.Samples()
+	ev.Counts = make(map[string]int)
+	for _, e := range core.Effects() {
+		if n := req.Result.Counts[e]; n > 0 {
+			ev.Counts[e.Label()] = n
+		}
+	}
+	c.emit(ev)
 	if c.opts.OnCell != nil {
 		c.opts.OnCell(cell, req.Result)
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mbusim/internal/core"
+	"mbusim/internal/telemetry"
 )
 
 // Endpoint paths served by Coordinator.Mux.
@@ -31,6 +32,13 @@ const (
 	// the one non-JSON, non-POST route — artifacts are binary and the key
 	// already says exactly what the bytes must hash to.
 	PathArtifact = "/dispatch/artifact/"
+
+	// PathEvents streams the campaign event log: GET PathEvents?since=<seq>
+	// long-polls for events with a higher sequence number and returns them
+	// as JSONL (one telemetry.Event per line), an empty body on timeout.
+	// `gefin -watch` renders it as a live dashboard; any JSONL consumer can
+	// tail it.
+	PathEvents = "/dispatch/events"
 )
 
 // Reply statuses.
@@ -78,10 +86,14 @@ type LeaseReply struct {
 	RetryAfter time.Duration
 }
 
-// HeartbeatRequest renews a lease.
+// HeartbeatRequest renews a lease. Metrics piggybacks the worker's
+// registry snapshot delta — the series that changed since its last send,
+// as absolute values — which the coordinator federates into its own
+// /metrics under per-worker and fleet labels (see telemetry.Federator).
 type HeartbeatRequest struct {
 	Worker  string
 	LeaseID uint64
+	Metrics []telemetry.WireMetric `json:",omitempty"`
 }
 
 // HeartbeatReply is StatusOK or StatusExpired.
@@ -98,6 +110,9 @@ type SubmitRequest struct {
 	Cell    int          // cell index from the LeaseReply
 	Result  *core.Result // nil when Err is set
 	Err     string       // worker-side cell failure, counts as a retry
+	// Metrics carries the final registry delta for the cell, so the fleet
+	// view is complete even for a worker that never heartbeats again.
+	Metrics []telemetry.WireMetric `json:",omitempty"`
 }
 
 // SubmitReply is StatusAccepted, StatusDuplicate, StatusStale or (for a

@@ -43,6 +43,11 @@ type Worker struct {
 	// MaxDowntime is how long the coordinator may stay unreachable before
 	// the worker gives up with an error. Default 2 minutes.
 	MaxDowntime time.Duration
+
+	// delta watches Tel's registry so each heartbeat and submit piggybacks
+	// only the series that changed since the last send. Run initializes it;
+	// a nil tracker (Tel disabled) sends nothing.
+	delta *telemetry.DeltaTracker
 }
 
 const defaultMaxDowntime = 2 * time.Minute
@@ -69,6 +74,9 @@ func (w *Worker) maxDowntime() time.Duration {
 // done (returns nil), ctx is cancelled (returns ctx.Err() after abandoning
 // any held lease), or the coordinator stays unreachable past MaxDowntime.
 func (w *Worker) Run(ctx context.Context) error {
+	if w.Tel != nil && w.delta == nil {
+		w.delta = telemetry.NewDeltaTracker(w.Tel.Registry)
+	}
 	for {
 		var rep LeaseReply
 		if err := w.post(ctx, PathLease, &LeaseRequest{Worker: w.ID}, &rep); err != nil {
@@ -127,7 +135,8 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 				// absorbed by the lease TTL (3 beats per TTL), and a dead
 				// coordinator is discovered by the next lease/submit.
 				err := w.postOnce(cellCtx, PathHeartbeat,
-					&HeartbeatRequest{Worker: w.ID, LeaseID: l.LeaseID}, &rep)
+					&HeartbeatRequest{Worker: w.ID, LeaseID: l.LeaseID,
+						Metrics: w.delta.Delta()}, &rep)
 				if err == nil && rep.Status == StatusExpired {
 					lost.Store(true)
 					cancel()
@@ -167,7 +176,8 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 		// accepts it if the cell is still open and dedups it if not.
 		var rep SubmitReply
 		if err := w.post(ctx, PathSubmit, &SubmitRequest{Worker: w.ID,
-			LeaseID: l.LeaseID, Cell: l.Cell, Result: res}, &rep); err != nil {
+			LeaseID: l.LeaseID, Cell: l.Cell, Result: res,
+			Metrics: w.delta.Delta()}, &rep); err != nil {
 			return err
 		}
 		if w.OnCell != nil {
@@ -190,7 +200,8 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 		// request returns done and Run exits.
 		var rep SubmitReply
 		if err := w.post(ctx, PathSubmit, &SubmitRequest{Worker: w.ID,
-			LeaseID: l.LeaseID, Cell: l.Cell, Err: runErr.Error()}, &rep); err != nil {
+			LeaseID: l.LeaseID, Cell: l.Cell, Err: runErr.Error(),
+			Metrics: w.delta.Delta()}, &rep); err != nil {
 			return err
 		}
 		if rep.CampaignDone {

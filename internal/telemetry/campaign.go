@@ -42,6 +42,14 @@ const (
 	MetricDispatchRetried = "gefin_dispatch_cells_retried_total"
 	MetricDispatchDeduped = "gefin_dispatch_submits_deduped_total"
 
+	// Observability-plane series (PR 8): distinct workers that ever joined
+	// the campaign (the live gauge forgets a dead worker; this counter does
+	// not), campaign events appended to the event log, and the process
+	// build-info gauge (constant 1, identity in the labels).
+	MetricWorkersSeen = "gefin_dispatch_workers_seen_total"
+	MetricEvents      = "gefin_campaign_events_total"
+	MetricBuildInfo   = "gefin_build_info"
+
 	// Checkpoint-artifact series (PR 7): how each process came by its
 	// workloads' golden state. GoldenDerived counts full fault-free golden
 	// runs actually executed here — the expensive event the artifact store
@@ -64,6 +72,10 @@ const (
 type Campaign struct {
 	Registry *Registry
 	Tracer   *Tracer
+	// Events, when non-nil, receives the campaign event log (see events.go):
+	// local grids emit cell_done per completed cell, the dispatch
+	// coordinator additionally narrates leases, workers and retries.
+	Events *EventLog
 }
 
 // NewCampaign returns an enabled campaign with a fresh registry. tracer
@@ -171,6 +183,25 @@ func (c *Campaign) DispatchCellRetried() {
 		return
 	}
 	c.Registry.Counter(MetricDispatchRetried).Inc()
+}
+
+// DispatchWorkerSeen counts one worker id joining the campaign for the
+// first time.
+func (c *Campaign) DispatchWorkerSeen() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricWorkersSeen).Inc()
+}
+
+// Emit appends one event to the campaign event log (no-op without one) and
+// counts it. The log assigns Seq and TimeNS.
+func (c *Campaign) Emit(ev Event) {
+	if c == nil || c.Events == nil {
+		return
+	}
+	c.Events.Emit(ev)
+	c.Registry.Counter(MetricEvents).Inc()
 }
 
 // DispatchSubmitDeduped counts one result delivered for an already-complete
@@ -307,9 +338,28 @@ type Summary struct {
 	// ByFate aggregates the forensics fate counters across components;
 	// empty when forensics was off.
 	ByFate map[string]int64
+	// Fleet view (coordinator mode): live/ever-seen worker counts, cells
+	// currently out on lease, and the expiry/retry churn — all zero on a
+	// purely local campaign.
+	WorkersLive   int64
+	WorkersSeen   int64
+	CellsLeased   int64
+	LeasesExpired int64
+	CellsRetried  int64
 }
 
-// Summarize digests the registry. A nil campaign returns the zero Summary.
+// Fleet reports whether the summary carries any distributed-campaign state
+// worth rendering.
+func (s Summary) Fleet() bool {
+	return s.WorkersLive > 0 || s.WorkersSeen > 0 || s.CellsLeased > 0 ||
+		s.LeasesExpired > 0 || s.CellsRetried > 0
+}
+
+// Summarize digests the registry, including federated fleet aggregates: a
+// series labeled worker="fleet" is folded in as if it were local (the
+// coordinator runs no samples itself, so the two never overlap), while
+// per-worker mirror series are skipped — they are the same observations
+// again and would double-count.
 func (c *Campaign) Summarize() Summary {
 	var s Summary
 	if c == nil {
@@ -320,27 +370,47 @@ func (c *Campaign) Summarize() Summary {
 	prefix := MetricSamples + `{outcome="`
 	fatePrefix := MetricFates + `{comp="`
 	for _, m := range c.Registry.Snapshot() {
+		name, worker := splitWorkerLabel(m.Name)
+		if worker != "" && worker != FleetWorker {
+			continue
+		}
+		fleet := worker == FleetWorker
 		switch {
-		case strings.HasPrefix(m.Name, prefix):
-			outcome := strings.TrimSuffix(strings.TrimPrefix(m.Name, prefix), `"}`)
-			s.ByOutcome[outcome] = int64(m.Value)
+		case strings.HasPrefix(name, prefix):
+			outcome := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+			s.ByOutcome[outcome] += int64(m.Value)
 			s.Samples += int64(m.Value)
-		case strings.HasPrefix(m.Name, fatePrefix):
-			rest := strings.TrimPrefix(m.Name, fatePrefix)
+		case strings.HasPrefix(name, fatePrefix):
+			rest := strings.TrimPrefix(name, fatePrefix)
 			if i := strings.Index(rest, `",fate="`); i >= 0 {
 				fate := strings.TrimSuffix(rest[i+len(`",fate="`):], `"}`)
 				s.ByFate[fate] += int64(m.Value)
 			}
-		case m.Name == MetricCells:
+		case name == MetricCkptHits:
+			s.CheckpointHits += int64(m.Value)
+		case name == MetricCkptMisses:
+			s.CheckpointMiss += int64(m.Value)
+		case fleet:
+			// The remaining families are authoritative locally: the
+			// coordinator's own cells_completed / grid-shape / dispatch
+			// series. Their fleet mirrors (a worker's 1-cell grid shape, its
+			// duplicate completed-cells count) are views of the same events.
+		case name == MetricCells:
 			s.Cells = int64(m.Value)
-		case m.Name == MetricCellsExpected:
+		case name == MetricCellsExpected:
 			s.CellsExpected = int64(m.Value)
-		case m.Name == MetricSamplesExpect:
+		case name == MetricSamplesExpect:
 			s.SamplesExpected = int64(m.Value)
-		case m.Name == MetricCkptHits:
-			s.CheckpointHits = int64(m.Value)
-		case m.Name == MetricCkptMisses:
-			s.CheckpointMiss = int64(m.Value)
+		case name == MetricDispatchWorkers:
+			s.WorkersLive = int64(m.Value)
+		case name == MetricWorkersSeen:
+			s.WorkersSeen = int64(m.Value)
+		case name == MetricDispatchLeased:
+			s.CellsLeased = int64(m.Value)
+		case name == MetricDispatchExpired:
+			s.LeasesExpired = int64(m.Value)
+		case name == MetricDispatchRetried:
+			s.CellsRetried = int64(m.Value)
 		}
 	}
 	return s

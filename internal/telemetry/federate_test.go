@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestDeltaTrackerSendsOnlyChangedSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Add(3)
+	reg.Gauge("g").Set(7)
+	reg.Histogram("h_seconds", []float64{0.1, 1}).Observe(0.05)
+
+	d := NewDeltaTracker(reg)
+	first := d.Delta()
+	if len(first) != 3 {
+		t.Fatalf("first delta = %d series, want 3: %+v", len(first), first)
+	}
+	for _, m := range first {
+		if m.Name == "h_seconds" {
+			if len(m.Bounds) != 2 || len(m.Buckets) != 3 {
+				t.Fatalf("histogram wire shape: %+v", m)
+			}
+			// Non-cumulative: one observation in the first bucket only.
+			if m.Buckets[0] != 1 || m.Buckets[1] != 0 || m.Buckets[2] != 0 {
+				t.Fatalf("histogram buckets must be de-cumulated: %+v", m.Buckets)
+			}
+		}
+	}
+
+	if again := d.Delta(); len(again) != 0 {
+		t.Fatalf("unchanged registry produced delta: %+v", again)
+	}
+
+	reg.Counter("a_total").Inc()
+	changed := d.Delta()
+	if len(changed) != 1 || changed[0].Name != "a_total" || changed[0].Value != 4 {
+		t.Fatalf("delta after one change = %+v (values must be absolute)", changed)
+	}
+
+	var nilTracker *DeltaTracker
+	if nilTracker.Delta() != nil {
+		t.Fatal("nil tracker must report nothing")
+	}
+}
+
+func TestFederatorMergesCountersPerWorkerAndFleet(t *testing.T) {
+	target := NewRegistry()
+	f := NewFederator(target)
+
+	f.Merge("w1", []WireMetric{{Name: "gefin_samples_total", Kind: KindCounter, Value: 10}})
+	f.Merge("w2", []WireMetric{{Name: "gefin_samples_total", Kind: KindCounter, Value: 5}})
+	// Same absolute value again: increment 0, nothing double-counted.
+	f.Merge("w1", []WireMetric{{Name: "gefin_samples_total", Kind: KindCounter, Value: 10}})
+	f.Merge("w1", []WireMetric{{Name: "gefin_samples_total", Kind: KindCounter, Value: 12}})
+
+	get := func(name string) int64 { return target.Counter(name).Value() }
+	if got := get(`gefin_samples_total{worker="w1"}`); got != 12 {
+		t.Fatalf(`w1 series = %d, want 12`, got)
+	}
+	if got := get(`gefin_samples_total{worker="w2"}`); got != 5 {
+		t.Fatalf(`w2 series = %d, want 5`, got)
+	}
+	if got := get(`gefin_samples_total{worker="fleet"}`); got != 17 {
+		t.Fatalf(`fleet series = %d, want 17`, got)
+	}
+	if f.Workers() != 2 {
+		t.Fatalf("Workers = %d, want 2", f.Workers())
+	}
+}
+
+func TestFederatorDetectsWorkerRestart(t *testing.T) {
+	target := NewRegistry()
+	f := NewFederator(target)
+
+	f.Merge("w1", []WireMetric{{Name: "c_total", Kind: KindCounter, Value: 100}})
+	// Worker restarted: its counter began again from zero and reached 7. The
+	// published series must grow by 7, not jump backwards or re-add 100.
+	f.Merge("w1", []WireMetric{{Name: "c_total", Kind: KindCounter, Value: 7}})
+
+	if got := target.Counter(`c_total{worker="fleet"}`).Value(); got != 107 {
+		t.Fatalf("fleet counter after restart = %d, want 107", got)
+	}
+}
+
+func TestFederatorMergesGaugesAndHistograms(t *testing.T) {
+	target := NewRegistry()
+	f := NewFederator(target)
+
+	f.Merge("w1", []WireMetric{{Name: "busy", Kind: KindGauge, Value: 2}})
+	f.Merge("w2", []WireMetric{{Name: "busy", Kind: KindGauge, Value: 3}})
+	if got := target.Gauge(`busy{worker="fleet"}`).Value(); got != 5 {
+		t.Fatalf("fleet gauge = %d, want 5 (sum of workers)", got)
+	}
+	f.Merge("w1", []WireMetric{{Name: "busy", Kind: KindGauge, Value: 0}})
+	if got := target.Gauge(`busy{worker="fleet"}`).Value(); got != 3 {
+		t.Fatalf("fleet gauge after w1 idle = %d, want 3", got)
+	}
+
+	h := WireMetric{Name: "lat_seconds", Kind: KindHistogram,
+		Value: 0.3, Count: 2, Bounds: []float64{0.1, 1}, Buckets: []int64{1, 1, 0}}
+	f.Merge("w1", []WireMetric{h})
+	h.Value, h.Count, h.Buckets = 0.5, 3, []int64{2, 1, 0}
+	f.Merge("w1", []WireMetric{h})
+
+	fleet := target.Histogram(`lat_seconds{worker="fleet"}`, h.Bounds)
+	if fleet.Count() != 3 {
+		t.Fatalf("fleet histogram count = %d, want 3", fleet.Count())
+	}
+	if got := fleet.Sum(); got < 0.49 || got > 0.51 {
+		t.Fatalf("fleet histogram sum = %g, want 0.5", got)
+	}
+
+	// Restarted worker: counts regressed, the new absolute state is the
+	// increment.
+	h.Value, h.Count, h.Buckets = 0.1, 1, []int64{1, 0, 0}
+	f.Merge("w1", []WireMetric{h})
+	if fleet.Count() != 4 {
+		t.Fatalf("fleet histogram count after restart = %d, want 4", fleet.Count())
+	}
+
+	var nilFed *Federator
+	nilFed.Merge("w1", []WireMetric{h}) // must not panic
+	if nilFed.Workers() != 0 {
+		t.Fatal("nil federator has workers")
+	}
+}
+
+func TestSplitWorkerLabel(t *testing.T) {
+	cases := []struct {
+		in, base, worker string
+	}{
+		{`x_total`, `x_total`, ``},
+		{`x_total{worker="w1"}`, `x_total`, `w1`},
+		{`x_total{outcome="sdc",worker="w1"}`, `x_total{outcome="sdc"}`, `w1`},
+		{`x_total{worker="w1",outcome="sdc"}`, `x_total{outcome="sdc"}`, `w1`},
+		{`x_total{outcome="sdc"}`, `x_total{outcome="sdc"}`, ``},
+		{`worker="oops`, `worker="oops`, ``}, // degenerate: not a label set
+	}
+	for _, c := range cases {
+		base, worker := splitWorkerLabel(c.in)
+		if base != c.base || worker != c.worker {
+			t.Errorf("splitWorkerLabel(%q) = (%q, %q), want (%q, %q)",
+				c.in, base, worker, c.base, c.worker)
+		}
+	}
+}
+
+func TestSummarizeFoldsFleetSkipsPerWorker(t *testing.T) {
+	c := NewCampaign(nil)
+	// Coordinator-authoritative series.
+	c.Registry.Counter(MetricCells).Add(4)
+	c.Registry.Gauge(MetricCellsExpected).Set(6)
+	c.Registry.Gauge(MetricDispatchWorkers).Set(2)
+	c.Registry.Counter(MetricWorkersSeen).Add(3)
+	// Federated: fleet aggregate counts, per-worker mirror must not.
+	c.Registry.Counter(MetricSamples + `{outcome="masked",worker="fleet"}`).Add(70)
+	c.Registry.Counter(MetricSamples + `{outcome="masked",worker="w1"}`).Add(40)
+	c.Registry.Counter(MetricSamples + `{outcome="masked",worker="w2"}`).Add(30)
+	c.Registry.Counter(MetricSamples + `{outcome="sdc",worker="fleet"}`).Add(10)
+	// A worker's own completed-cells counter federates under fleet too, but
+	// the coordinator's count is authoritative: the mirror must be ignored.
+	c.Registry.Counter(MetricCells + `{worker="fleet"}`).Add(4)
+	c.Registry.Counter(MetricCkptHits + `{worker="fleet"}`).Add(9)
+
+	s := c.Summarize()
+	if s.Samples != 80 || s.ByOutcome["masked"] != 70 || s.ByOutcome["sdc"] != 10 {
+		t.Fatalf("fleet samples folded wrong: %+v", s)
+	}
+	if s.Cells != 4 {
+		t.Fatalf("Cells = %d, want 4 (fleet mirror must not double-count)", s.Cells)
+	}
+	if s.CheckpointHits != 9 {
+		t.Fatalf("CheckpointHits = %d, want 9", s.CheckpointHits)
+	}
+	if s.WorkersLive != 2 || s.WorkersSeen != 3 {
+		t.Fatalf("fleet worker counts: %+v", s)
+	}
+	if !s.Fleet() {
+		t.Fatal("summary with dispatch state must report Fleet()")
+	}
+	if (Summary{}).Fleet() {
+		t.Fatal("empty summary must not report Fleet()")
+	}
+}

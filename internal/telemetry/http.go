@@ -1,9 +1,12 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -38,18 +41,51 @@ func publishExpvar() {
 	})
 }
 
+// Health is the /healthz body: which role this process plays in the
+// campaign (local, coordinator, worker), how long it has been up, and a
+// point-in-time campaign state digest.
+type Health struct {
+	Role          string         `json:"role"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Campaign      map[string]any `json:"campaign,omitempty"`
+}
+
+// SetBuildInfo publishes the gefin_build_info gauge: constant 1 with the
+// module version and Go toolchain in the labels, the conventional shape
+// for joining build identity onto any other series in a scrape.
+func SetBuildInfo(reg *Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.Gauge(MetricBuildInfo + `{version="` + version + `",go="` + runtime.Version() + `"}`).Set(1)
+}
+
 // Handler returns the campaign debug mux: the registry in Prometheus text
-// format at /metrics, expvar (including a "campaign" variable mirroring
-// the registry) at /debug/vars, and the net/http/pprof profiles under
-// /debug/pprof/ — one port for scraping, ad-hoc inspection and profiling.
-func Handler(reg *Registry) http.Handler {
+// format at /metrics, a JSON liveness/state probe at /healthz, expvar
+// (including a "campaign" variable mirroring the registry) at /debug/vars,
+// and the net/http/pprof profiles under /debug/pprof/ — one port for
+// scraping, probing, ad-hoc inspection and profiling. health may be nil
+// (the probe then reports only that the process is up) and is called per
+// request, so it should be a cheap snapshot. The build-info gauge is
+// published into reg as a side effect.
+func Handler(reg *Registry, health func() Health) http.Handler {
 	expvarReg.Store(reg)
 	publishExpvar()
+	SetBuildInfo(reg)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{Role: "unknown"}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

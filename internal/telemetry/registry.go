@@ -107,6 +107,35 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// merge folds externally-accumulated observations into the histogram: one
+// non-negative count delta per bucket (+Inf last, len(bounds)+1 entries)
+// and the corresponding value-sum delta. The federation path uses it to
+// republish worker histograms; a length mismatch drops the batch rather
+// than corrupting bucket alignment.
+func (h *Histogram) merge(deltas []int64, sumDelta float64) {
+	if h == nil || len(deltas) != len(h.buckets) {
+		return
+	}
+	var n int64
+	for i, d := range deltas {
+		if d <= 0 {
+			continue
+		}
+		h.buckets[i].Add(d)
+		n += d
+	}
+	if n == 0 && sumDelta == 0 {
+		return
+	}
+	h.count.Add(n)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+sumDelta)) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

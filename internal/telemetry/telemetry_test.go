@@ -181,7 +181,10 @@ func TestCampaignSummarize(t *testing.T) {
 func TestHandlerEndpoints(t *testing.T) {
 	c := NewCampaign(nil)
 	c.RecordSample(&SampleRecord{Outcome: "masked", DurationNS: 1e6, CyclesSkipped: 10})
-	srv := httptest.NewServer(Handler(c.Registry))
+	srv := httptest.NewServer(Handler(c.Registry, func() Health {
+		return Health{Role: "local", UptimeSeconds: 1.5,
+			Campaign: map[string]any{"samples": 1}}
+	}))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -205,6 +208,18 @@ func TestHandlerEndpoints(t *testing.T) {
 	if !strings.Contains(metrics, `gefin_samples_total{outcome="masked"} 1`) ||
 		!strings.Contains(metrics, "gefin_checkpoint_hits_total 1") {
 		t.Fatalf("metrics output:\n%s", metrics)
+	}
+	// The build-info gauge is published into the registry as a side effect:
+	// constant 1 with version and Go toolchain labels.
+	if !strings.Contains(metrics, MetricBuildInfo+`{version="`) ||
+		!strings.Contains(metrics, `go="go`) {
+		t.Fatalf("metrics output missing %s:\n%s", MetricBuildInfo, metrics)
+	}
+	healthz := get("/healthz")
+	if !strings.Contains(healthz, `"role":"local"`) ||
+		!strings.Contains(healthz, `"uptime_seconds":1.5`) ||
+		!strings.Contains(healthz, `"samples":1`) {
+		t.Fatalf("healthz output:\n%s", healthz)
 	}
 	vars := get("/debug/vars")
 	if !strings.Contains(vars, `"campaign"`) || !strings.Contains(vars, "gefin_checkpoint_hits_total") {

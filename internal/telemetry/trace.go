@@ -150,6 +150,14 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
+// newJSONLScanner returns a line scanner sized for JSONL records (1 MiB
+// line cap), shared by the trace and event-log readers.
+func newJSONLScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return sc
+}
+
 // Trace is the typed content of a schema-v2 (or v1) trace stream.
 type Trace struct {
 	Samples []SampleRecord
@@ -188,8 +196,7 @@ func ReadTrace(r io.Reader) ([]SampleRecord, error) {
 // data still fails with its line number.
 func ReadTraceTyped(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc := newJSONLScanner(r)
 	line := 0
 	// A parse error is held back one line: if another non-empty line
 	// follows, the file is corrupt mid-stream and the held error is
