@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"mbusim/internal/avf"
 	"mbusim/internal/clog"
 	"mbusim/internal/core"
 	"mbusim/internal/fit"
+	"mbusim/internal/liveness"
 	"mbusim/internal/report"
 	"mbusim/internal/telemetry"
 	"mbusim/internal/workloads"
@@ -32,7 +35,8 @@ func main() {
 	var (
 		inPath    = flag.String("in", "", "campaign results JSON from gefin -all")
 		tracePath = flag.String("trace", "", "gefin JSONL trace with forensics records (gefin -forensics -trace); adds the masking-mechanism section")
-		only      = flag.String("only", "", "print one section: table1,table3,table4,table5,table6,table7,table8,fig1..fig6,fig7,fig8,forensics")
+		profPath  = flag.String("profile", "", "liveness profile artifact (.mbup) or a directory of them (gefin -profile); adds the analytical AVF section, cross-checked against -in when both are given")
+		only      = flag.String("only", "", "print one section: table1,table3,table4,table5,table6,table7,table8,fig1..fig6,fig7,fig8,forensics,analytical")
 		verbose   = flag.Bool("v", false, "log debug detail to stderr")
 	)
 	flag.Parse()
@@ -59,6 +63,20 @@ func main() {
 		}
 	}
 
+	var profiles []*liveness.Profile
+	if *profPath != "" {
+		var err error
+		profiles, err = loadProfiles(*profPath)
+		fatalIf(err)
+		log.Debug("loaded profiles", "path", *profPath, "workloads", len(profiles))
+	}
+	analytical := func(rs *core.ResultSet) {
+		if len(profiles) > 0 && sectionWanted("analytical") {
+			printSection("Analytical AVF from liveness profiles (ACE bit-cycles over golden run)",
+				report.AnalyticalTable(profiles, rs))
+		}
+	}
+
 	if sectionWanted("table1") {
 		printSection("Table I: setup (paper values; caches modeled at scaled geometry)", report.Table1())
 	}
@@ -78,6 +96,7 @@ func main() {
 	}
 
 	if *inPath == "" {
+		analytical(nil)
 		if *only == "" {
 			log.Info("no -in results file; campaign-derived sections skipped")
 		}
@@ -88,6 +107,7 @@ func main() {
 	rs := core.NewResultSet()
 	fatalIf(json.Unmarshal(data, rs))
 	log.Debug("loaded results", "path", *inPath, "cells", len(rs.Cells))
+	analytical(rs)
 
 	figNames := map[string]string{
 		"L1D": "fig1", "L1I": "fig2", "L2": "fig3",
@@ -132,6 +152,37 @@ func main() {
 		}
 		printSection("Shape verdicts (DESIGN.md reproduction targets)", report.RenderVerdicts(vs))
 	}
+}
+
+// loadProfiles reads liveness profiles from one .mbup artifact or a
+// directory of them (as written by gefin -profile). A file that fails to
+// decode fails the whole load with one error naming it.
+func loadProfiles(path string) ([]*liveness.Profile, error) {
+	files := []string{path}
+	if entries, err := os.ReadDir(path); err == nil {
+		files = files[:0]
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".mbup") {
+				files = append(files, filepath.Join(path, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("%s: no .mbup profile artifacts", path)
+		}
+	}
+	var profiles []*liveness.Profile
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		p, err := liveness.DecodeProfile(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		profiles = append(profiles, p)
+	}
+	return profiles, nil
 }
 
 func fatalIf(err error) {

@@ -122,6 +122,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wallTO     = fs.Duration("wall-timeout", 0, "per-sample wall-clock budget; a sample exceeding it is recorded as a timeout (0 = no watchdog)")
 		cacheDir   = fs.String("cache-dir", defaultCacheDir(), "worker: disk cache for checkpoint artifacts fetched from the coordinator (empty = no disk cache)")
 		noArtifact = fs.Bool("no-artifacts", false, "worker: skip the checkpoint-artifact cache and derive every golden reference locally")
+		profileDir = fs.String("profile", "", "profile mode: run each workload's fault-free golden reference under the liveness profiler and write one versioned .mbup artifact per workload into this directory (takes -workload and -windows; runs no injections)")
+		windows    = fs.Int("windows", 64, "profile mode: occupancy sampling windows per profile (1-4096)")
 	)
 	var fmode forensicsFlag
 	fs.Var(&fmode, "forensics", "track every injected bit's fate (fast: component probes; full: + lockstep shadow-machine divergence, ~2x cost)")
@@ -140,6 +142,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runWatch(stdout, stderr, *watchURL)
 	}
 
+	// Profile mode observes golden runs and writes artifacts; it neither
+	// runs injections nor talks to a fleet, so the distributed-role flags
+	// are contradictions, not options.
+	profileMode := *profileDir != ""
+	if profileMode {
+		switch {
+		case *serveAddr != "" || *joinAddr != "":
+			fmt.Fprintln(stderr, "-profile observes golden runs locally: drop -serve/-join")
+			return 2
+		case *outPath != "" || *resume:
+			fmt.Fprintln(stderr, "-profile writes .mbup artifacts into its directory, not a results file: drop -out/-resume")
+			return 2
+		}
+	}
+
 	// Worker mode needs no grid flags: the coordinator's leases carry the
 	// specs. Validate before buildSpecs so `gefin -join host:port` alone is
 	// a complete invocation.
@@ -156,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var specs []core.Spec
-	if !joinMode {
+	if !joinMode && !profileMode {
 		var code int
 		specs, code = buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt, *nodelta, fmode.mode, *wallTO)
 		if code != 0 {
@@ -317,6 +334,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		statusDone := make(chan struct{})
 		defer close(statusDone)
 		go statusLoop(stderr, tel, *status, start, statusDone)
+	}
+	if profileMode {
+		return runProfile(ctx, stdout, stderr, *profileDir, *workload, *windows, *quiet, tel, start)
 	}
 	if joinMode {
 		dir := *cacheDir

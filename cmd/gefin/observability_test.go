@@ -237,8 +237,8 @@ func TestWatchStreamsFromCoordinator(t *testing.T) {
 func TestStatusLineFleet(t *testing.T) {
 	s := telemetry.Summary{
 		Samples: 10, SamplesExpected: 100,
-		ByOutcome:   map[string]int64{"masked": 10},
-		Cells:       1, CellsExpected: 10,
+		ByOutcome: map[string]int64{"masked": 10},
+		Cells:     1, CellsExpected: 10,
 		WorkersLive: 2, WorkersSeen: 3, CellsLeased: 2,
 		LeasesExpired: 1, CellsRetried: 1,
 	}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mbusim/internal/core"
+	"mbusim/internal/liveness"
+	"mbusim/internal/telemetry"
+	"mbusim/internal/workloads"
+)
+
+// runProfile is gefin's -profile mode: one fault-free golden run per
+// workload under the liveness profiler, one versioned .mbup artifact per
+// workload in dir. Artifacts are cache-friendly the same way checkpoint
+// artifacts are: an existing file that decodes cleanly and matches the
+// workload's current image hash and the requested window count is kept
+// as-is, so re-running the command after an interruption (or in CI) only
+// pays for the profiles that are missing or stale.
+func runProfile(ctx context.Context, stdout, stderr io.Writer,
+	dir, workload string, windows int, quiet bool,
+	tel *telemetry.Campaign, start time.Time) int {
+
+	if windows < 1 || windows > liveness.MaxWindows {
+		fmt.Fprintf(stderr, "-windows must be in 1..%d, got %d\n", liveness.MaxWindows, windows)
+		return 2
+	}
+	names := workloads.Names()
+	if workload != "" {
+		names = strings.Split(workload, ",")
+		for _, n := range names {
+			if err := core.ValidWorkload(n); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for i, name := range names {
+		if ctx.Err() != nil {
+			fmt.Fprintf(stderr, "interrupted: %d/%d profiles complete (re-run to finish; existing artifacts are kept)\n", i, len(names))
+			return 130
+		}
+		w, err := workloads.ByName(name)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		path := filepath.Join(dir, name+".mbup")
+		if p := cachedProfile(stderr, path, w, windows); p != nil {
+			recordProfile(tel, p)
+			if !quiet {
+				fmt.Fprintf(stdout, "[%2d/%2d] %s up to date\n", i+1, len(names), profileLine(p))
+			}
+			continue
+		}
+		p, err := w.Profile(windows)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := writeFileAtomic(path, p.Encode()); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		recordProfile(tel, p)
+		if !quiet {
+			fmt.Fprintf(stdout, "[%2d/%2d] %s\n", i+1, len(names), profileLine(p))
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(stdout, "profiled %d workloads into %s in %v\n",
+			len(names), dir, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+// cachedProfile returns the existing artifact at path when it is current:
+// it decodes cleanly and matches the workload name, its compiled image,
+// and the requested window count. A corrupt or stale file earns a one-line
+// note and a nil return, which makes the caller re-profile and overwrite.
+func cachedProfile(stderr io.Writer, path string, w *workloads.Workload, windows int) *liveness.Profile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	p, err := liveness.DecodeProfile(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "profile: %s: %v (re-profiling)\n", path, err)
+		return nil
+	}
+	prog, err := w.Program()
+	if err != nil || p.Workload != w.Name || p.Windows != windows || p.ImageHash != workloads.HashImage(prog) {
+		return nil
+	}
+	return p
+}
+
+// recordProfile publishes a profile's per-component analytical gauges.
+func recordProfile(tel *telemetry.Campaign, p *liveness.Profile) {
+	for i := range p.Components {
+		c := &p.Components[i]
+		tel.RecordProfileComponent(c.Name, p.Workload, p.AVF(c.Name), p.NeverTouched(c.Name))
+	}
+	tel.RecordProfileDone()
+}
+
+// profileLine renders one workload's analytical summary: per-component
+// ACE-derived AVF over the golden run.
+func profileLine(p *liveness.Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s %8d cycles:", p.Workload, p.Cycles)
+	for i := range p.Components {
+		c := &p.Components[i]
+		fmt.Fprintf(&b, " %s %.1f%%", c.Name, 100*p.AVF(c.Name))
+	}
+	return b.String()
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so an
+// interrupted write never leaves a truncated artifact behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -54,12 +54,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "analyze a gefin JSONL injection trace instead of parsing a log (- reads stdin)")
 	eventsPath := fs.String("events", "", "analyze a gefin campaign event log instead of parsing a log (- reads stdin)")
 	resultsPath := fs.String("results", "", "with -events: cross-check the event log against this results JSON")
+	profilePath := fs.String("profile", "", "render a liveness profile artifact (.mbup, from gefin -profile): time x row occupancy heatmaps and per-bit-class lifetime percentiles")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *tracePath != "" && *eventsPath != "" {
-		fmt.Fprintln(stderr, "-trace and -events are separate modes: pick one")
+	modes := 0
+	for _, m := range []string{*tracePath, *eventsPath, *profilePath} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(stderr, "-trace, -events and -profile are separate modes: pick one")
 		return 2
+	}
+	if *profilePath != "" {
+		return analyzeProfile(*profilePath, stdout, stderr)
 	}
 	if *eventsPath != "" {
 		return analyzeEvents(*eventsPath, *resultsPath, stdin, stdout, stderr)

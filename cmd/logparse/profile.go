@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mbusim/internal/liveness"
+)
+
+// shadeRamp maps a 0..1 fraction to a display character, dark to bright.
+const shadeRamp = " .:-=+*#%@"
+
+func shade(f float64) byte {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return shadeRamp[int(f*float64(len(shadeRamp)-1)+0.5)]
+}
+
+// Heatmap display bounds: row bands keep a structure's map at terminal
+// height, window columns keep it at terminal width; both downsample by
+// averaging, so a dense L2 renders as faithfully as a 32-entry TLB.
+const (
+	maxHeatRows = 16
+	maxHeatCols = 64
+)
+
+// analyzeProfile renders one liveness profile artifact: per component, a
+// time x row occupancy heatmap over the golden run (each cell is the valid
+// fraction of a row band during a window) and the per-bit-class lifetime
+// percentiles with their ACE/never-touched split.
+func analyzeProfile(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	p, err := liveness.DecodeProfile(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "liveness profile: %s, %d cycles, %d windows (image %x)\n",
+		p.Workload, p.Cycles, p.Windows, p.ImageHash[:4])
+	for i := range p.Components {
+		c := &p.Components[i]
+		fmt.Fprintf(stdout, "\n%s (%d rows x %d bits): ACE AVF %.2f%%, never-touched %.2f%%\n",
+			c.Name, c.Rows, c.Cols, 100*p.AVF(c.Name), 100*p.NeverTouched(c.Name))
+		heatmap(stdout, c, p.Windows)
+		classTable(stdout, c, p.Cycles)
+	}
+	return 0
+}
+
+// heatmap prints the time x row valid-occupancy map plus the whole-
+// structure occupancy (and dirty, for caches) series along the bottom.
+func heatmap(w io.Writer, c *liveness.ComponentProfile, windows int) {
+	bands := c.Rows
+	if bands > maxHeatRows {
+		bands = maxHeatRows
+	}
+	cols := windows
+	if cols > maxHeatCols {
+		cols = maxHeatCols
+	}
+	line := make([]byte, cols)
+	for b := 0; b < bands; b++ {
+		r0, r1 := b*c.Rows/bands, (b+1)*c.Rows/bands
+		for j := 0; j < cols; j++ {
+			w0, w1 := j*windows/cols, (j+1)*windows/cols
+			valid, total := 0, 0
+			for win := w0; win < w1; win++ {
+				for row := r0; row < r1; row++ {
+					if c.RowValidAt(win, row) {
+						valid++
+					}
+					total++
+				}
+			}
+			line[j] = shade(float64(valid) / float64(total))
+		}
+		fmt.Fprintf(w, "  rows %4d-%4d |%s|\n", r0, r1-1, line)
+	}
+	series := func(label string, bp []uint32) {
+		for j := 0; j < cols; j++ {
+			w0, w1 := j*windows/cols, (j+1)*windows/cols
+			sum := 0.0
+			for win := w0; win < w1; win++ {
+				sum += float64(bp[win])
+			}
+			line[j] = shade(sum / float64(w1-w0) / 1e4)
+		}
+		fmt.Fprintf(w, "  %-14s|%s| (time: left=start, right=exit)\n", label, line)
+	}
+	series("occupancy", c.OccBP)
+	if len(c.DirtyBP) > 0 {
+		series("dirty", c.DirtyBP)
+	}
+}
+
+// classTable prints per-bit-class liveness: how often bits were defined
+// and read, the write->first-read lifetime percentiles (bucketed powers of
+// two, so values are upper bounds), and each class's ACE share.
+func classTable(w io.Writer, c *liveness.ComponentProfile, cycles uint64) {
+	fmt.Fprintf(w, "  %-8s %10s %10s %10s %9s %9s %9s %8s %8s\n",
+		"class", "bits", "defs", "reads", "life-p50", "life-p90", "life-p99", "ACE", "never")
+	for i := range c.Classes {
+		cl := &c.Classes[i]
+		denom := float64(cl.Bits) * float64(cycles)
+		fmt.Fprintf(w, "  %-8s %10d %10d %10d %9d %9d %9d %7.2f%% %7.2f%%\n",
+			cl.Name, cl.Bits, cl.Defs, cl.Reads,
+			cl.LifePercentile(50), cl.LifePercentile(90), cl.LifePercentile(99),
+			100*float64(cl.AceBitCycles)/denom, 100*float64(cl.NeverBitCycles)/denom)
+	}
+}

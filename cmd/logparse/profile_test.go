@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mbusim/internal/workloads"
+)
+
+func writeTestProfile(t *testing.T) string {
+	t.Helper()
+	w, err := workloads.ByName("stringSearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Profile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stringSearch.mbup")
+	if err := os.WriteFile(path, p.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestProfileModeRendersHeatmaps(t *testing.T) {
+	path := writeTestProfile(t)
+	code, stdout, stderr := runLogparse(t, "", "-profile", path)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+	for _, want := range []string{
+		"liveness profile: stringSearch",
+		"L1D (128 rows x 526 bits)",
+		"ITLB (32 rows x 32 bits)",
+		"rows    0-",
+		"occupancy",
+		"dirty",
+		"life-p50",
+		"never",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// All six structures render a section.
+	for _, comp := range []string{"L1D", "L1I", "L2", "RegFile", "DTLB", "ITLB"} {
+		if !strings.Contains(stdout, "\n"+comp+" (") {
+			t.Errorf("no section for %s", comp)
+		}
+	}
+}
+
+func TestProfileModeRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.mbup")
+	if err := os.WriteFile(path, []byte("MBUPgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runLogparse(t, "", "-profile", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stderr, "panic") || !strings.Contains(stderr, path) {
+		t.Errorf("want a one-line error naming the file, got: %s", stderr)
+	}
+}
+
+func TestProfileModeIsExclusive(t *testing.T) {
+	if code, _, _ := runLogparse(t, "", "-profile", "x", "-trace", "y"); code != 2 {
+		t.Error("-profile with -trace should exit 2")
+	}
+	if code, _, _ := runLogparse(t, "", "-profile", "x", "-events", "y"); code != 2 {
+		t.Error("-profile with -events should exit 2")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"mbusim/internal/cpu"
 	"mbusim/internal/forensics"
+	"mbusim/internal/liveness"
 	"mbusim/internal/sim"
 	"mbusim/internal/stats"
 	"mbusim/internal/telemetry"
@@ -619,12 +620,9 @@ func runOne(w *workloads.Workload, golden *workloads.Golden, spec Spec, limit, i
 	)
 	inject := func(*sim.Machine) {
 		if obsOcc {
-			if o, ok := target.(interface{ Occupancy() float64 }); ok {
-				meta.occ, meta.hasOcc = o.Occupancy(), true
-			}
-			if d, ok := target.(interface{ DirtyFraction() float64 }); ok {
-				meta.dirty, meta.hasDirty = d.DirtyFraction(), true
-			}
+			st := liveness.StructState(target)
+			meta.occ, meta.hasOcc = st.Occ, st.HasOcc
+			meta.dirty, meta.hasDirty = st.Dirty, st.HasDirty
 		}
 		mask.Apply(target)
 		if spec.Forensics != forensics.ModeOff {

@@ -95,6 +95,21 @@ func (rf *RegFile) Alloc(p uint8) {
 	rf.ready[p] = false
 }
 
+// ReadyAt reports the ready bit of physical register i without firing
+// the access probe (sampling use).
+func (rf *RegFile) ReadyAt(i int) bool { return rf.ready[i] }
+
+// Occupancy returns the fraction of ready (value-holding) registers.
+func (rf *RegFile) Occupancy() float64 {
+	n := 0
+	for _, r := range rf.ready {
+		if r {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rf.ready))
+}
+
 // --- Fault-injection geometry (core.Target implementation) ---
 
 // Name returns the component name used by the fault injector.

@@ -1,0 +1,467 @@
+// Package liveness profiles the microarchitectural liveness of the six
+// injectable structures over one fault-free golden run: which bits hold
+// live (ACE) state when, how long written values sit before their first
+// consume, and how occupancy evolves over the run.
+//
+// The profiler reuses the forensics probe hook points (cache.Probe,
+// tlb.Probe, cpu.RegProbe) but tracks the *whole* structure instead of one
+// injected mask: every row x bit-class is a tracked cell carrying its
+// current write ("def") cycle, first/last consume cycles and last-touch
+// cycle. The event fan-out mirrors internal/forensics exactly — a
+// set-associative lookup consults valid+tag of every way in the probed
+// set, a TLB lookup CAM-compares every entry, a writeback reads tag+data —
+// so the analytical model and the measured fault fates describe the same
+// hardware events. Two summaries fall out:
+//
+//   - ACE bit-cycles: for each generation of a cell (write..last read),
+//     the interval during which a flipped bit would have been consumed.
+//     AVF_analytical = ACE bit-cycles / (total bits x run cycles), the
+//     classic Mukherjee-style ACE bound.
+//   - Never-touched bit-cycles: for each cell, the tail of the run after
+//     its last event of any kind. A fault injected uniformly in time lands
+//     in dead state with probability never-bit-cycles / total bit-cycles,
+//     which must agree with the forensics `never-touched` fate fraction.
+//
+// A golden run under the profiler is deterministic, so the resulting
+// Profile artifact (see profile.go) is byte-identical across runs and
+// across the -nodelta / -nockpt execution strategies.
+package liveness
+
+import (
+	"math/bits"
+
+	"mbusim/internal/cache"
+	"mbusim/internal/cpu"
+	"mbusim/internal/sim"
+	"mbusim/internal/tlb"
+)
+
+// LifeBuckets is the number of log2 lifetime-histogram buckets per bit
+// class: bucket 0 counts same-cycle consumes, bucket b counts first-consume
+// latencies in [2^(b-1), 2^b). 40 buckets cover any run the simulator can
+// count.
+const LifeBuckets = 40
+
+// lifeBucket maps a write-to-first-consume latency to its histogram bucket.
+func lifeBucket(d uint64) int {
+	b := bits.Len64(d)
+	if b >= LifeBuckets {
+		b = LifeBuckets - 1
+	}
+	return b
+}
+
+// cell is one tracked row x bit-class unit. Data is tracked per byte (the
+// granularity the probes report), metadata per field — the same cells the
+// forensics tracker classifies an injected mask into.
+type cell struct {
+	class uint16 // index into the component's class table
+	width uint16 // bits this cell stands for
+	// Cycle marks, clamped to >= 1 so 0 means "never": the current
+	// generation's write cycle, its first and last consume cycles, and the
+	// last event of any kind (consume or overwrite).
+	def       uint64
+	firstUse  uint64
+	lastUse   uint64
+	lastTouch uint64
+}
+
+// compTracker is the per-structure profiler: the flat cell array, the
+// per-class aggregates it folds into, and the occupancy window series.
+type compTracker struct {
+	name    string
+	rows    int
+	cols    int
+	now     func() uint64
+	cells   []cell
+	classes []ClassProfile
+
+	// Window sampling state, filled by Profiler.sample.
+	target   any // the concrete structure, for StructState
+	rowLive  func(row int) bool
+	hasDirty bool
+	occBP    []uint32
+	dirtyBP  []uint32
+	rowValid []byte
+	rowBytes int
+
+	detach func()
+}
+
+// tick returns the current cycle clamped to 1, the same "never happened"
+// sentinel convention the forensics tracker uses.
+func (t *compTracker) tick() uint64 {
+	cyc := t.now()
+	if cyc == 0 {
+		cyc = 1
+	}
+	return cyc
+}
+
+// consume records that cell i's bits entered the datapath (read, CAM
+// compare, writeback): the first consume of a generation closes the
+// write-to-read lifetime into the class histogram; every consume extends
+// the generation's ACE interval.
+func (t *compTracker) consume(i int) {
+	c := &t.cells[i]
+	cyc := t.tick()
+	if c.firstUse == 0 {
+		cl := &t.classes[c.class]
+		cl.Reads++
+		cl.Life[lifeBucket(cyc-c.def)]++
+		c.firstUse = cyc
+	}
+	c.lastUse = cyc
+	c.lastTouch = cyc
+}
+
+// define records that cell i was overwritten with new state: the previous
+// generation's ACE interval (write..last consume) is banked, and a new
+// generation opens at the current cycle.
+func (t *compTracker) define(i int) {
+	c := &t.cells[i]
+	cyc := t.tick()
+	cl := &t.classes[c.class]
+	if c.lastUse != 0 {
+		cl.AceBitCycles += (c.lastUse - c.def) * uint64(c.width)
+	}
+	cl.Defs++
+	c.def = cyc
+	c.firstUse = 0
+	c.lastUse = 0
+	c.lastTouch = cyc
+}
+
+// finish closes every open generation at the end of the run and banks each
+// cell's dead tail (end - lastTouch) as never-touched bit-cycles. A cell
+// with no event at all contributes its full end x width.
+func (t *compTracker) finish(end uint64) {
+	for i := range t.cells {
+		c := &t.cells[i]
+		cl := &t.classes[c.class]
+		if c.lastUse != 0 {
+			cl.AceBitCycles += (c.lastUse - c.def) * uint64(c.width)
+		}
+		lt := c.lastTouch
+		if lt > end {
+			lt = end
+		}
+		cl.NeverBitCycles += (end - lt) * uint64(c.width)
+	}
+}
+
+// --- cache tracker ---
+
+// Cache cell layout: valid cells [0,rows), dirty [rows,2rows), tag
+// [2rows,3rows) (one cell of tagBits width per row), then one cell per
+// data byte, line-major.
+type cacheProbe struct {
+	t        *compTracker
+	ways     int
+	lineSize int
+	dataBase int // 3*rows
+}
+
+func newCacheTracker(c *cache.Cache, now func() uint64) *compTracker {
+	cfg := c.Config()
+	rows := c.Rows()
+	tagBits := c.StateBits() - 2
+	t := &compTracker{
+		name: c.Name(), rows: rows, cols: c.Cols(), now: now,
+		target: c, hasDirty: true,
+	}
+	t.classes = []ClassProfile{
+		{Name: "valid", Bits: uint64(rows)},
+		{Name: "dirty", Bits: uint64(rows)},
+		{Name: "tag", Bits: uint64(rows) * uint64(tagBits)},
+		{Name: "data", Bits: uint64(rows) * uint64(cfg.LineSize) * 8},
+	}
+	t.cells = make([]cell, 3*rows+rows*cfg.LineSize)
+	for r := 0; r < rows; r++ {
+		t.cells[r] = cell{class: 0, width: 1}
+		t.cells[rows+r] = cell{class: 1, width: 1}
+		t.cells[2*rows+r] = cell{class: 2, width: uint16(tagBits)}
+	}
+	for i := 3 * rows; i < len(t.cells); i++ {
+		t.cells[i] = cell{class: 3, width: 8}
+	}
+	t.rowLive = func(row int) bool {
+		_, valid, _, _ := c.LineState(row)
+		return valid
+	}
+	c.SetProbe(&cacheProbe{t: t, ways: cfg.Ways, lineSize: cfg.LineSize, dataBase: 3 * rows})
+	t.detach = func() { c.SetProbe(nil) }
+	return t
+}
+
+// OnLookup implements cache.Probe: the parallel tag read consults valid +
+// tag bits of every way in the probed set.
+func (p *cacheProbe) OnLookup(set uint32) {
+	base := int(set) * p.ways
+	for w := 0; w < p.ways; w++ {
+		row := base + w
+		p.t.consume(row)              // valid
+		p.t.consume(2*p.t.rows + row) // tag
+	}
+}
+
+// OnReadData implements cache.Probe.
+func (p *cacheProbe) OnReadData(row, off, n int) {
+	base := p.dataBase + row*p.lineSize + off
+	for i := 0; i < n; i++ {
+		p.t.consume(base + i)
+	}
+}
+
+// OnWriteData implements cache.Probe: the written bytes and the dirty bit
+// are rewritten.
+func (p *cacheProbe) OnWriteData(row, off, n int) {
+	base := p.dataBase + row*p.lineSize + off
+	for i := 0; i < n; i++ {
+		p.t.define(base + i)
+	}
+	p.t.define(p.t.rows + row) // dirty bit set unconditionally
+}
+
+// OnEvict implements cache.Probe: choosing a fill victim consults its
+// valid and dirty bits.
+func (p *cacheProbe) OnEvict(row int) {
+	p.t.consume(row)            // valid
+	p.t.consume(p.t.rows + row) // dirty
+}
+
+// OnWriteback implements cache.Probe: the tag bits form the writeback
+// address and the data bytes escape to the next level.
+func (p *cacheProbe) OnWriteback(row int) {
+	p.t.consume(2*p.t.rows + row)
+	base := p.dataBase + row*p.lineSize
+	for i := 0; i < p.lineSize; i++ {
+		p.t.consume(base + i)
+	}
+}
+
+// OnFill implements cache.Probe: a refill rewrites the whole line.
+func (p *cacheProbe) OnFill(row int) {
+	p.t.define(row)
+	p.t.define(p.t.rows + row)
+	p.t.define(2*p.t.rows + row)
+	base := p.dataBase + row*p.lineSize
+	for i := 0; i < p.lineSize; i++ {
+		p.t.define(base + i)
+	}
+}
+
+// --- TLB tracker ---
+
+// TLB cell layout: CAM cells [0,rows), payload [rows,2rows), spare
+// [2rows,3rows). Widths are derived from tlb.ClassifyCol so the class
+// geometry can never drift from the injectable geometry.
+type tlbProbe struct{ t *compTracker }
+
+func newTLBTracker(tb *tlb.TLB, now func() uint64) *compTracker {
+	rows := tb.Rows()
+	var camW, payW, spareW int
+	for col := 0; col < tlb.EntryBits; col++ {
+		switch tlb.ClassifyCol(col) {
+		case tlb.ColCAM:
+			camW++
+		case tlb.ColPayload:
+			payW++
+		default:
+			spareW++
+		}
+	}
+	t := &compTracker{name: tb.Name(), rows: rows, cols: tlb.EntryBits, now: now, target: tb}
+	t.classes = []ClassProfile{
+		{Name: "cam", Bits: uint64(rows * camW)},
+		{Name: "payload", Bits: uint64(rows * payW)},
+		{Name: "spare", Bits: uint64(rows * spareW)},
+	}
+	t.cells = make([]cell, 3*rows)
+	for r := 0; r < rows; r++ {
+		t.cells[r] = cell{class: 0, width: uint16(camW)}
+		t.cells[rows+r] = cell{class: 1, width: uint16(payW)}
+		t.cells[2*rows+r] = cell{class: 2, width: uint16(spareW)}
+	}
+	t.rowLive = tb.ValidAt
+	tb.SetProbe(&tlbProbe{t: t})
+	t.detach = func() { tb.SetProbe(nil) }
+	return t
+}
+
+// OnTLBLookup implements tlb.Probe: the CAM compare consults valid + VPN
+// of every entry; on a hit the hit entry's payload enters the datapath.
+func (p *tlbProbe) OnTLBLookup(hit int) {
+	for r := 0; r < p.t.rows; r++ {
+		p.t.consume(r)
+	}
+	if hit >= 0 {
+		p.t.consume(p.t.rows + hit)
+	}
+}
+
+// OnTLBInsert implements tlb.Probe: the whole entry is overwritten.
+func (p *tlbProbe) OnTLBInsert(row int) {
+	p.t.define(row)
+	p.t.define(p.t.rows + row)
+	p.t.define(2*p.t.rows + row)
+}
+
+// OnTLBInvalidate implements tlb.Probe: every entry is cleared.
+func (p *tlbProbe) OnTLBInvalidate() {
+	for i := range p.t.cells {
+		p.t.define(i)
+	}
+}
+
+// --- register-file tracker ---
+
+// RegFile cell layout: data cells [0,rows) (32 bits each), ready cells
+// [rows,2rows).
+type regProbe struct{ t *compTracker }
+
+func newRegTracker(rf *cpu.RegFile, now func() uint64) *compTracker {
+	rows := rf.Rows()
+	t := &compTracker{name: rf.Name(), rows: rows, cols: rf.Cols(), now: now, target: rf}
+	t.classes = []ClassProfile{
+		{Name: "data", Bits: uint64(rows) * 32},
+		{Name: "ready", Bits: uint64(rows)},
+	}
+	t.cells = make([]cell, 2*rows)
+	for r := 0; r < rows; r++ {
+		t.cells[r] = cell{class: 0, width: 32}
+		t.cells[rows+r] = cell{class: 1, width: 1}
+	}
+	t.rowLive = rf.ReadyAt
+	rf.SetProbe(&regProbe{t: t})
+	t.detach = func() { rf.SetProbe(nil) }
+	return t
+}
+
+// OnRegRead implements cpu.RegProbe.
+func (p *regProbe) OnRegRead(row int) { p.t.consume(row) }
+
+// OnRegReadyRead implements cpu.RegProbe.
+func (p *regProbe) OnRegReadyRead(row int) { p.t.consume(p.t.rows + row) }
+
+// OnRegWrite implements cpu.RegProbe: value and ready bit are rewritten.
+func (p *regProbe) OnRegWrite(row int) {
+	p.t.define(row)
+	p.t.define(p.t.rows + row)
+}
+
+// OnRegAlloc implements cpu.RegProbe: reallocation rewrites the ready bit;
+// the stale value survives until the producer writes.
+func (p *regProbe) OnRegAlloc(row int) { p.t.define(p.t.rows + row) }
+
+// --- profiler ---
+
+// Profiler observes one fault-free run of a machine and accumulates the
+// liveness profile of all six injectable structures. Use it as:
+//
+//	p := liveness.NewProfiler(m, golden.Cycles, windows)
+//	out := m.RunObserved(limit, 0, nil, p.OnCycle)
+//	profile := p.Finish(out.Cycles)
+//
+// Not safe for concurrent use; the profiled machine must be single-use
+// like any other. Finish detaches every probe it installed.
+type Profiler struct {
+	total   uint64
+	windows int
+	next    int
+	comps   []*compTracker
+}
+
+// NewProfiler attaches whole-structure trackers to every injectable
+// structure of m. totalCycles is the expected golden run length (it places
+// the occupancy window boundaries); windows is clamped to [1, MaxWindows].
+func NewProfiler(m *sim.Machine, totalCycles uint64, windows int) *Profiler {
+	if windows < 1 {
+		windows = 1
+	}
+	if windows > MaxWindows {
+		windows = MaxWindows
+	}
+	now := m.Core.Cycles
+	p := &Profiler{total: totalCycles, windows: windows}
+	// The paper's presentation order (core.Components), without importing
+	// core: the component names come from the structures themselves.
+	p.comps = []*compTracker{
+		newCacheTracker(m.L1D, now),
+		newCacheTracker(m.L1I, now),
+		newCacheTracker(m.L2, now),
+		newRegTracker(m.Core.RegFile(), now),
+		newTLBTracker(m.DTLB, now),
+		newTLBTracker(m.ITLB, now),
+	}
+	for _, ct := range p.comps {
+		ct.occBP = make([]uint32, windows)
+		if ct.hasDirty {
+			ct.dirtyBP = make([]uint32, windows)
+		}
+		ct.rowBytes = (ct.rows + 7) / 8
+		ct.rowValid = make([]byte, windows*ct.rowBytes)
+	}
+	return p
+}
+
+// boundary is the cycle at which window i closes: the run is split into
+// `windows` equal spans of the expected total.
+func (p *Profiler) boundary(i int) uint64 {
+	return p.total * uint64(i+1) / uint64(p.windows)
+}
+
+// OnCycle is the sim.Machine.RunObserved per-cycle hook: one compare per
+// cycle until the next window boundary, then a snapshot of every
+// structure's occupancy and per-row valid bits. Snapshots use only
+// probe-free accessors, so sampling never perturbs the access stream the
+// trackers are recording.
+func (p *Profiler) OnCycle(m *sim.Machine) {
+	cyc := m.Core.Cycles()
+	for p.next < p.windows && cyc >= p.boundary(p.next) {
+		p.sample(p.next)
+		p.next++
+	}
+}
+
+func (p *Profiler) sample(win int) {
+	for _, ct := range p.comps {
+		st := StructState(ct.target)
+		ct.occBP[win] = toBP(st.Occ)
+		if ct.dirtyBP != nil {
+			ct.dirtyBP[win] = toBP(st.Dirty)
+		}
+		base := win * ct.rowBytes
+		for r := 0; r < ct.rows; r++ {
+			if ct.rowLive(r) {
+				ct.rowValid[base+r/8] |= 1 << (r % 8)
+			}
+		}
+	}
+}
+
+// toBP converts a fraction to basis points (1/10000), the registry's
+// integral-gauge convention.
+func toBP(f float64) uint32 { return uint32(f*1e4 + 0.5) }
+
+// Finish closes the profile at the run's actual end cycle: any windows the
+// run never reached are filled with the final state, every open generation
+// is banked, and the probes are detached. The caller stamps Workload and
+// ImageHash before encoding.
+func (p *Profiler) Finish(end uint64) *Profile {
+	for p.next < p.windows {
+		p.sample(p.next)
+		p.next++
+	}
+	prof := &Profile{Cycles: end, Windows: p.windows}
+	for _, ct := range p.comps {
+		ct.detach()
+		ct.finish(end)
+		prof.Components = append(prof.Components, ComponentProfile{
+			Name: ct.name, Rows: ct.rows, Cols: ct.cols,
+			Classes: ct.classes, OccBP: ct.occBP, DirtyBP: ct.dirtyBP,
+			RowValid: ct.rowValid,
+		})
+	}
+	return prof
+}

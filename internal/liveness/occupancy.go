@@ -1,0 +1,27 @@
+package liveness
+
+// State is a point-in-time occupancy sample of one injectable structure:
+// the valid-entry fraction (all six structures expose one) and the dirty
+// fraction (caches only).
+type State struct {
+	Occ      float64
+	Dirty    float64
+	HasOcc   bool
+	HasDirty bool
+}
+
+// StructState samples a target's occupancy through its probe-free
+// accessors. It is the one shared definition of "structure state at a
+// cycle": the campaign's at-inject occupancy gauges and the profiler's
+// window series both go through it, so the two can never disagree about
+// what occupancy means.
+func StructState(target any) State {
+	var s State
+	if o, ok := target.(interface{ Occupancy() float64 }); ok {
+		s.Occ, s.HasOcc = o.Occupancy(), true
+	}
+	if d, ok := target.(interface{ DirtyFraction() float64 }); ok {
+		s.Dirty, s.HasDirty = d.DirtyFraction(), true
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"text/tabwriter"
+
+	"mbusim/internal/core"
+	"mbusim/internal/liveness"
+)
+
+// AnalyticalTable renders per-(component, workload) analytical AVF from
+// liveness profiles: the ACE fraction (live-bit-cycles over total
+// bit-cycles of the golden run) next to the never-touched fraction, the
+// analytic floor on masking. When rs holds injection results for the same
+// cell, the measured 1-bit AVF and the residual (analytical − measured)
+// are cross-checked in the last columns; ACE analysis never credits
+// logical masking downstream of a read, so the residual should be
+// non-negative within sampling noise — a strongly negative residual flags
+// a profile that disagrees with the campaign it predicts.
+func AnalyticalTable(profiles []*liveness.Profile, rs *core.ResultSet) string {
+	sorted := append([]*liveness.Profile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Workload < sorted[j].Workload })
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "component\tworkload\tcycles\tACE AVF\tnever-touched\tmeasured 1-bit\tresidual")
+		for _, comp := range core.Components() {
+			for _, p := range sorted {
+				c := p.Component(comp)
+				if c == nil {
+					continue
+				}
+				ace := p.AVF(comp)
+				fmt.Fprintf(w, "%s\t%s\t%d\t%6.2f%%\t%6.2f%%", comp, p.Workload, p.Cycles,
+					100*ace, 100*p.NeverTouched(comp))
+				if r, err := cellResult(rs, comp, p.Workload); err == nil {
+					m := r.AVF()
+					fmt.Fprintf(w, "\t%6.2f%%\t%+6.2f%%", 100*m, 100*(ace-m))
+				} else {
+					fmt.Fprint(w, "\t--\t--")
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	})
+}
+
+// cellResult fetches the 1-bit injection result for a cell, or an error
+// when rs is nil or the campaign never ran that cell.
+func cellResult(rs *core.ResultSet, comp, workload string) (*core.Result, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("report: no results loaded")
+	}
+	return rs.Get(comp, workload, 1)
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mbusim/internal/core"
+	"mbusim/internal/liveness"
+)
+
+func analyticalProfile(workload string, ace uint64) *liveness.Profile {
+	return &liveness.Profile{
+		Workload: workload, Cycles: 1000, Windows: 1,
+		Components: []liveness.ComponentProfile{{
+			Name: "L1D", Rows: 10, Cols: 10,
+			Classes:  []liveness.ClassProfile{{Name: "data", Bits: 100, AceBitCycles: ace, NeverBitCycles: 50000}},
+			OccBP:    []uint32{5000},
+			RowValid: make([]byte, 2),
+		}},
+	}
+}
+
+func TestAnalyticalTableWithoutResults(t *testing.T) {
+	out := AnalyticalTable([]*liveness.Profile{analyticalProfile("CRC32", 10000)}, nil)
+	if !strings.Contains(out, "CRC32") || !strings.Contains(out, "10.00%") {
+		t.Fatalf("missing analytical AVF:\n%s", out)
+	}
+	if !strings.Contains(out, "--") {
+		t.Fatalf("missing placeholder for absent measured AVF:\n%s", out)
+	}
+}
+
+func TestAnalyticalTableCrossCheck(t *testing.T) {
+	rs := core.NewResultSet()
+	res := &core.Result{Spec: core.Spec{Component: "L1D", Workload: "CRC32", Faults: 1, Samples: 100, Seed: 1}}
+	res.Counts[core.EffectMasked] = 92
+	res.Counts[core.EffectSDC] = 8 // measured AVF 8%
+	rs.Add(res)
+	out := AnalyticalTable([]*liveness.Profile{analyticalProfile("CRC32", 10000)}, rs)
+	if !strings.Contains(out, "8.00%") {
+		t.Fatalf("missing measured AVF:\n%s", out)
+	}
+	if !strings.Contains(out, "+2.00%") {
+		t.Fatalf("missing residual (10%% analytical - 8%% measured):\n%s", out)
+	}
+	// Workloads are sorted, components in canonical order.
+	two := AnalyticalTable([]*liveness.Profile{
+		analyticalProfile("sha", 0), analyticalProfile("CRC32", 10000),
+	}, nil)
+	if strings.Index(two, "CRC32") > strings.Index(two, "sha") {
+		t.Fatalf("workloads not sorted:\n%s", two)
+	}
+}

@@ -63,6 +63,15 @@ const (
 	MetricArtifactFetches   = "gefin_artifact_fetches_total"
 	MetricArtifactCorrupt   = "gefin_artifact_corrupt_total"
 	MetricArtifactFallbacks = "gefin_artifact_fallbacks_total"
+
+	// Liveness-profiling series (PR 9): one counter per completed profile
+	// artifact plus per-(component, workload) analytical gauges, so a
+	// profiling run's ACE fraction and never-touched fraction are visible
+	// on the same scrape endpoint as the injection-measured campaign
+	// series they predict.
+	MetricProfiles       = "gefin_profiles_total"
+	MetricProfileACEBP   = "gefin_profile_ace_bp"
+	MetricProfileNeverBP = "gefin_profile_never_touched_bp"
 )
 
 // Campaign bundles a metrics registry and an optional tracer behind typed
@@ -130,6 +139,27 @@ func (c *Campaign) SetCellOccupancy(comp, workload string, faults int, occ float
 	if hasDirty {
 		c.Registry.Gauge(MetricDirtyBP + label).Set(int64(dirty*1e4 + 0.5))
 	}
+}
+
+// RecordProfileComponent publishes one component's analytical summary
+// from a liveness profile: the ACE (live-bit-cycle) fraction and the
+// never-touched fraction, both in basis points.
+func (c *Campaign) RecordProfileComponent(comp, workload string, ace, never float64) {
+	if c == nil {
+		return
+	}
+	label := `{comp="` + comp + `",workload="` + workload + `"}`
+	c.Registry.Gauge(MetricProfileACEBP + label).Set(int64(ace*1e4 + 0.5))
+	c.Registry.Gauge(MetricProfileNeverBP + label).Set(int64(never*1e4 + 0.5))
+}
+
+// RecordProfileDone counts one liveness profile artifact written (or
+// verified up to date) by this process.
+func (c *Campaign) RecordProfileDone() {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricProfiles).Inc()
 }
 
 // itoa is strconv.Itoa for the small positive ints in metric labels,

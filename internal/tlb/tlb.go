@@ -200,6 +200,10 @@ func (t *TLB) Invalidate() {
 // Entry returns the raw packed entry at index i (test use).
 func (t *TLB) Entry(i int) uint32 { return t.entries[i] }
 
+// ValidAt reports the valid bit of entry i without firing the access
+// probe (sampling use).
+func (t *TLB) ValidAt(i int) bool { return t.entries[i]>>bitValid&1 == 1 }
+
 // --- Fault-injection geometry (core.Target implementation) ---
 
 // Name returns the component name used by the fault injector.

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"mbusim/internal/liveness"
+)
+
+// TestProfileDeterministic: profiling the same workload twice yields
+// byte-identical artifacts — the property the artifact cache and the
+// cross-process reproducibility story rest on.
+func TestProfileDeterministic(t *testing.T) {
+	w, err := ByName("stringSearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := w.Profile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := w.Profile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := p1.Encode(), p2.Encode()
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("two profiles of the same workload encode differently")
+	}
+	if _, err := liveness.DecodeProfile(e1); err != nil {
+		t.Fatalf("emitted artifact does not validate: %v", err)
+	}
+}
+
+// TestProfileMatchesGolden: the profiled run is the golden run — same
+// cycle count, and the artifact is stamped with the workload identity.
+func TestProfileMatchesGolden(t *testing.T) {
+	w, err := ByName("stringSearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.Reference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Profile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cycles != g.Cycles {
+		t.Errorf("profile covers %d cycles, golden ran %d", p.Cycles, g.Cycles)
+	}
+	if p.Workload != "stringSearch" {
+		t.Errorf("profile workload = %q", p.Workload)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ImageHash != HashImage(prog) {
+		t.Error("profile image hash does not match the compiled program")
+	}
+	// All six structures present, every class within the run budget.
+	if len(p.Components) != 6 {
+		t.Fatalf("profile has %d components, want 6", len(p.Components))
+	}
+	for i := range p.Components {
+		c := &p.Components[i]
+		if budget := c.TotalBits() * p.Cycles; c.Ace() > budget || c.Never() > budget {
+			t.Errorf("%s bit-cycles exceed the run budget", c.Name)
+		}
+	}
+}
