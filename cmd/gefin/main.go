@@ -116,6 +116,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		watchURL   = fs.String("watch", "", "observe a running coordinator at host:port: stream its campaign event log and render a live fleet dashboard (takes no grid flags)")
 		serveAddr  = fs.String("serve", "", "coordinate a distributed campaign: listen on host:port and lease grid cells to -join workers instead of running them in-process")
 		joinAddr   = fs.String("join", "", "work for a coordinator at host:port: lease cells, run them, submit results (takes no grid flags)")
+		serviceDir = fs.String("service-dir", "", "with -serve: run the durable multi-campaign service instead of a one-shot coordinator, keeping its journal, event log and per-campaign results files in this directory (campaigns arrive via POST /campaigns; grid flags are rejected)")
+		queueDepth = fs.Int("queue-depth", 64, "service: campaigns allowed to wait in the queue before submissions bounce with 429")
+		maxActive  = fs.Int("max-active", 4, "service: campaigns run concurrently over the shared worker fleet")
+		tenantCamp = fs.Int("tenant-campaigns", 8, "service: live campaigns allowed per tenant")
+		tenantCell = fs.Int("tenant-cells", 4096, "service: live cells allowed per tenant across its campaigns")
+		submitAddr = fs.String("submit", "", "submit the grid flags as one campaign to the service at host:port and print its id (see -tenant/-name/-campaign-out; takes the same grid flags as a local run)")
+		cmpgnsAddr = fs.String("campaigns", "", "query the service at host:port: list campaigns, or one campaign's status with -campaign, or transition it with -do")
+		campaignID = fs.String("campaign", "", "campaign id for -campaigns status and -do")
+		doAction   = fs.String("do", "", "with -campaigns and -campaign: pause, resume or cancel")
+		tenantName = fs.String("tenant", "", "with -submit: tenant identity for admission quotas (default \"default\")")
+		cmpgnName  = fs.String("name", "", "with -submit: idempotency name — resubmitting while a campaign of this name is live returns it instead of queuing a duplicate")
+		cmpgnOut   = fs.String("campaign-out", "", "with -submit: wait for the campaign to finish and write its results file here (byte-identical to the service's durable copy)")
 		workerID   = fs.String("worker-id", "", "worker identity reported to the coordinator (default host:pid)")
 		leaseTTL   = fs.Duration("lease-ttl", 15*time.Second, "coordinator: a worker silent this long loses its lease and the cell is reassigned")
 		retries    = fs.Int("retries", 5, "coordinator: reassignments allowed per cell before the campaign fails naming it")
@@ -172,8 +184,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Campaign-service roles. -submit and -campaigns are clients of a
+	// service; -serve -service-dir IS the service. All are exclusive with
+	// the single-campaign roles.
+	submitMode := *submitAddr != ""
+	listMode := *cmpgnsAddr != ""
+	serviceMode := *serveAddr != "" && *serviceDir != ""
+	switch {
+	case *serviceDir != "" && *serveAddr == "":
+		fmt.Fprintln(stderr, "-service-dir is the service's state directory: it needs -serve for the listen address")
+		return 2
+	case (submitMode || listMode) && (*serveAddr != "" || joinMode || submitMode && listMode):
+		fmt.Fprintln(stderr, "-submit and -campaigns talk to a campaign service from outside: use them alone, without -serve/-join or each other")
+		return 2
+	case serviceMode && (*all || *outPath != "" || *resume || *workload != "" || *comp != ""):
+		fmt.Fprintln(stderr, "the campaign service takes its grids from POST /campaigns, not flags: drop -all/-workload/-comp/-out/-resume")
+		return 2
+	case *doAction != "" && (*campaignID == "" || !listMode):
+		fmt.Fprintln(stderr, "-do needs -campaigns (the service address) and -campaign (the id to transition)")
+		return 2
+	}
+	// Config that cannot work fails before any listener opens: a
+	// non-positive lease TTL would make every lease expire instantly (or
+	// never), and negative budgets/quotas are contradictions, not choices.
+	if *serveAddr != "" {
+		if *leaseTTL <= 0 {
+			fmt.Fprintln(stderr, "-lease-ttl must be positive: leases that expire instantly reassign every cell forever")
+			return 2
+		}
+		if *retries < 0 {
+			fmt.Fprintln(stderr, "-retries must be >= 0")
+			return 2
+		}
+	}
+	if serviceMode {
+		for _, bad := range []struct {
+			name string
+			v    int
+		}{{"-queue-depth", *queueDepth}, {"-max-active", *maxActive},
+			{"-tenant-campaigns", *tenantCamp}, {"-tenant-cells", *tenantCell}} {
+			if bad.v <= 0 {
+				fmt.Fprintf(stderr, "%s must be positive (got %d)\n", bad.name, bad.v)
+				return 2
+			}
+		}
+	}
+
 	var specs []core.Spec
-	if !joinMode && !profileMode {
+	if !joinMode && !profileMode && !listMode && !serviceMode {
 		var code int
 		specs, code = buildSpecs(stderr, *all, *comp, *workload, *faults, *samples, *seed, *nockpt, *nodelta, fmode.mode, *wallTO)
 		if code != 0 {
@@ -249,16 +307,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tel = telemetry.NewCampaign(tracer)
 	}
 	// The event log: durable when -events names a file (-resume continues an
-	// existing log, fresh campaigns start one). A coordinator without -events
-	// still keeps an in-memory log so /dispatch/events and -watch work.
-	if *eventsPath != "" {
-		if !*resume {
-			if err := os.Remove(*eventsPath); err != nil && !os.IsNotExist(err) {
+	// existing log, fresh campaigns start one). The campaign service always
+	// keeps a durable log in its state directory and always continues it —
+	// restarting the service is resuming, never starting over. A coordinator
+	// without -events still keeps an in-memory log so /dispatch/events and
+	// -watch work.
+	if *eventsPath != "" || serviceMode {
+		path := *eventsPath
+		if path == "" {
+			path = filepath.Join(*serviceDir, "events.jsonl")
+		}
+		if serviceMode {
+			if err := os.MkdirAll(*serviceDir, 0o755); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		} else if !*resume {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 				fmt.Fprintln(stderr, err)
 				return 1
 			}
 		}
-		evlog, err := telemetry.OpenEventLog(*eventsPath)
+		evlog, err := telemetry.OpenEventLog(path)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -281,6 +351,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case joinMode:
 		role = "worker"
+	case serviceMode:
+		role = "service"
 	case *serveAddr != "":
 		role = "coordinator"
 	}
@@ -345,6 +417,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return runWorker(ctx, stdout, stderr, *joinAddr, *workerID, *quiet, tel, start,
 			!*noArtifact, dir)
+	}
+	if submitMode {
+		return runSubmit(ctx, stdout, stderr, *submitAddr, specs,
+			*tenantName, *cmpgnName, *retries, *cmpgnOut, *quiet)
+	}
+	if listMode {
+		return runCampaigns(ctx, stdout, stderr, *cmpgnsAddr, *campaignID, *doAction)
+	}
+	if serviceMode {
+		return runService(ctx, stdout, stderr, *serveAddr, *serviceDir, dispatch.ServiceOptions{
+			LeaseTTL: *leaseTTL, MaxRetries: *retries, QueueDepth: *queueDepth,
+			MaxActive: *maxActive, TenantCampaigns: *tenantCamp, TenantCells: *tenantCell,
+			Tel: tel,
+		}, tel, start)
 	}
 	if *serveAddr != "" {
 		return runServe(ctx, cancel, stdout, stderr, *serveAddr, specs, pending, rs,
@@ -557,10 +643,18 @@ func runWorker(ctx context.Context, stdout, stderr io.Writer,
 	}
 	fmt.Fprintf(stderr, "dispatch: worker %s joining %s\n", id, addr)
 	err := w.Run(ctx)
+	var term *dispatch.TerminalError
 	switch {
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintf(stderr, "interrupted: %d cells submitted; in-flight lease handed back\n", done)
 		return 130
+	case errors.As(err, &term):
+		// The coordinator is healthy and said no — wrong service, unknown
+		// campaign, rejected identity. Retrying cannot fix a permanent
+		// rejection, so this is misconfiguration (exit 2), not a runtime
+		// failure, and the worker exits now instead of burning MaxDowntime.
+		fmt.Fprintln(stderr, err)
+		return 2
 	case err != nil:
 		fmt.Fprintln(stderr, err)
 		return 1

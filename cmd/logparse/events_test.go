@@ -190,3 +190,101 @@ func TestAnalyzeEventsToleratesTornTail(t *testing.T) {
 		t.Fatalf("analysis output:\n%s", stdout)
 	}
 }
+
+// serviceEvents interleaves two campaigns over one shared fleet, the way a
+// campaign service's log looks: both campaigns use cell index 0, which must
+// NOT read as one cell completing twice.
+func serviceEvents() []telemetry.Event {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	sec := int64(time.Second)
+	return []telemetry.Event{
+		{Seq: 1, TimeNS: base, Type: telemetry.EventCampaignQueued, Campaign: "c000000", Tenant: "alpha", Cell: -1, Cells: 1},
+		{Seq: 2, TimeNS: base, Type: telemetry.EventCampaignState, Campaign: "c000000", Tenant: "alpha", Cell: -1, Detail: "running"},
+		{Seq: 3, TimeNS: base, Type: telemetry.EventCampaignStart, Campaign: "c000000", Cell: -1, Cells: 1},
+		{Seq: 4, TimeNS: base + 1*sec, Type: telemetry.EventCampaignQueued, Campaign: "c000001", Tenant: "beta", Cell: -1, Cells: 1},
+		{Seq: 5, TimeNS: base + 1*sec, Type: telemetry.EventCampaignState, Campaign: "c000001", Tenant: "beta", Cell: -1, Detail: "running"},
+		{Seq: 6, TimeNS: base + 1*sec, Type: telemetry.EventCampaignStart, Campaign: "c000001", Cell: -1, Cells: 1},
+		{Seq: 7, TimeNS: base + 1*sec, Type: telemetry.EventCellLeased, Campaign: "c000000", Worker: "w1", Cell: 0,
+			Comp: "L1D", Workload: "CRC32", Faults: 1, Lease: 1},
+		{Seq: 8, TimeNS: base + 2*sec, Type: telemetry.EventCellLeased, Campaign: "c000001", Worker: "w1", Cell: 0,
+			Comp: "DTLB", Workload: "CRC32", Faults: 2, Lease: 2},
+		{Seq: 9, TimeNS: base + 3*sec, Type: telemetry.EventCellDone, Campaign: "c000000", Worker: "w1", Cell: 0,
+			Comp: "L1D", Workload: "CRC32", Faults: 1, Samples: 4, Counts: map[string]int{"masked": 4}},
+		{Seq: 10, TimeNS: base + 3*sec, Type: telemetry.EventCampaignDone, Campaign: "c000000", Cell: -1, Cells: 1},
+		{Seq: 11, TimeNS: base + 3*sec, Type: telemetry.EventCampaignState, Campaign: "c000000", Tenant: "alpha", Cell: -1, Detail: "done"},
+		{Seq: 12, TimeNS: base + 4*sec, Type: telemetry.EventCellDone, Campaign: "c000001", Worker: "w1", Cell: 0,
+			Comp: "DTLB", Workload: "CRC32", Faults: 2, Samples: 4, Counts: map[string]int{"masked": 3, "sdc": 1}},
+		{Seq: 13, TimeNS: base + 4*sec, Type: telemetry.EventCampaignDone, Campaign: "c000001", Cell: -1, Cells: 1},
+		{Seq: 14, TimeNS: base + 4*sec, Type: telemetry.EventCampaignState, Campaign: "c000001", Tenant: "beta", Cell: -1, Detail: "done"},
+	}
+}
+
+// TestAnalyzeEventsMultiCampaign: a shared service log is keyed per
+// campaign — colliding cell indexes across campaigns are distinct cells,
+// the summary counts campaigns by final state, and the timeline grows a
+// campaign column.
+func TestAnalyzeEventsMultiCampaign(t *testing.T) {
+	dir := t.TempDir()
+	evPath := writeEventLog(t, dir, serviceEvents())
+
+	code, stdout, stderr := runLogparse(t, "", "-events", evPath)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s stdout=%s", code, stderr, stdout)
+	}
+	if strings.Contains(stderr, "completed 2 times") {
+		t.Fatalf("colliding cell indexes across campaigns misread as a double completion:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "2 cells completed across 2 campaigns: 2 done") {
+		t.Fatalf("multi-campaign summary missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "campaign") || !strings.Contains(stdout, "c000001") {
+		t.Fatalf("timeline lacks the campaign column:\n%s", stdout)
+	}
+}
+
+// TestAnalyzeEventsCampaignFilter: -campaign narrows analysis to one
+// campaign's slice, which is also how -results cross-checks a per-campaign
+// results file out of a shared log.
+func TestAnalyzeEventsCampaignFilter(t *testing.T) {
+	dir := t.TempDir()
+	evPath := writeEventLog(t, dir, serviceEvents())
+
+	rs := core.NewResultSet()
+	r := &core.Result{Spec: core.Spec{Workload: "CRC32", Component: "L1D", Faults: 1, Samples: 4}}
+	r.Counts[core.EffectMasked] = 4
+	rs.Add(r)
+	resPath := filepath.Join(dir, "c000000.json")
+	if err := rs.Save(resPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without -campaign the cross-check is ambiguous and refuses.
+	code, _, stderr := runLogparse(t, "", "-events", evPath, "-results", resPath)
+	if code != 2 || !strings.Contains(stderr, "add -campaign") {
+		t.Fatalf("multi-campaign -results: exit=%d stderr=%s", code, stderr)
+	}
+
+	code, stdout, stderr := runLogparse(t, "", "-events", evPath, "-campaign", "c000000", "-results", resPath)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "1 cells completed, campaign complete") {
+		t.Fatalf("filtered slice should read as a single campaign:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "agree (1 cells)") {
+		t.Fatalf("cross-check missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "DTLB") {
+		t.Fatalf("filter leaked the other campaign's cells:\n%s", stdout)
+	}
+
+	code, _, stderr = runLogparse(t, "", "-events", evPath, "-campaign", "c999999")
+	if code != 1 || !strings.Contains(stderr, "no events for campaign") {
+		t.Fatalf("unknown campaign filter: exit=%d stderr=%s", code, stderr)
+	}
+
+	code, _, stderr = runLogparse(t, "", "-campaign", "c000000")
+	if code != 2 || !strings.Contains(stderr, "needs -events") {
+		t.Fatalf("-campaign without -events: exit=%d stderr=%s", code, stderr)
+	}
+}

@@ -54,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "analyze a gefin JSONL injection trace instead of parsing a log (- reads stdin)")
 	eventsPath := fs.String("events", "", "analyze a gefin campaign event log instead of parsing a log (- reads stdin)")
 	resultsPath := fs.String("results", "", "with -events: cross-check the event log against this results JSON")
+	campaignID := fs.String("campaign", "", "with -events: restrict analysis to one campaign's slice of a shared service log")
 	profilePath := fs.String("profile", "", "render a liveness profile artifact (.mbup, from gefin -profile): time x row occupancy heatmaps and per-bit-class lifetime percentiles")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,8 +72,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *profilePath != "" {
 		return analyzeProfile(*profilePath, stdout, stderr)
 	}
+	if *campaignID != "" && *eventsPath == "" {
+		fmt.Fprintln(stderr, "-campaign filters an event log: it needs -events")
+		return 2
+	}
 	if *eventsPath != "" {
-		return analyzeEvents(*eventsPath, *resultsPath, stdin, stdout, stderr)
+		return analyzeEvents(*eventsPath, *resultsPath, *campaignID, stdin, stdout, stderr)
 	}
 	if *tracePath != "" {
 		return analyzeTrace(*tracePath, stdin, stdout, stderr)
@@ -223,6 +228,7 @@ func analyzeTrace(path string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 // cellStory accumulates one cell's lifecycle from the event stream.
 type cellStory struct {
+	campaign string // "" for a single-campaign (one-shot coordinator) log
 	cell     int
 	comp     string
 	workload string
@@ -237,12 +243,24 @@ type cellStory struct {
 	samples  int
 }
 
+// cellID names one cell in one campaign. A campaign service multiplexes
+// many campaigns into one shared event log, so a bare cell index is
+// ambiguous: campaign A's cell 0 and campaign B's cell 0 are different
+// cells. Single-campaign logs have Campaign == "" throughout and collapse
+// to the old keying.
+type cellID struct {
+	campaign string
+	cell     int
+}
+
 // analyzeEvents digests a campaign event log: validates ordering, rebuilds
 // each cell's lease→run→submit timeline, reports per-worker utilization and
 // straggler cells, and (with resultsPath) cross-checks the log against the
 // campaign's results file. Any inconsistency — non-monotonic sequence
 // numbers, a cell completed twice, a results/log mismatch — exits 1.
-func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.Writer) int {
+// Multi-campaign service logs are keyed per campaign; pass campaign to
+// restrict analysis (and the -results cross-check) to one campaign's slice.
+func analyzeEvents(path, resultsPath, campaign string, stdin io.Reader, stdout, stderr io.Writer) int {
 	r := stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -266,6 +284,19 @@ func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.
 	if el.Truncated > 0 {
 		fmt.Fprintf(stderr, "note: skipped %d truncated final line(s)\n", el.Truncated)
 	}
+	if campaign != "" {
+		var kept []telemetry.Event
+		for _, ev := range evs {
+			if ev.Campaign == campaign {
+				kept = append(kept, ev)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(stderr, "event log holds no events for campaign %s\n", campaign)
+			return 1
+		}
+		evs = kept
+	}
 
 	bad := 0
 	complain := func(format string, args ...any) {
@@ -280,50 +311,62 @@ func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.
 		lastSeq = ev.Seq
 	}
 
-	// Fold the stream into per-cell stories and per-worker tallies.
+	// Fold the stream into per-cell stories and per-worker tallies. Cells
+	// are keyed per campaign: a service log interleaves many campaigns and
+	// their cell indexes collide.
 	type workerStat struct {
 		cells  int
 		busyNS int64
-		leased map[int]int64 // cell -> lease timestamp currently open
+		leased map[cellID]int64 // cell -> lease timestamp currently open
 	}
 	var (
-		cells     = make(map[int]*cellStory)
+		cells     = make(map[cellID]*cellStory)
 		workers   = make(map[string]*workerStat)
-		starts    int
-		doneEvent *telemetry.Event
+		starts    = make(map[string]int)
+		doneEvent = make(map[string]*telemetry.Event)
+		lastState = make(map[string]string)
+		campaigns = make(map[string]bool)
 	)
 	story := func(ev telemetry.Event) *cellStory {
-		s, ok := cells[ev.Cell]
+		k := cellID{ev.Campaign, ev.Cell}
+		s, ok := cells[k]
 		if !ok {
-			s = &cellStory{cell: ev.Cell, comp: ev.Comp, workload: ev.Workload, faults: ev.Faults}
-			cells[ev.Cell] = s
+			s = &cellStory{campaign: ev.Campaign, cell: ev.Cell, comp: ev.Comp, workload: ev.Workload, faults: ev.Faults}
+			cells[k] = s
 		}
 		return s
 	}
 	wstat := func(id string) *workerStat {
 		w, ok := workers[id]
 		if !ok {
-			w = &workerStat{leased: make(map[int]int64)}
+			w = &workerStat{leased: make(map[cellID]int64)}
 			workers[id] = w
 		}
 		return w
 	}
 	for i := range evs {
 		ev := evs[i]
+		if ev.Campaign != "" {
+			campaigns[ev.Campaign] = true
+		}
 		switch ev.Type {
 		case telemetry.EventCampaignStart:
-			starts++
+			starts[ev.Campaign]++
+		case telemetry.EventCampaignQueued:
+			lastState[ev.Campaign] = "queued"
+		case telemetry.EventCampaignState:
+			lastState[ev.Campaign] = ev.Detail
 		case telemetry.EventCellLeased:
 			s := story(ev)
 			s.leases++
 			if s.firstNS == 0 {
 				s.firstNS = ev.TimeNS
 			}
-			wstat(ev.Worker).leased[ev.Cell] = ev.TimeNS
+			wstat(ev.Worker).leased[cellID{ev.Campaign, ev.Cell}] = ev.TimeNS
 		case telemetry.EventLeaseExpired:
 			story(ev).expiries++
 			w := wstat(ev.Worker)
-			delete(w.leased, ev.Cell) // expiry: silent worker, not busy time
+			delete(w.leased, cellID{ev.Campaign, ev.Cell}) // expiry: silent worker, not busy time
 		case telemetry.EventCellRetried:
 			story(ev).retries++
 		case telemetry.EventCellDone:
@@ -335,60 +378,110 @@ func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.
 			if ev.Worker != "" {
 				w := wstat(ev.Worker)
 				w.cells++
-				if t, ok := w.leased[ev.Cell]; ok {
+				if t, ok := w.leased[cellID{ev.Campaign, ev.Cell}]; ok {
 					w.busyNS += ev.TimeNS - t
-					delete(w.leased, ev.Cell)
+					delete(w.leased, cellID{ev.Campaign, ev.Cell})
 				}
 			}
 		case telemetry.EventCampaignDone:
-			doneEvent = &evs[i]
+			doneEvent[ev.Campaign] = &evs[i]
 		}
 	}
-	if starts > 1 {
-		fmt.Fprintf(stderr, "note: %d campaign_start events (restarted/resumed campaign)\n", starts)
+	multi := len(campaigns) > 1
+	for _, id := range sortedKeys(starts) {
+		if n := starts[id]; n > 1 {
+			if id == "" {
+				fmt.Fprintf(stderr, "note: %d campaign_start events (restarted/resumed campaign)\n", n)
+			} else {
+				fmt.Fprintf(stderr, "note: campaign %s started %d times (restarted/resumed)\n", id, n)
+			}
+		}
 	}
 
 	doneCells := 0
+	doneBy := make(map[string]int)
 	for _, s := range cells {
 		if s.dones > 1 {
-			complain("cell %d (%s/%s/%d-bit) completed %d times", s.cell, s.comp, s.workload, s.faults, s.dones)
+			complain("cell %s%d (%s/%s/%d-bit) completed %d times", cellPrefix(s.campaign), s.cell, s.comp, s.workload, s.faults, s.dones)
 		}
 		if s.dones > 0 {
 			doneCells++
+			doneBy[s.campaign]++
 		}
 	}
-	if doneEvent != nil && doneEvent.Detail == "" && doneEvent.Cells != doneCells {
+	for _, id := range sortedKeys(doneEvent) {
+		de := doneEvent[id]
 		// A resumed campaign legitimately reports more completed cells than
 		// this log saw finish; fewer means lost events.
-		if doneEvent.Cells < doneCells {
-			complain("campaign_done reports %d cells but the log records %d completions", doneEvent.Cells, doneCells)
+		if de.Detail == "" && de.Cells < doneBy[id] {
+			complain("campaign %sdone event reports %d cells but the log records %d completions",
+				cellPrefix(id), de.Cells, doneBy[id])
 		}
 	}
 
 	span := time.Duration(evs[len(evs)-1].TimeNS - evs[0].TimeNS)
 	fmt.Fprintf(stdout, "%d events over %v: %d cells completed", len(evs), span.Round(time.Millisecond), doneCells)
-	switch {
-	case doneEvent == nil:
-		fmt.Fprint(stdout, ", campaign still running (no campaign_done)")
-	case doneEvent.Detail != "":
-		fmt.Fprintf(stdout, ", campaign FAILED: %s", doneEvent.Detail)
-	default:
-		fmt.Fprint(stdout, ", campaign complete")
+	if multi {
+		// A shared service log: summarize each campaign's final state —
+		// campaign_state transitions when the service journaled them, else
+		// presence/absence of the coordinator's campaign_done.
+		byState := make(map[string]int)
+		for id := range campaigns {
+			st := lastState[id]
+			if st == "" {
+				switch de := doneEvent[id]; {
+				case de == nil:
+					st = "running"
+				case de.Detail != "":
+					st = "failed"
+				default:
+					st = "done"
+				}
+			}
+			byState[st]++
+		}
+		fmt.Fprintf(stdout, " across %d campaigns:", len(campaigns))
+		for _, st := range sortedKeys(byState) {
+			fmt.Fprintf(stdout, " %d %s", byState[st], st)
+		}
+	} else {
+		var de *telemetry.Event
+		for _, d := range doneEvent {
+			de = d
+		}
+		switch {
+		case de == nil:
+			fmt.Fprint(stdout, ", campaign still running (no campaign_done)")
+		case de.Detail != "":
+			fmt.Fprintf(stdout, ", campaign FAILED: %s", de.Detail)
+		default:
+			fmt.Fprint(stdout, ", campaign complete")
+		}
 	}
 	fmt.Fprintln(stdout)
 
-	// Per-cell timelines, in cell order.
-	order := make([]int, 0, len(cells))
-	for c := range cells {
-		order = append(order, c)
+	// Per-cell timelines, campaign-major then cell order.
+	order := make([]cellID, 0, len(cells))
+	for k := range cells {
+		order = append(order, k)
 	}
-	sort.Ints(order)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].campaign != order[j].campaign {
+			return order[i].campaign < order[j].campaign
+		}
+		return order[i].cell < order[j].cell
+	})
 	if len(order) > 0 {
-		fmt.Fprintf(stdout, "\n%-5s %-8s %-13s %s %8s %8s %8s %9s  %s\n",
+		if multi {
+			fmt.Fprintf(stdout, "\n%-9s ", "campaign")
+		} else {
+			fmt.Fprint(stdout, "\n")
+		}
+		fmt.Fprintf(stdout, "%-5s %-8s %-13s %s %8s %8s %8s %9s  %s\n",
 			"cell", "comp", "workload", "k", "leases", "expired", "retried", "lifetime", "completed by")
 	}
-	for _, c := range order {
-		s := cells[c]
+	for _, k := range order {
+		s := cells[k]
 		life, by := "--", "--"
 		if s.dones > 0 {
 			if s.firstNS > 0 {
@@ -398,6 +491,9 @@ func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.
 			if by == "" {
 				by = "local"
 			}
+		}
+		if multi {
+			fmt.Fprintf(stdout, "%-9s ", s.campaign)
 		}
 		fmt.Fprintf(stdout, "%-5d %-8s %-13s %d %8d %8d %8d %9s  %s\n",
 			s.cell, s.comp, s.workload, s.faults, s.leases, s.expiries, s.retries, life, by)
@@ -440,8 +536,8 @@ func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.
 	if len(slow) > 0 {
 		fmt.Fprintln(stdout, "\nstragglers:")
 		for _, st := range slow {
-			fmt.Fprintf(stdout, "  cell %d %s/%s/%d-bit: %v (%d leases)\n",
-				st.s.cell, st.s.comp, st.s.workload, st.s.faults,
+			fmt.Fprintf(stdout, "  cell %s%d %s/%s/%d-bit: %v (%d leases)\n",
+				cellPrefix(st.s.campaign), st.s.cell, st.s.comp, st.s.workload, st.s.faults,
 				time.Duration(st.life).Round(time.Millisecond), st.s.leases)
 		}
 	}
@@ -450,6 +546,10 @@ func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.
 	// be in the results, and vice versa (a resumed campaign's earlier session
 	// is in the same continued log, so both directions must agree).
 	if resultsPath != "" {
+		if multi {
+			fmt.Fprintln(stderr, "-results cross-checks one campaign's results file: add -campaign to pick which slice of this multi-campaign log")
+			return 2
+		}
 		rs, err := core.LoadResultSet(resultsPath)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -493,6 +593,25 @@ func analyzeEvents(path, resultsPath string, stdin io.Reader, stdout, stderr io.
 		return 1
 	}
 	return 0
+}
+
+// cellPrefix renders a campaign id as a cell-label prefix; "" (a
+// single-campaign log) stays unadorned.
+func cellPrefix(campaign string) string {
+	if campaign == "" {
+		return ""
+	}
+	return campaign + "/"
+}
+
+// sortedKeys returns a map's string keys in order, for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // percentile returns the p-th percentile (nearest-rank) of sorted values.

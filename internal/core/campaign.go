@@ -727,6 +727,15 @@ type CellKey struct {
 	Faults    int
 }
 
+// Key returns the spec's cell identity — the coordinate the ResultSet,
+// resume logic and campaign service all address cells by. Two specs with
+// the same Key may still not be Equivalent (different seed, samples,
+// protection, ...): Key locates a cell, Equivalent decides whether a
+// stored result answers it.
+func (s Spec) Key() CellKey {
+	return CellKey{Component: s.Component, Workload: s.Workload, Faults: s.Faults}
+}
+
 // ResultSet collects the full campaign grid (components x workloads x
 // cardinalities) for the analysis and reporting layers.
 type ResultSet struct {
@@ -740,7 +749,7 @@ func NewResultSet() *ResultSet {
 
 // Add stores a result under its cell key.
 func (rs *ResultSet) Add(r *Result) {
-	rs.Cells[CellKey{r.Spec.Component, r.Spec.Workload, r.Spec.Faults}] = r
+	rs.Cells[r.Spec.Key()] = r
 }
 
 // Get returns the result for a cell, or an error naming the missing cell.

@@ -116,7 +116,7 @@ func LoadResultSet(path string) (*ResultSet, error) {
 // those knobs change the outcome distribution, and resuming over them
 // would silently keep stale counts.
 func (rs *ResultSet) Covers(spec Spec) bool {
-	r, ok := rs.Cells[CellKey{spec.Component, spec.Workload, spec.Faults}]
+	r, ok := rs.Cells[spec.Key()]
 	return ok && r.Spec.Equivalent(spec)
 }
 

@@ -30,6 +30,18 @@ type Options struct {
 	// locking) and happen exactly once per cell — a deduplicated
 	// resubmission does not re-fire it.
 	OnCell func(cell int, res *core.Result)
+	// Campaign labels every event this coordinator emits with a campaign id,
+	// so a shared event log (campaign service) stays attributable per
+	// campaign. Empty on a one-shot coordinator.
+	Campaign string
+
+	// sharedFleet marks a coordinator owned by a multi-campaign Service:
+	// the service tracks the worker fleet and the fleet-wide gauges itself
+	// (several coordinators share one registry, and each setting the gauge
+	// to its own private count would fight the others), so this coordinator
+	// skips the worker join/leave events, the workers-seen counter and the
+	// live-worker/leased-cell gauges.
+	sharedFleet bool
 }
 
 const (
@@ -164,7 +176,7 @@ func (c *Coordinator) emit(ev telemetry.Event) { c.opts.Tel.Emit(ev) }
 // cellEvent builds an event pre-filled with a cell's identity.
 func (c *Coordinator) cellEvent(typ string, cell int) telemetry.Event {
 	s := c.specs[cell]
-	return telemetry.Event{Type: typ, Cell: cell,
+	return telemetry.Event{Type: typ, Cell: cell, Campaign: c.opts.Campaign,
 		Comp: s.Component, Workload: s.Workload, Faults: s.Faults}
 }
 
@@ -174,8 +186,10 @@ func (c *Coordinator) touchWorkerLocked(worker string) {
 	c.workers[worker] = c.now()
 	if !c.joined[worker] {
 		c.joined[worker] = true
-		c.opts.Tel.DispatchWorkerSeen()
-		c.emit(telemetry.Event{Type: telemetry.EventWorkerJoin, Worker: worker, Cell: -1})
+		if !c.opts.sharedFleet {
+			c.opts.Tel.DispatchWorkerSeen()
+			c.emit(telemetry.Event{Type: telemetry.EventWorkerJoin, Worker: worker, Cell: -1})
+		}
 	}
 }
 
@@ -186,8 +200,24 @@ func (c *Coordinator) dropWorkerLocked(worker, why string) {
 		return
 	}
 	delete(c.workers, worker)
-	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
-	c.emit(telemetry.Event{Type: telemetry.EventWorkerLeave, Worker: worker, Cell: -1, Detail: why})
+	c.setWorkersGauge()
+	if !c.opts.sharedFleet {
+		c.emit(telemetry.Event{Type: telemetry.EventWorkerLeave, Worker: worker, Cell: -1, Detail: why})
+	}
+}
+
+// setWorkersGauge and setLeasedGauge publish the fleet gauges, unless a
+// Service owns the fleet view. Callers hold mu.
+func (c *Coordinator) setWorkersGauge() {
+	if !c.opts.sharedFleet {
+		c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+	}
+}
+
+func (c *Coordinator) setLeasedGauge() {
+	if !c.opts.sharedFleet {
+		c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+	}
 }
 
 // finish closes done exactly once. Callers hold mu (or are in New).
@@ -197,7 +227,7 @@ func (c *Coordinator) finish(err error) {
 	}
 	c.finished.Do(func() {
 		ev := telemetry.Event{Type: telemetry.EventCampaignDone, Cell: -1,
-			Cells: len(c.specs) - c.pending}
+			Campaign: c.opts.Campaign, Cells: len(c.specs) - c.pending}
 		if c.failErr != nil {
 			ev.Detail = c.failErr.Error()
 		}
@@ -255,8 +285,50 @@ func (c *Coordinator) sweepLocked() {
 			c.dropWorkerLocked(w, "silent past live window")
 		}
 	}
-	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
-	c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+	c.setWorkersGauge()
+	c.setLeasedGauge()
+}
+
+// Release returns every leased cell to the pending queue WITHOUT charging
+// a retry — the campaign-service pause/cancel drain: the work was
+// interrupted by policy, not lost to a fault, so the retry budget stays
+// intact. The released leases vanish, which the holding workers discover
+// as StatusExpired on their next heartbeat and answer by cancelling the
+// cell mid-run (the same path as a reassigned lease).
+func (c *Coordinator) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, l := range c.leases {
+		delete(c.leases, id)
+		if c.state[l.cell] == cellLeased {
+			c.state[l.cell] = cellPending
+		}
+	}
+	c.setLeasedGauge()
+}
+
+// Stats is a point-in-time snapshot of one coordinator's progress for the
+// campaign-service status API.
+type Stats struct {
+	Cells   int    // grid size
+	Done    int    // cells complete
+	Leased  int    // cells currently out on lease
+	Retries int    // retry charges across all cells so far
+	Err     string // terminal error, when failed
+}
+
+// Stats snapshots the coordinator's progress counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Cells: len(c.specs), Done: len(c.specs) - c.pending, Leased: len(c.leases)}
+	for _, r := range c.retries {
+		s.Retries += r
+	}
+	if c.failErr != nil {
+		s.Err = c.failErr.Error()
+	}
+	return s
 }
 
 // requeueLocked puts a leased cell back in the pending queue, charging one
@@ -294,7 +366,7 @@ func (c *Coordinator) Mux() *http.ServeMux {
 	mux.HandleFunc(PathHeartbeat, handle(c.heartbeat))
 	mux.HandleFunc(PathSubmit, handle(c.submit))
 	mux.HandleFunc(PathAbandon, handle(c.abandon))
-	mux.HandleFunc(PathEvents, c.events)
+	mux.HandleFunc(PathEvents, eventsHandler(c.opts.Tel, ""))
 	return mux
 }
 
@@ -302,46 +374,64 @@ func (c *Coordinator) Mux() *http.ServeMux {
 // client just re-polls with the same since on an empty body.
 const maxEventWait = 30 * time.Second
 
-// events serves GET PathEvents?since=<seq>[&wait=<dur>]: JSONL of every
-// event with Seq > since, long-polling up to wait (default 10s) when none
-// exist yet. 404 when no event log is attached.
-func (c *Coordinator) events(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	var log *telemetry.EventLog
-	if c.opts.Tel != nil {
-		log = c.opts.Tel.Events
-	}
-	if log == nil {
-		http.Error(w, "event log disabled", http.StatusNotFound)
-		return
-	}
-	var since uint64
-	if s := r.URL.Query().Get("since"); s != "" {
-		v, err := strconv.ParseUint(s, 10, 64)
-		if err != nil {
-			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+// eventsHandler serves GET ?since=<seq>[&wait=<dur>]: JSONL of every event
+// with Seq > since, long-polling up to wait (default 10s) when none exist
+// yet. 404 when no event log is attached. A non-empty campaign filters the
+// stream to that campaign's events — the long-poll keeps draining the
+// shared log until a matching event arrives or the wait expires, advancing
+// the caller's cursor past the non-matching ones either way.
+func eventsHandler(tel *telemetry.Campaign, campaign string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
-		since = v
-	}
-	wait := 10 * time.Second
-	if s := r.URL.Query().Get("wait"); s != "" {
-		d, err := time.ParseDuration(s)
-		if err != nil {
-			http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+		var log *telemetry.EventLog
+		if tel != nil {
+			log = tel.Events
+		}
+		if log == nil {
+			http.Error(w, "event log disabled", http.StatusNotFound)
 			return
 		}
-		wait = min(d, maxEventWait)
-	}
-	evs := log.WaitSince(r.Context(), since, wait)
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
-	for _, ev := range evs {
-		if err := enc.Encode(ev); err != nil {
-			return
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		wait := 10 * time.Second
+		if s := r.URL.Query().Get("wait"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			wait = min(d, maxEventWait)
+		}
+		deadline := time.Now().Add(wait)
+		var out []telemetry.Event
+		for {
+			evs := log.WaitSince(r.Context(), since, time.Until(deadline))
+			for _, ev := range evs {
+				since = ev.Seq
+				if campaign == "" || ev.Campaign == campaign {
+					out = append(out, ev)
+				}
+			}
+			if len(out) > 0 || len(evs) == 0 || !time.Now().Before(deadline) {
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range out {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -368,7 +458,7 @@ func (c *Coordinator) lease(req *LeaseRequest) *LeaseReply {
 	defer c.mu.Unlock()
 	c.sweepLocked()
 	c.touchWorkerLocked(req.Worker)
-	c.opts.Tel.SetDispatchWorkers(int64(len(c.workers)))
+	c.setWorkersGauge()
 	if c.pending == 0 || c.failErr != nil {
 		// The worker is leaving: drop it from the live set so Drain knows
 		// when every tail worker has been told the campaign is over.
@@ -384,7 +474,7 @@ func (c *Coordinator) lease(req *LeaseRequest) *LeaseReply {
 			deadline: c.now().Add(c.opts.LeaseTTL)}
 		c.leases[l.id] = l
 		c.state[i] = cellLeased
-		c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+		c.setLeasedGauge()
 		ev := c.cellEvent(telemetry.EventCellLeased, i)
 		ev.Worker = req.Worker
 		ev.Lease = l.id
@@ -393,7 +483,7 @@ func (c *Coordinator) lease(req *LeaseRequest) *LeaseReply {
 		}
 		c.emit(ev)
 		return &LeaseReply{Status: StatusLease, LeaseID: l.id, Cell: i,
-			Spec: c.specs[i], TTL: c.opts.LeaseTTL}
+			Spec: c.specs[i], TTL: c.opts.LeaseTTL, Campaign: c.opts.Campaign}
 	}
 	// Everything pending is leased elsewhere: the campaign tail. Retry at
 	// the sweep cadence so a freed cell is picked up promptly.
@@ -404,7 +494,12 @@ func (c *Coordinator) heartbeat(req *HeartbeatRequest) *HeartbeatReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchWorkerLocked(req.Worker)
-	c.fed.Merge(req.Worker, req.Metrics)
+	if !c.opts.sharedFleet {
+		// In service mode one Federator (the Service's) must difference each
+		// worker's absolute snapshots; per-coordinator federators would each
+		// diff against their own stale view and double-count the fleet.
+		c.fed.Merge(req.Worker, req.Metrics)
+	}
 	l, ok := c.leases[req.LeaseID]
 	if !ok || l.worker != req.Worker {
 		return &HeartbeatReply{Status: StatusExpired}
@@ -430,7 +525,7 @@ func (c *Coordinator) abandon(req *AbandonRequest) *AbandonReply {
 	if c.state[l.cell] == cellLeased {
 		c.state[l.cell] = cellPending
 	}
-	c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+	c.setLeasedGauge()
 	return &AbandonReply{Status: StatusOK}
 }
 
@@ -438,7 +533,9 @@ func (c *Coordinator) submit(req *SubmitRequest) (rep *SubmitReply) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchWorkerLocked(req.Worker)
-	c.fed.Merge(req.Worker, req.Metrics)
+	if !c.opts.sharedFleet {
+		c.fed.Merge(req.Worker, req.Metrics)
+	}
 	// Any reply carrying CampaignDone sends the worker away: drop it from
 	// the live set so Drain can tell when the fleet has been notified.
 	defer func() {
@@ -453,7 +550,7 @@ func (c *Coordinator) submit(req *SubmitRequest) (rep *SubmitReply) {
 	if l, ok := c.leases[req.LeaseID]; ok && l.worker == req.Worker {
 		cell = l.cell
 		delete(c.leases, req.LeaseID)
-		c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+		c.setLeasedGauge()
 	} else if req.Cell >= 0 && req.Cell < len(c.specs) {
 		cell = req.Cell
 	}
@@ -503,7 +600,7 @@ func (c *Coordinator) submit(req *SubmitRequest) (rep *SubmitReply) {
 			delete(c.leases, id)
 		}
 	}
-	c.opts.Tel.SetDispatchLeased(int64(len(c.leases)))
+	c.setLeasedGauge()
 	c.rs.Add(req.Result)
 	c.state[cell] = cellDone
 	c.pending--

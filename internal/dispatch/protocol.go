@@ -13,6 +13,7 @@
 package dispatch
 
 import (
+	"fmt"
 	"time"
 
 	"mbusim/internal/core"
@@ -39,6 +40,12 @@ const (
 	// `gefin -watch` renders it as a live dashboard; any JSONL consumer can
 	// tail it.
 	PathEvents = "/dispatch/events"
+
+	// PathCampaigns is the campaign-service API root (see Service): POST
+	// submits a campaign, GET lists them, and PathCampaigns + "/{id}"
+	// answers status, "/{id}/pause|resume|cancel" transitions, and
+	// "/{id}/events" streams that campaign's slice of the event log.
+	PathCampaigns = "/campaigns"
 )
 
 // Reply statuses.
@@ -78,6 +85,10 @@ type LeaseReply struct {
 	LeaseID uint64    // with StatusLease
 	Cell    int       // coordinator's cell index, echoed back on submit
 	Spec    core.Spec // the cell to run, verbatim
+	// Campaign is the campaign-service campaign id the lease belongs to;
+	// workers echo it verbatim on heartbeat/submit/abandon so the service
+	// routes them to the right campaign. Empty on a one-shot coordinator.
+	Campaign string `json:",omitempty"`
 	// TTL is the lease lifetime: a worker silent (no heartbeat, no
 	// submit) for TTL loses the cell. Workers heartbeat at TTL/3.
 	TTL time.Duration
@@ -91,9 +102,10 @@ type LeaseReply struct {
 // as absolute values — which the coordinator federates into its own
 // /metrics under per-worker and fleet labels (see telemetry.Federator).
 type HeartbeatRequest struct {
-	Worker  string
-	LeaseID uint64
-	Metrics []telemetry.WireMetric `json:",omitempty"`
+	Worker   string
+	LeaseID  uint64
+	Campaign string                 `json:",omitempty"` // echoed from the LeaseReply
+	Metrics  []telemetry.WireMetric `json:",omitempty"`
 }
 
 // HeartbeatReply is StatusOK or StatusExpired.
@@ -105,11 +117,12 @@ type HeartbeatReply struct {
 // the cell failed on the worker (a panicking sample, a simulator error),
 // which counts against the cell's retry budget.
 type SubmitRequest struct {
-	Worker  string
-	LeaseID uint64
-	Cell    int          // cell index from the LeaseReply
-	Result  *core.Result // nil when Err is set
-	Err     string       // worker-side cell failure, counts as a retry
+	Worker   string
+	LeaseID  uint64
+	Campaign string       `json:",omitempty"` // echoed from the LeaseReply
+	Cell     int          // cell index from the LeaseReply
+	Result   *core.Result // nil when Err is set
+	Err      string       // worker-side cell failure, counts as a retry
 	// Metrics carries the final registry delta for the cell, so the fleet
 	// view is complete even for a worker that never heartbeats again.
 	Metrics []telemetry.WireMetric `json:",omitempty"`
@@ -129,11 +142,54 @@ type SubmitReply struct {
 // AbandonRequest releases a lease without burning a retry: a draining
 // worker (SIGINT/SIGTERM) hands its unfinished cell straight back.
 type AbandonRequest struct {
-	Worker  string
-	LeaseID uint64
+	Worker   string
+	LeaseID  uint64
+	Campaign string `json:",omitempty"` // echoed from the LeaseReply
 }
 
 // AbandonReply is StatusOK or StatusExpired.
 type AbandonReply struct {
 	Status string
+}
+
+// APIError is the JSON body of every non-200 reply from the campaign
+// service (and the typed 4xx replies of the dispatch endpoints): a stable
+// machine-readable code plus a human-readable message. Workers and the
+// submit client turn 4xx replies carrying one into a TerminalError instead
+// of retrying into their downtime budget.
+type APIError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// APIError codes.
+const (
+	ErrCodeUnknownCampaign  = "unknown_campaign"
+	ErrCodeCampaignOver     = "campaign_over"
+	ErrCodeBadRequest       = "bad_request"
+	ErrCodeQueueFull        = "queue_full"
+	ErrCodeTenantCampaigns  = "tenant_campaigns"
+	ErrCodeTenantCells      = "tenant_cells"
+	ErrCodeInvalidSpec      = "invalid_spec"
+	ErrCodeBadTransition    = "bad_transition"
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+)
+
+// TerminalError is a permanent rejection from the coordinator or campaign
+// service — a 4xx with a reason, not a transient outage. Retrying cannot
+// help (the request itself is wrong: unknown campaign, mismatched spec,
+// malformed submission), so workers and clients fail fast with exit code 2
+// instead of burning their MaxDowntime budget against a healthy server.
+type TerminalError struct {
+	Path   string // endpoint that rejected the request
+	Status int    // HTTP status
+	Code   string // APIError code, when the body carried one
+	Msg    string // human-readable reason
+}
+
+func (e *TerminalError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("dispatch: %s rejected (%s): %s", e.Path, e.Code, e.Msg)
+	}
+	return fmt.Sprintf("dispatch: %s rejected (HTTP %d): %s", e.Path, e.Status, e.Msg)
 }

@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -136,7 +140,7 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 				// coordinator is discovered by the next lease/submit.
 				err := w.postOnce(cellCtx, PathHeartbeat,
 					&HeartbeatRequest{Worker: w.ID, LeaseID: l.LeaseID,
-						Metrics: w.delta.Delta()}, &rep)
+						Campaign: l.Campaign, Metrics: w.delta.Delta()}, &rep)
 				if err == nil && rep.Status == StatusExpired {
 					lost.Store(true)
 					cancel()
@@ -168,7 +172,7 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 		defer acancel()
 		var rep AbandonReply
 		_ = w.postOnce(actx, PathAbandon,
-			&AbandonRequest{Worker: w.ID, LeaseID: l.LeaseID}, &rep)
+			&AbandonRequest{Worker: w.ID, LeaseID: l.LeaseID, Campaign: l.Campaign}, &rep)
 		return ctx.Err()
 	case res != nil:
 		// Completed — submit even if the lease was lost along the way:
@@ -176,7 +180,7 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 		// accepts it if the cell is still open and dedups it if not.
 		var rep SubmitReply
 		if err := w.post(ctx, PathSubmit, &SubmitRequest{Worker: w.ID,
-			LeaseID: l.LeaseID, Cell: l.Cell, Result: res,
+			LeaseID: l.LeaseID, Campaign: l.Campaign, Cell: l.Cell, Result: res,
 			Metrics: w.delta.Delta()}, &rep); err != nil {
 			return err
 		}
@@ -200,7 +204,7 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 		// request returns done and Run exits.
 		var rep SubmitReply
 		if err := w.post(ctx, PathSubmit, &SubmitRequest{Worker: w.ID,
-			LeaseID: l.LeaseID, Cell: l.Cell, Err: runErr.Error(),
+			LeaseID: l.LeaseID, Campaign: l.Campaign, Cell: l.Cell, Err: runErr.Error(),
 			Metrics: w.delta.Delta()}, &rep); err != nil {
 			return err
 		}
@@ -214,8 +218,27 @@ func (w *Worker) runCell(ctx context.Context, l *LeaseReply) error {
 	return fmt.Errorf("dispatch: cell %d produced neither result nor error", l.Cell)
 }
 
+// retryAfterError is a 429 from the server: not an outage, but an explicit
+// "come back later" with the server's suggested pause.
+type retryAfterError struct {
+	path  string
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("dispatch: %s: HTTP 429, retry after %v", e.path, e.after)
+}
+
+// maxRetryAfter caps how long a server-suggested Retry-After is honored —
+// a misconfigured or adversarial header must not park the client forever.
+const maxRetryAfter = 30 * time.Second
+
 // post sends one request, retrying with backoff while the coordinator is
-// unreachable, until MaxDowntime elapses or ctx is cancelled.
+// unreachable, until MaxDowntime elapses or ctx is cancelled. A typed 4xx
+// rejection (TerminalError) returns immediately: the server is healthy and
+// said no — burning the downtime budget repeating the same doomed request
+// would only delay the inevitable. A 429 is retried on the server's
+// Retry-After schedule (capped exponential backoff underneath).
 func (w *Worker) post(ctx context.Context, path string, req, rep any) error {
 	start := time.Now()
 	var lastErr error
@@ -224,6 +247,10 @@ func (w *Worker) post(ctx context.Context, path string, req, rep any) error {
 		if lastErr == nil {
 			return nil
 		}
+		var term *TerminalError
+		if errors.As(lastErr, &term) {
+			return lastErr
+		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -231,13 +258,21 @@ func (w *Worker) post(ctx context.Context, path string, req, rep any) error {
 			return fmt.Errorf("dispatch: coordinator %s unreachable for %v: %w",
 				w.URL, w.maxDowntime(), lastErr)
 		}
-		if !sleepCtx(ctx, w.Backoff.Delay(attempt, nil)) {
+		delay := w.Backoff.Delay(attempt, nil)
+		var ra *retryAfterError
+		if errors.As(lastErr, &ra) && ra.after > delay {
+			delay = min(ra.after, maxRetryAfter)
+		}
+		if !sleepCtx(ctx, delay) {
 			return ctx.Err()
 		}
 	}
 }
 
 // postOnce sends one JSON POST and decodes the JSON reply, no retries.
+// Non-200 statuses are classified: 429 → retryAfterError (back off and
+// retry), other 4xx → TerminalError (the request is permanently rejected),
+// 5xx and transport failures → plain errors (transient, retry).
 func (w *Worker) postOnce(ctx context.Context, path string, req, rep any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -254,9 +289,37 @@ func (w *Worker) postOnce(ctx context.Context, path string, req, rep any) error 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("dispatch: %s: HTTP %d", path, resp.StatusCode)
+		return classifyHTTPError(path, resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(rep)
+}
+
+// classifyHTTPError turns a non-200 reply into the right error flavor for
+// the retry loop, consuming (a bounded prefix of) the body for the reason.
+func classifyHTTPError(path string, resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := 2 * time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return &retryAfterError{path: path, after: after}
+	}
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		term := &TerminalError{Path: path, Status: resp.StatusCode,
+			Msg: strings.TrimSpace(string(raw))}
+		var ae APIError
+		if json.Unmarshal(raw, &ae) == nil && ae.Code != "" {
+			term.Code, term.Msg = ae.Code, ae.Error
+		}
+		if term.Msg == "" {
+			term.Msg = http.StatusText(resp.StatusCode)
+		}
+		return term
+	}
+	return fmt.Errorf("dispatch: %s: HTTP %d", path, resp.StatusCode)
 }
 
 // sleepCtx pauses for d, returning false if ctx was cancelled first.

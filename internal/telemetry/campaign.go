@@ -64,6 +64,18 @@ const (
 	MetricArtifactCorrupt   = "gefin_artifact_corrupt_total"
 	MetricArtifactFallbacks = "gefin_artifact_fallbacks_total"
 
+	// Campaign-service series (PR 10): campaign state transitions (the
+	// counter increments each time any campaign ENTERS a state, so
+	// {state="done"} is completed campaigns and {state="queued"} is total
+	// admissions), the current queue depth and live-campaign gauges, the
+	// per-tenant admission rejections with the reason they bounced, and
+	// per-campaign completed-cell counters.
+	MetricCampaigns        = "gefin_campaigns_total" // + {state="..."}
+	MetricQueueDepth       = "gefin_campaign_queue_depth"
+	MetricCampaignsLive    = "gefin_campaigns_live"
+	MetricAdmissionRejects = "gefin_admission_rejects_total" // + {tenant,reason}
+	MetricCampaignCells    = "gefin_campaign_cells_done_total"
+
 	// Liveness-profiling series (PR 9): one counter per completed profile
 	// artifact plus per-(component, workload) analytical gauges, so a
 	// profiling run's ACE fraction and never-touched fraction are visible
@@ -232,6 +244,51 @@ func (c *Campaign) Emit(ev Event) {
 	}
 	c.Events.Emit(ev)
 	c.Registry.Counter(MetricEvents).Inc()
+}
+
+// CampaignEntered counts one campaign entering a lifecycle state (queued,
+// running, paused, done, failed, cancelled).
+func (c *Campaign) CampaignEntered(state string) {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricCampaigns + `{state="` + state + `"}`).Inc()
+}
+
+// SetQueueDepth publishes the campaign service's queued-campaign count.
+func (c *Campaign) SetQueueDepth(n int64) {
+	if c == nil {
+		return
+	}
+	c.Registry.Gauge(MetricQueueDepth).Set(n)
+}
+
+// SetCampaignsLive publishes how many campaigns are live (queued, running
+// or paused) in the campaign service.
+func (c *Campaign) SetCampaignsLive(n int64) {
+	if c == nil {
+		return
+	}
+	c.Registry.Gauge(MetricCampaignsLive).Set(n)
+}
+
+// AdmissionRejected counts one campaign submission bounced by admission
+// control, split by tenant and reason (queue_full, tenant_campaigns,
+// tenant_cells).
+func (c *Campaign) AdmissionRejected(tenant, reason string) {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricAdmissionRejects + `{tenant="` + tenant + `",reason="` + reason + `"}`).Inc()
+}
+
+// CampaignCellDone counts one completed cell against its campaign and
+// tenant, so one /metrics scrape shows per-campaign progress.
+func (c *Campaign) CampaignCellDone(campaign, tenant string) {
+	if c == nil {
+		return
+	}
+	c.Registry.Counter(MetricCampaignCells + `{campaign="` + campaign + `",tenant="` + tenant + `"}`).Inc()
 }
 
 // DispatchSubmitDeduped counts one result delivered for an already-complete

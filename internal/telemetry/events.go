@@ -33,6 +33,12 @@ const (
 	EventCellRetried   = "cell_retried"
 	EventWorkerLeave   = "worker_leave"
 	EventCampaignDone  = "campaign_done"
+
+	// Campaign-service lifecycle (multi-campaign coordinator): a campaign
+	// admitted into the queue, and every subsequent state transition
+	// (running, paused, cancelled, failed — Detail carries the new state).
+	EventCampaignQueued = "campaign_queued"
+	EventCampaignState  = "campaign_state"
 )
 
 // Event is one line of the campaign event log. Seq is assigned by the
@@ -45,6 +51,12 @@ type Event struct {
 	TimeNS int64  `json:"t_ns"` // unix nanoseconds at emission
 	Type   string `json:"type"`
 
+	// Campaign is the campaign-service campaign id the event belongs to;
+	// empty on single-campaign (one-shot -serve or local) runs, where the
+	// whole log is one campaign.
+	Campaign string `json:"campaign,omitempty"`
+	// Tenant is the submitting tenant, on campaign-service lifecycle events.
+	Tenant string `json:"tenant,omitempty"`
 	// Worker names the worker the event concerns, when any.
 	Worker string `json:"worker,omitempty"`
 	// Cell is the coordinator's cell index; -1 for events not about a cell.
